@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+workload scale and plan counts are deliberately small so the whole suite runs
+in minutes on a laptop; the *shape* of every result (who wins, by roughly
+what factor, where the outliers are) is what is being reproduced, not the
+absolute numbers from the paper's 2×48-core testbed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import WorkloadContext
+from repro.engine.modes import ExecutionMode
+
+#: Scale used by the benchmark suite (relative to the workloads' base sizes).
+BENCH_SCALE = 0.08
+
+#: Random plans per query in the robustness sweeps.
+BENCH_PLANS = 8
+
+#: Queries per benchmark used for the aggregate tables (keeps runtime bounded).
+TPCH_QUERY_SAMPLE = (2, 3, 5, 8, 10, 11, 18, 21)
+JOB_TEMPLATE_SAMPLE = (1, 2, 3, 6, 11, 17, 20, 32)
+TPCDS_QUERY_SAMPLE = (3, 7, 13, 19, 27, 34, 48, 54, 72, 83, 91, 96)
+DSB_QUERY_SAMPLE = (3, 7, 13, 27, 34, 91, 96)
+
+MODES_ALL = (ExecutionMode.BASELINE, ExecutionMode.BLOOM_JOIN, ExecutionMode.PT, ExecutionMode.RPT)
+MODES_MAIN = (ExecutionMode.BASELINE, ExecutionMode.RPT)
+
+
+@pytest.fixture(scope="session")
+def context() -> WorkloadContext:
+    """One shared WorkloadContext so data is generated once per session."""
+    return WorkloadContext(scale=BENCH_SCALE, seed=42)

@@ -1,0 +1,79 @@
+"""Figures 6 and 7: distributions of execution cost over random left-deep / bushy plans.
+
+The paper's box plots show, per query, the spread of execution times across
+random join orders normalized by the default optimizer plan's time.  Expected
+shape: baseline distributions span orders of magnitude for many queries;
+RPT distributions collapse to a narrow band around (or below) 1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_PLANS, JOB_TEMPLATE_SAMPLE, MODES_MAIN, TPCH_QUERY_SAMPLE
+from repro.bench import format_distribution_series, print_report, run_random_plan_experiment
+from repro.engine.modes import ExecutionMode
+from repro.workloads import job, tpch
+
+
+def _distribution(context, workload, module, sample, plan_type):
+    db = context.database(workload)
+    per_query = {}
+    spreads = {}
+    for number in sample:
+        query = module.query(number)
+        baseline_cost = db.execute(query, mode=ExecutionMode.BASELINE).stats.cost("tuples")
+        experiment = run_random_plan_experiment(
+            db, query, modes=MODES_MAIN, num_plans=BENCH_PLANS, plan_type=plan_type, seed=number
+        )
+        per_query[query.name] = {
+            mode.label: experiment.normalized_costs(mode, baseline_cost) for mode in MODES_MAIN
+        }
+        spreads[query.name] = {
+            mode: experiment.robustness(mode).factor for mode in MODES_MAIN
+        }
+    return per_query, spreads
+
+
+@pytest.mark.benchmark(group="figure6")
+def test_fig6_left_deep_distributions_tpch_and_job(benchmark, context):
+    def run():
+        tpch_series = _distribution(context, "tpch", tpch, TPCH_QUERY_SAMPLE, "left_deep")
+        job_series = _distribution(context, "job", job, JOB_TEMPLATE_SAMPLE, "left_deep")
+        return tpch_series, job_series
+
+    (tpch_series, tpch_spreads), (job_series, job_spreads) = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_report(format_distribution_series(
+        "Figure 6(a): normalized cost of random left-deep plans (TPC-H)", tpch_series
+    ))
+    print_report(format_distribution_series(
+        "Figure 6(b): normalized cost of random left-deep plans (JOB)", job_series
+    ))
+    # Shape: for acyclic queries RPT's spread is never (materially) wider than the baseline's.
+    for spreads in (tpch_spreads, job_spreads):
+        for name, by_mode in spreads.items():
+            if name == "tpch_q5":  # cyclic - no guarantee
+                continue
+            assert by_mode[ExecutionMode.RPT] <= by_mode[ExecutionMode.BASELINE] * 1.05, name
+
+
+@pytest.mark.benchmark(group="figure7")
+def test_fig7_bushy_distributions_tpch_and_job(benchmark, context):
+    def run():
+        return (
+            _distribution(context, "tpch", tpch, TPCH_QUERY_SAMPLE, "bushy"),
+            _distribution(context, "job", job, JOB_TEMPLATE_SAMPLE[:5], "bushy"),
+        )
+
+    (tpch_series, tpch_spreads), (job_series, job_spreads) = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_report(format_distribution_series(
+        "Figure 7(a): normalized cost of random bushy plans (TPC-H)", tpch_series
+    ))
+    print_report(format_distribution_series(
+        "Figure 7(b): normalized cost of random bushy plans (JOB)", job_series
+    ))
+    for spreads in (tpch_spreads, job_spreads):
+        for name, by_mode in spreads.items():
+            if name == "tpch_q5":
+                continue
+            assert by_mode[ExecutionMode.RPT] <= max(by_mode[ExecutionMode.BASELINE], 10.0), name

@@ -1,0 +1,134 @@
+"""Figures 8, 9, and 10.
+
+* **Figure 8** — PT vs RPT under random left-deep plans for queries where the
+  original Small2Large transfer graph under-reduces (JOB 32-style, TPC-DS
+  Q54/Q83).  Expected shape: PT's spread across plans is wider than RPT's, and
+  PT leaves more tuples unreduced.
+* **Figure 9** — best random left-deep vs best random bushy plan under RPT,
+  plus the optimizer's plan.  Expected shape: bushy plans buy only a small
+  improvement (paper: 6-11%), so left-deep exploration suffices.
+* **Figure 10** — the cost of picking the wrong build side of the final hash
+  join (paper: 37% slowdown on JOB 17e).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_PLANS, MODES_MAIN
+from repro.bench import print_report, run_random_plan_experiment
+from repro.engine.modes import ExecutionMode
+from repro.plan.join_plan import JoinNode, JoinPlan
+from repro.workloads import job, synthetic, tpcds, tpch
+
+
+@pytest.mark.benchmark(group="figure8")
+def test_fig8_pt_vs_rpt_on_underreduced_queries(benchmark, context):
+    """PT's incomplete reduction shows up as both larger reduced relations and wider spread."""
+
+    def run():
+        rows = {}
+        db_ds = context.database("tpcds")
+        for number in tpcds.FIGURE8_QUERIES:
+            query = tpcds.query(number)
+            experiment = run_random_plan_experiment(
+                db_ds, query, modes=(ExecutionMode.PT, ExecutionMode.RPT),
+                num_plans=BENCH_PLANS, seed=number,
+            )
+            pt_reduced = sum(db_ds.execute(query, mode=ExecutionMode.PT).stats.reduced_rows.values())
+            rpt_reduced = sum(db_ds.execute(query, mode=ExecutionMode.RPT).stats.reduced_rows.values())
+            rows[query.name] = {
+                "pt_rf": experiment.robustness(ExecutionMode.PT).factor,
+                "rpt_rf": experiment.robustness(ExecutionMode.RPT).factor,
+                "pt_surviving_rows": pt_reduced,
+                "rpt_surviving_rows": rpt_reduced,
+            }
+        instance = synthetic.figure2_instance(base_size=150)
+        pt = instance.database.execute(instance.query, mode=ExecutionMode.PT)
+        rpt = instance.database.execute(instance.query, mode=ExecutionMode.RPT)
+        rows["figure2_synthetic"] = {
+            "pt_rf": 1.0, "rpt_rf": 1.0,
+            "pt_surviving_rows": sum(pt.stats.reduced_rows.values()),
+            "rpt_surviving_rows": sum(rpt.stats.reduced_rows.values()),
+        }
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Figure 8: PT vs RPT on queries where Small2Large under-reduces",
+             f"{'query':<22} {'PT RF':>8} {'RPT RF':>8} {'PT rows':>10} {'RPT rows':>10}"]
+    for name, row in rows.items():
+        lines.append(f"{name:<22} {row['pt_rf']:>8.2f} {row['rpt_rf']:>8.2f} "
+                     f"{row['pt_surviving_rows']:>10} {row['rpt_surviving_rows']:>10}")
+    print_report("\n".join(lines))
+    # RPT's reduction is never weaker than PT's, and strictly stronger somewhere.
+    assert all(r["rpt_surviving_rows"] <= r["pt_surviving_rows"] for r in rows.values())
+    assert any(r["rpt_surviving_rows"] < r["pt_surviving_rows"] for r in rows.values())
+
+
+@pytest.mark.benchmark(group="figure9")
+def test_fig9_bushy_gain_is_small_under_rpt(benchmark, context):
+    def run():
+        db = context.database("tpch")
+        gains = {}
+        for number in (3, 8, 10, 18):
+            query = tpch.query(number)
+            left = run_random_plan_experiment(
+                db, query, modes=(ExecutionMode.RPT,), num_plans=BENCH_PLANS,
+                plan_type="left_deep", seed=number,
+            )
+            bushy = run_random_plan_experiment(
+                db, query, modes=(ExecutionMode.RPT,), num_plans=BENCH_PLANS,
+                plan_type="bushy", seed=number,
+            )
+            optimizer_cost = db.execute(query, mode=ExecutionMode.RPT).stats.cost("tuples")
+            best_left = left.robustness(ExecutionMode.RPT).min_cost
+            best_bushy = bushy.robustness(ExecutionMode.RPT).min_cost
+            gains[query.name] = {
+                "best_left_deep": best_left,
+                "best_bushy": best_bushy,
+                "optimizer_plan": optimizer_cost,
+                "bushy_gain": best_left / max(best_bushy, 1e-9),
+            }
+        return gains
+
+    gains = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Figure 9: best random left-deep vs best random bushy vs optimizer plan (RPT, cost units)",
+             f"{'query':<12} {'best left':>12} {'best bushy':>12} {'optimizer':>12} {'bushy gain':>11}"]
+    for name, row in gains.items():
+        lines.append(
+            f"{name:<12} {row['best_left_deep']:>12.0f} {row['best_bushy']:>12.0f} "
+            f"{row['optimizer_plan']:>12.0f} {row['bushy_gain']:>10.2f}x"
+        )
+    print_report("\n".join(lines))
+    # Bushy plans should not unlock large gains once RPT has reduced the inputs.
+    for row in gains.values():
+        assert row["bushy_gain"] < 1.5
+
+
+@pytest.mark.benchmark(group="figure10")
+def test_fig10_wrong_build_side_slowdown(benchmark, context):
+    """Flipping the build side of the final join makes the plan slower but not catastrophic."""
+
+    def run():
+        db = context.database("job")
+        query = job.query(17)
+        result = db.execute(query, mode=ExecutionMode.RPT)
+        good_plan = result.plan
+        assert isinstance(good_plan.root, JoinNode)
+        flipped = JoinPlan(root=JoinNode(
+            left=good_plan.root.left, right=good_plan.root.right, flip_build_side=True
+        ))
+        good = db.execute(query, mode=ExecutionMode.RPT, plan=good_plan)
+        bad = db.execute(query, mode=ExecutionMode.RPT, plan=flipped)
+        return good.stats.cost("abstract"), bad.stats.cost("abstract"), good.aggregates, bad.aggregates
+
+    good_cost, bad_cost, good_agg, bad_agg = benchmark.pedantic(run, rounds=1, iterations=1)
+    slowdown = bad_cost / max(good_cost, 1e-9)
+    print_report(
+        "Figure 10: wrong build side of the top hash join (JOB template 17)\n"
+        f"  correct build side cost = {good_cost:.0f}\n"
+        f"  flipped build side cost = {bad_cost:.0f}\n"
+        f"  slowdown = {slowdown:.2f}x (paper reports 1.37x on JOB 17e)"
+    )
+    assert good_agg == bad_agg
+    assert slowdown >= 0.95  # flipping should never help much and typically hurts

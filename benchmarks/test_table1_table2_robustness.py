@@ -1,0 +1,77 @@
+"""Tables 1 and 2: Robustness Factors for random left-deep and bushy join orders.
+
+The paper reports, per benchmark, the average / min / max Robustness Factor
+(max execution time over min execution time across random join orders) for
+vanilla DuckDB and for RPT.  Expected shape: the baseline's average RF is
+large (tens to hundreds) with huge maxima, while RPT's stays close to 1
+(paper: max 1.6 for left-deep, 7.7 for bushy).
+
+Cyclic queries are excluded from the acyclic aggregates, as in the paper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import (
+    BENCH_PLANS,
+    JOB_TEMPLATE_SAMPLE,
+    MODES_MAIN,
+    TPCDS_QUERY_SAMPLE,
+    TPCH_QUERY_SAMPLE,
+)
+from repro.bench import format_robustness_table, print_report, robustness_table, run_random_plan_experiment
+from repro.workloads import job, tpcds, tpch
+
+_WORKLOADS = {
+    "TPC-H": ("tpch", tpch, TPCH_QUERY_SAMPLE, tpch.CYCLIC_QUERIES),
+    "JOB": ("job", job, JOB_TEMPLATE_SAMPLE, ()),
+    "TPC-DS": ("tpcds", tpcds, TPCDS_QUERY_SAMPLE, tpcds.CYCLIC_QUERIES),
+}
+
+
+def _run_table(context, plan_type: str) -> dict:
+    rows = {}
+    for label, (workload, module, sample, cyclic) in _WORKLOADS.items():
+        db = context.database(workload)
+        experiments = []
+        for number in sample:
+            if number in cyclic:
+                continue  # Tables 1/2 cover acyclic queries.
+            query = module.query(number)
+            experiments.append(
+                run_random_plan_experiment(
+                    db, query, modes=MODES_MAIN, num_plans=BENCH_PLANS,
+                    plan_type=plan_type, seed=number,
+                )
+            )
+        rows[label] = robustness_table(experiments, label, MODES_MAIN)
+    return rows
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_robustness_factors_left_deep(benchmark, context):
+    rows = benchmark.pedantic(lambda: _run_table(context, "left_deep"), rounds=1, iterations=1)
+    print_report(format_robustness_table(
+        "Table 1: Robustness Factors for left-deep joins (acyclic queries)", rows, MODES_MAIN
+    ))
+    for label, summaries in rows.items():
+        baseline = summaries[MODES_MAIN[0]]
+        rpt = summaries[MODES_MAIN[1]]
+        # Shape checks from the paper: RPT is close to 1 and far more robust than the baseline.
+        assert rpt.max_rf <= 3.0, f"{label}: RPT left-deep RF should stay near 1"
+        assert baseline.max_rf > rpt.max_rf
+        assert baseline.avg_rf > rpt.avg_rf
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_robustness_factors_bushy(benchmark, context):
+    rows = benchmark.pedantic(lambda: _run_table(context, "bushy"), rounds=1, iterations=1)
+    print_report(format_robustness_table(
+        "Table 2: Robustness Factors for bushy joins (acyclic queries)", rows, MODES_MAIN
+    ))
+    for label, summaries in rows.items():
+        baseline = summaries[MODES_MAIN[0]]
+        rpt = summaries[MODES_MAIN[1]]
+        assert rpt.max_rf <= 10.0, f"{label}: RPT bushy RF should stay small (paper max 7.7)"
+        assert baseline.avg_rf >= rpt.avg_rf

@@ -1,0 +1,56 @@
+"""SafeSubjoin in action: detecting unsafe join orders of a non-γ-acyclic query.
+
+Run with::
+
+    python examples/safe_join_orders.py
+
+Uses the §3.2 example ``R(A,B,C) ⋈ S(A,B) ⋈ T(B,C)``: the query is α-acyclic
+(so RPT fully reduces it) but *not* γ-acyclic, and the subjoin ``S ⋈ T``
+explodes quadratically even on the fully reduced instance.  SafeSubjoin
+flags exactly the join orders that start with that subjoin, and executing
+them confirms the blowup.
+"""
+
+from __future__ import annotations
+
+from repro import ExecutionMode
+from repro.core import is_alpha_acyclic, is_gamma_acyclic, is_safe_join_order, safe_subjoin
+from repro.optimizer import iter_all_left_deep_orders
+from repro.plan.join_plan import JoinPlan
+from repro.workloads.synthetic import unsafe_subjoin_instance
+
+
+def main() -> None:
+    instance = unsafe_subjoin_instance(n=400)
+    db, query = instance.database, instance.query
+    graph = db.join_graph(query)
+
+    print(instance.description)
+    print(f"alpha-acyclic: {is_alpha_acyclic(graph)}, gamma-acyclic: {is_gamma_acyclic(graph)}")
+    print()
+    print(f"SafeSubjoin({{r, s}}) = {safe_subjoin(graph, ['r', 's'])}")
+    print(f"SafeSubjoin({{r, t}}) = {safe_subjoin(graph, ['r', 't'])}")
+    print(f"SafeSubjoin({{s, t}}) = {safe_subjoin(graph, ['s', 't'])}   <-- the unsafe one")
+    print()
+
+    header = f"{'join order':<18} {'safe?':<7} {'max intermediate (RPT)':>24} {'output':>8}"
+    print(header)
+    print("-" * len(header))
+    for order in iter_all_left_deep_orders(graph):
+        plan = JoinPlan.from_left_deep(order)
+        safe = is_safe_join_order(graph, order)
+        result = db.execute(query, mode=ExecutionMode.RPT, plan=plan)
+        max_intermediate = max((s.output_rows for s in result.stats.join_steps[:-1]), default=0)
+        print(
+            f"{' -> '.join(order):<18} {str(safe):<7} {max_intermediate:>24} "
+            f"{result.stats.output_rows:>8}"
+        )
+    print()
+    print(
+        "Orders that join s and t first are flagged unsafe by SafeSubjoin and "
+        "indeed materialize a quadratic intermediate even after full reduction."
+    )
+
+
+if __name__ == "__main__":
+    main()

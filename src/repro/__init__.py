@@ -1,0 +1,47 @@
+"""repro — reproduction of "Debunking the Myth of Join Ordering: Toward Robust SQL Analytics".
+
+The package implements Robust Predicate Transfer (RPT) and every substrate
+it needs — a vectorized columnar engine, Bloom filters, a cost-based
+optimizer, benchmark workload generators, and a benchmark harness — in pure
+Python/NumPy.
+
+Quickstart::
+
+    from repro import Database, ExecutionMode
+    from repro.workloads import tpch
+
+    db = Database()
+    tpch.load(db, scale=0.01, seed=42)
+    query = tpch.query(5)
+    result = db.execute(query, mode=ExecutionMode.RPT)
+    print(result.aggregates, result.stats.summary())
+"""
+
+from repro.engine.database import Database, ExecutionOptions, QueryResult
+from repro.engine.modes import ExecutionMode
+from repro.query import (
+    AggregateSpec,
+    JoinCondition,
+    PostJoinPredicate,
+    QualifiedComparison,
+    QuerySpec,
+    RelationRef,
+    count_star,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AggregateSpec",
+    "Database",
+    "ExecutionMode",
+    "ExecutionOptions",
+    "JoinCondition",
+    "PostJoinPredicate",
+    "QualifiedComparison",
+    "QueryResult",
+    "QuerySpec",
+    "RelationRef",
+    "count_star",
+    "__version__",
+]

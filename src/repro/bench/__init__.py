@@ -1,0 +1,49 @@
+"""Benchmark harness: experiment runners, microbenchmarks, and report printers."""
+
+from repro.bench.harness import (
+    DEFAULT_METRIC,
+    DEFAULT_SCALE,
+    PlanCost,
+    RandomPlanExperiment,
+    WorkloadContext,
+    average_speedups,
+    robustness_table,
+    run_random_plan_experiment,
+    run_speedup_experiment,
+)
+from repro.bench.microbench import (
+    DEFAULT_BUILD_SIZES,
+    ProbeMeasurement,
+    format_probe_microbenchmark,
+    run_probe_microbenchmark,
+)
+from repro.bench.reporting import (
+    format_case_study,
+    format_distribution_series,
+    format_robustness_factors,
+    format_robustness_table,
+    format_speedup_table,
+    print_report,
+)
+
+__all__ = [
+    "DEFAULT_BUILD_SIZES",
+    "DEFAULT_METRIC",
+    "DEFAULT_SCALE",
+    "PlanCost",
+    "ProbeMeasurement",
+    "RandomPlanExperiment",
+    "WorkloadContext",
+    "average_speedups",
+    "format_case_study",
+    "format_distribution_series",
+    "format_probe_microbenchmark",
+    "format_robustness_factors",
+    "format_robustness_table",
+    "format_speedup_table",
+    "print_report",
+    "robustness_table",
+    "run_probe_microbenchmark",
+    "run_random_plan_experiment",
+    "run_speedup_experiment",
+]

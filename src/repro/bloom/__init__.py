@@ -1,0 +1,20 @@
+"""Blocked Bloom filters and the registry used to pass them between operators."""
+
+from repro.bloom.bloom_filter import (
+    BITS_PER_KEY,
+    DEFAULT_FPR,
+    BloomFilter,
+    BloomFilterStatistics,
+    optimal_num_blocks,
+)
+from repro.bloom.registry import BloomFilterRegistry, FilterKey
+
+__all__ = [
+    "BITS_PER_KEY",
+    "DEFAULT_FPR",
+    "BloomFilter",
+    "BloomFilterRegistry",
+    "BloomFilterStatistics",
+    "FilterKey",
+    "optimal_num_blocks",
+]

@@ -1,0 +1,184 @@
+"""Blocked Bloom filter with fully vectorized NumPy insert and probe paths.
+
+The paper uses Apache Arrow's blocked Bloom filter (a "split block" design
+accelerated with AVX2) to implement the approximate semi-joins of Predicate
+Transfer.  This module provides the same structure in NumPy:
+
+* the filter is an array of 64-bit *blocks*;
+* each key hashes (splitmix64) to one block plus a small number of bit
+  positions inside that block;
+* insert sets those bits, probe tests them — both as single vectorized
+  passes over the whole key array, which is the NumPy analogue of the SIMD
+  batch probe in Arrow.
+
+Because every block is a single machine word, a probe touches exactly one
+cache line, which is what makes Bloom probes several times cheaper than hash
+table probes (reproduced in the Figure 16 microbenchmark).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ExecutionError
+
+#: Default false-positive rate, matching Arrow's default used in the paper.
+DEFAULT_FPR = 0.02
+
+#: Number of bits set per key inside its block.
+BITS_PER_KEY = 4
+
+_MASK64 = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def _splitmix64(keys: np.ndarray) -> np.ndarray:
+    """Vectorized splitmix64 finalizer: a cheap, well-mixing 64-bit hash."""
+    z = keys.astype(np.uint64, copy=True)
+    with np.errstate(over="ignore"):
+        z = (z + np.uint64(0x9E3779B97F4A7C15)) & _MASK64
+        z = ((z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)) & _MASK64
+        z = ((z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)) & _MASK64
+        z = z ^ (z >> np.uint64(31))
+    return z
+
+
+def optimal_num_blocks(num_keys: int, fpr: float) -> int:
+    """Number of 64-bit blocks needed for ``num_keys`` at false-positive rate ``fpr``.
+
+    Uses the standard Bloom sizing formula ``m = -n ln p / (ln 2)^2`` bits and
+    rounds up to a power-of-two block count so the block index can be taken
+    with a mask.  Blocked filters have a slightly worse FPR than classic
+    Bloom filters at equal size, so a 1.25x safety factor is applied.
+    """
+    if num_keys <= 0:
+        return 1
+    if not 0.0 < fpr < 1.0:
+        raise ExecutionError(f"false-positive rate must be in (0, 1), got {fpr}")
+    bits = -num_keys * math.log(fpr) / (math.log(2.0) ** 2)
+    bits *= 1.25
+    blocks = max(1, int(math.ceil(bits / 64.0)))
+    return 1 << max(0, (blocks - 1).bit_length())
+
+
+@dataclass
+class BloomFilterStatistics:
+    """Counters recorded by a Bloom filter over its lifetime."""
+
+    keys_inserted: int = 0
+    keys_probed: int = 0
+    probes_passed: int = 0
+
+    @property
+    def observed_pass_rate(self) -> float:
+        """Fraction of probed keys that passed (matches + false positives)."""
+        if self.keys_probed == 0:
+            return 0.0
+        return self.probes_passed / self.keys_probed
+
+
+class BloomFilter:
+    """A blocked Bloom filter over 64-bit integer keys.
+
+    Parameters
+    ----------
+    expected_keys:
+        Number of distinct keys expected to be inserted; used for sizing.
+    fpr:
+        Target false-positive rate (default 2%, the paper/Arrow default).
+    num_blocks:
+        Explicit block count; overrides sizing from ``expected_keys``.
+    """
+
+    def __init__(
+        self,
+        expected_keys: int,
+        fpr: float = DEFAULT_FPR,
+        num_blocks: Optional[int] = None,
+    ) -> None:
+        self.fpr = fpr
+        self.expected_keys = max(int(expected_keys), 0)
+        self.num_blocks = num_blocks if num_blocks is not None else optimal_num_blocks(self.expected_keys, fpr)
+        if self.num_blocks <= 0:
+            raise ExecutionError("Bloom filter must have at least one block")
+        self._blocks = np.zeros(self.num_blocks, dtype=np.uint64)
+        self._block_mask = np.uint64(self.num_blocks - 1)
+        self._is_power_of_two = (self.num_blocks & (self.num_blocks - 1)) == 0
+        self.statistics = BloomFilterStatistics()
+
+    # ------------------------------------------------------------------
+    # Hashing helpers
+    # ------------------------------------------------------------------
+    def _block_and_bits(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Map keys to (block index, 64-bit bit-pattern within the block)."""
+        hashed = _splitmix64(np.asarray(keys, dtype=np.int64).view(np.uint64))
+        if self._is_power_of_two:
+            block_idx = (hashed & self._block_mask).astype(np.int64)
+        else:
+            block_idx = (hashed % np.uint64(self.num_blocks)).astype(np.int64)
+        # Derive BITS_PER_KEY bit positions from the upper hash bits.
+        pattern = np.zeros(hashed.shape, dtype=np.uint64)
+        rotated = hashed
+        for i in range(BITS_PER_KEY):
+            rotated = rotated >> np.uint64(6)
+            bit_pos = (rotated ^ (hashed >> np.uint64(32 + 3 * i))) & np.uint64(63)
+            pattern |= np.uint64(1) << bit_pos
+        return block_idx, pattern
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def insert(self, keys: np.ndarray) -> None:
+        """Insert a vector of integer keys."""
+        keys = np.asarray(keys)
+        if keys.size == 0:
+            return
+        block_idx, pattern = self._block_and_bits(keys)
+        np.bitwise_or.at(self._blocks, block_idx, pattern)
+        self.statistics.keys_inserted += int(keys.size)
+
+    def probe(self, keys: np.ndarray) -> np.ndarray:
+        """Return a boolean array: True where the key *may* be present."""
+        keys = np.asarray(keys)
+        if keys.size == 0:
+            return np.zeros(0, dtype=bool)
+        block_idx, pattern = self._block_and_bits(keys)
+        hits = (self._blocks[block_idx] & pattern) == pattern
+        self.statistics.keys_probed += int(keys.size)
+        self.statistics.probes_passed += int(hits.sum())
+        return hits
+
+    def contains(self, key: int) -> bool:
+        """Scalar membership check (mostly useful in tests and examples)."""
+        return bool(self.probe(np.asarray([key], dtype=np.int64))[0])
+
+    @property
+    def size_bytes(self) -> int:
+        """Size of the filter's bit array in bytes."""
+        return int(self._blocks.nbytes)
+
+    @property
+    def fill_ratio(self) -> float:
+        """Fraction of bits set, an indicator of saturation."""
+        set_bits = int(np.unpackbits(self._blocks.view(np.uint8)).sum())
+        return set_bits / (self.num_blocks * 64)
+
+    def union_inplace(self, other: "BloomFilter") -> None:
+        """Bitwise-OR another filter of identical geometry into this one.
+
+        Used to combine per-thread partial filters in the simulated parallel
+        build, mirroring the Combine step of the paper's CreateBF operator.
+        """
+        if other.num_blocks != self.num_blocks:
+            raise ExecutionError("cannot union Bloom filters of different sizes")
+        self._blocks |= other._blocks
+        self.statistics.keys_inserted += other.statistics.keys_inserted
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BloomFilter(blocks={self.num_blocks}, bytes={self.size_bytes}, "
+            f"inserted={self.statistics.keys_inserted})"
+        )

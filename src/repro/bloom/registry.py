@@ -1,0 +1,84 @@
+"""Bloom filter registry: the shared-memory channel between transfer operators.
+
+In the paper's DuckDB integration, a ``CreateBF`` operator publishes its
+Bloom filter via shared memory and the matching ``ProbeBF`` operator of
+another pipeline picks it up.  The registry plays that role here: filters are
+published under a :class:`FilterKey` identifying *which relation's which join
+attribute* they summarize, and consumers look them up by the same key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
+
+from repro.bloom.bloom_filter import BloomFilter
+from repro.errors import ExecutionError
+
+
+@dataclass(frozen=True)
+class FilterKey:
+    """Identifies a published Bloom filter.
+
+    Attributes
+    ----------
+    relation:
+        Name (alias) of the relation whose keys were inserted.
+    attribute:
+        The join attribute (equivalence-class name) the filter summarizes.
+    pass_id:
+        Distinguishes forward-pass filters from backward-pass filters so a
+        backward ProbeBF never accidentally consumes a stale forward filter.
+    """
+
+    relation: str
+    attribute: str
+    pass_id: str = "forward"
+
+
+class BloomFilterRegistry:
+    """A mapping from :class:`FilterKey` to published :class:`BloomFilter`."""
+
+    def __init__(self) -> None:
+        self._filters: Dict[FilterKey, BloomFilter] = {}
+
+    def publish(self, key: FilterKey, bloom: BloomFilter, replace: bool = False) -> None:
+        """Publish a filter under ``key``.
+
+        Raises
+        ------
+        ExecutionError
+            If a filter is already published under that key and ``replace``
+            is False — this would indicate a malformed transfer schedule.
+        """
+        if key in self._filters and not replace:
+            raise ExecutionError(f"Bloom filter already published for {key}")
+        self._filters[key] = bloom
+
+    def lookup(self, key: FilterKey) -> BloomFilter:
+        """Return the filter published under ``key``."""
+        try:
+            return self._filters[key]
+        except KeyError:
+            raise ExecutionError(f"no Bloom filter published for {key}") from None
+
+    def get(self, key: FilterKey) -> Optional[BloomFilter]:
+        """Return the filter published under ``key`` or None."""
+        return self._filters.get(key)
+
+    def __contains__(self, key: FilterKey) -> bool:
+        return key in self._filters
+
+    def __len__(self) -> int:
+        return len(self._filters)
+
+    def __iter__(self) -> Iterator[FilterKey]:
+        return iter(self._filters)
+
+    def total_bytes(self) -> int:
+        """Total size of all published filters, for memory accounting."""
+        return sum(f.size_bytes for f in self._filters.values())
+
+    def clear(self) -> None:
+        """Drop all published filters (between query executions)."""
+        self._filters.clear()

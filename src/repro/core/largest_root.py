@@ -1,0 +1,182 @@
+"""The LargestRoot algorithm (Algorithm 1 of the paper).
+
+LargestRoot builds a *maximum spanning tree* of the weighted join graph with
+Prim's algorithm, seeded with the largest relation so that the largest
+relation becomes the root of the resulting join tree.  By Lemma 3.2 the MST
+of an acyclic query's join graph is a join tree, so the transfer schedule
+derived from it performs a **full semi-join reduction** — the property the
+original Predicate Transfer's Small2Large heuristic lacks.
+
+Two tie-breaking knobs from the paper are represented explicitly:
+
+* when several frontier edges have maximal weight, the edge whose outside
+  vertex ``R`` is largest is chosen ("pushes larger relations toward the
+  root", minimizing Bloom-filter construction cost);
+* the choice of inside vertex ``S`` is unconstrained by the paper; we break
+  ties deterministically (smallest alias) by default.
+
+For the Figure 13 experiment the paper replaces Line 3 with a *random* edge
+choice while keeping the largest relation at the root;
+:func:`largest_root_random` reproduces that variant.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.join_graph import JoinGraph, JoinGraphEdge
+from repro.core.join_tree import JoinTree, TreeEdge
+from repro.errors import PlanError
+
+
+@dataclass(frozen=True)
+class LargestRootOptions:
+    """Tuning knobs for LargestRoot.
+
+    Attributes
+    ----------
+    prefer_large_outside:
+        Tie-break maximal-weight frontier edges by picking the largest
+        outside relation (the paper's Line 3 policy).  Disabling this is the
+        ablation knob exercised by the Figure 13 style experiments.
+    """
+
+    prefer_large_outside: bool = True
+
+
+def largest_root(
+    graph: JoinGraph,
+    options: Optional[LargestRootOptions] = None,
+    root: Optional[str] = None,
+) -> JoinTree:
+    """Run Algorithm 1 (LargestRoot) on a join graph.
+
+    Parameters
+    ----------
+    graph:
+        The weighted join graph (must be connected).
+    options:
+        Tie-breaking options; defaults to the paper's policy.
+    root:
+        Override the root.  The paper always uses the largest relation; the
+        override exists so tests can explore other roots.
+
+    Returns
+    -------
+    JoinTree
+        A maximum spanning tree rooted at the largest relation.  For an
+        α-acyclic query this is a join tree (full-reduction guarantee); for a
+        cyclic query it is still a spanning tree and the schedule derived
+        from it transfers every predicate at least once.
+
+    Raises
+    ------
+    PlanError
+        If the join graph is empty or disconnected.
+    """
+    options = options or LargestRootOptions()
+    aliases = list(graph.aliases)
+    if not aliases:
+        raise PlanError("cannot run LargestRoot on an empty join graph")
+    if not graph.is_connected():
+        raise PlanError(
+            "LargestRoot requires a connected join graph; "
+            "split the query into components and build a join forest instead"
+        )
+    start = root if root is not None else graph.largest_relation()
+    if start not in aliases:
+        raise PlanError(f"root {start!r} is not a relation of the join graph")
+
+    in_tree = {start}
+    parents: Dict[str, str] = {}
+    while len(in_tree) < len(aliases):
+        edge, outside = _pick_edge_paper_policy(graph, in_tree, options)
+        parents[outside] = edge.other(outside)
+        in_tree.add(outside)
+    return _assemble(graph, start, parents)
+
+
+def largest_root_random(
+    graph: JoinGraph,
+    rng: random.Random,
+    root: Optional[str] = None,
+) -> JoinTree:
+    """The randomized LargestRoot variant used in the Figure 13 experiment.
+
+    Line 3 of Algorithm 1 is replaced by "find *an* edge {R, S} with R
+    outside and S inside the tree" chosen uniformly at random among **all**
+    frontier edges, while the largest relation stays at the root.  For
+    acyclic queries whose edges all have weight 1 (the common case) every
+    such tree is still a join tree; with composite-key edges the random
+    variant may not be an MST — exactly the degradation the experiment
+    studies.
+    """
+    aliases = list(graph.aliases)
+    if not aliases:
+        raise PlanError("cannot run LargestRoot on an empty join graph")
+    if not graph.is_connected():
+        raise PlanError("LargestRoot requires a connected join graph")
+    start = root if root is not None else graph.largest_relation()
+    in_tree = {start}
+    parents: Dict[str, str] = {}
+    while len(in_tree) < len(aliases):
+        frontier = _frontier_edges(graph, in_tree)
+        if not frontier:
+            raise PlanError("join graph became disconnected during LargestRoot")
+        edge, outside = frontier[rng.randrange(len(frontier))]
+        parents[outside] = edge.other(outside)
+        in_tree.add(outside)
+    return _assemble(graph, start, parents)
+
+
+# ---------------------------------------------------------------------------
+# Internals
+# ---------------------------------------------------------------------------
+def _frontier_edges(
+    graph: JoinGraph, in_tree: set[str]
+) -> List[Tuple[JoinGraphEdge, str]]:
+    """All edges with exactly one endpoint inside the tree, with the outside vertex."""
+    result: List[Tuple[JoinGraphEdge, str]] = []
+    for edge in graph.edges:
+        endpoints = edge.aliases()
+        inside = endpoints & in_tree
+        outside = endpoints - in_tree
+        if len(inside) == 1 and len(outside) == 1:
+            result.append((edge, next(iter(outside))))
+    # Deterministic base order so random sampling is reproducible per seed.
+    result.sort(key=lambda item: (item[0].left, item[0].right))
+    return result
+
+
+def _pick_edge_paper_policy(
+    graph: JoinGraph,
+    in_tree: set[str],
+    options: LargestRootOptions,
+) -> Tuple[JoinGraphEdge, str]:
+    """Line 3 of Algorithm 1: maximal weight, tie-break on largest outside relation."""
+    frontier = _frontier_edges(graph, in_tree)
+    if not frontier:
+        raise PlanError("join graph became disconnected during LargestRoot")
+
+    def sort_key(item: Tuple[JoinGraphEdge, str]) -> Tuple:
+        edge, outside = item
+        size_term = graph.size(outside) if options.prefer_large_outside else 0
+        inside = edge.other(outside)
+        # Larger weight first, then larger outside relation (the paper's Line 3
+        # tie-break), then the smaller inside relation (unspecified by the
+        # paper; attaching to the smaller relation yields the deeper tree shown
+        # in Figure 1b, filtering irrelevant tuples earlier), then alias order.
+        return (-edge.weight, -size_term, graph.size(inside), outside, inside)
+
+    frontier.sort(key=sort_key)
+    return frontier[0]
+
+
+def _assemble(graph: JoinGraph, root: str, parents: Dict[str, str]) -> JoinTree:
+    edges = tuple(
+        TreeEdge(child=child, parent=parent, attributes=graph.shared_attributes(child, parent))
+        for child, parent in parents.items()
+    )
+    return JoinTree(root=root, edges=edges, graph=graph)

@@ -1,0 +1,123 @@
+"""Robustness metrics: the Robustness Factor and related summaries.
+
+The paper quantifies join-order robustness of a query as the **Robustness
+Factor (RF)** — the ratio between the maximum and the minimum execution time
+over a set of random join orders (200 in the paper's Tables 1 and 2).  A
+query is perfectly robust when RF = 1.  The same definition applies to any
+cost metric; the reproduction reports RF over wall time *and* over the
+deterministic tuple-count cost so results are stable at laptop scale.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+from repro.errors import BenchmarkError
+
+
+@dataclass(frozen=True)
+class RobustnessFactor:
+    """Robustness summary of one query under one execution mode."""
+
+    query_name: str
+    mode: str
+    num_plans: int
+    min_cost: float
+    max_cost: float
+    median_cost: float
+    mean_cost: float
+
+    @property
+    def factor(self) -> float:
+        """max / min cost over the evaluated plans (RF; 1.0 = perfectly robust)."""
+        if self.min_cost <= 0:
+            return float("inf") if self.max_cost > 0 else 1.0
+        return self.max_cost / self.min_cost
+
+    def __repr__(self) -> str:
+        return (
+            f"RF({self.query_name}, {self.mode}): {self.factor:.2f} "
+            f"[{self.min_cost:.3g}, {self.max_cost:.3g}] over {self.num_plans} plans"
+        )
+
+
+def robustness_factor(
+    query_name: str,
+    mode: str,
+    costs: Sequence[float],
+) -> RobustnessFactor:
+    """Compute the robustness factor from per-plan costs."""
+    values = [float(c) for c in costs]
+    if not values:
+        raise BenchmarkError(f"no plan costs supplied for query {query_name!r}")
+    values_sorted = sorted(values)
+    n = len(values_sorted)
+    median = (
+        values_sorted[n // 2]
+        if n % 2 == 1
+        else 0.5 * (values_sorted[n // 2 - 1] + values_sorted[n // 2])
+    )
+    return RobustnessFactor(
+        query_name=query_name,
+        mode=mode,
+        num_plans=n,
+        min_cost=values_sorted[0],
+        max_cost=values_sorted[-1],
+        median_cost=median,
+        mean_cost=sum(values_sorted) / n,
+    )
+
+
+@dataclass(frozen=True)
+class BenchmarkRobustnessSummary:
+    """Avg / Min / Max robustness factors over a benchmark (one row of Table 1/2)."""
+
+    benchmark: str
+    mode: str
+    avg_rf: float
+    min_rf: float
+    max_rf: float
+    num_queries: int
+
+    def as_row(self) -> Dict[str, float]:
+        """Row representation used by the report printers."""
+        return {"avg": self.avg_rf, "min": self.min_rf, "max": self.max_rf}
+
+
+def summarize_robustness(
+    benchmark: str,
+    mode: str,
+    factors: Iterable[RobustnessFactor],
+) -> BenchmarkRobustnessSummary:
+    """Aggregate per-query robustness factors into a Table 1/2 style row."""
+    values: List[float] = [f.factor for f in factors]
+    if not values:
+        raise BenchmarkError(f"no robustness factors supplied for benchmark {benchmark!r}")
+    finite = [v for v in values if math.isfinite(v)]
+    if not finite:
+        finite = values
+    return BenchmarkRobustnessSummary(
+        benchmark=benchmark,
+        mode=mode,
+        avg_rf=sum(finite) / len(finite),
+        min_rf=min(finite),
+        max_rf=max(finite),
+        num_queries=len(values),
+    )
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (the paper's per-query speedup aggregation)."""
+    cleaned = [v for v in values if v > 0]
+    if not cleaned:
+        raise BenchmarkError("geometric mean requires at least one positive value")
+    return math.exp(sum(math.log(v) for v in cleaned) / len(cleaned))
+
+
+def speedup(baseline_cost: float, new_cost: float) -> float:
+    """Speedup of ``new`` over ``baseline`` (> 1 means new is faster/cheaper)."""
+    if new_cost <= 0:
+        return float("inf") if baseline_cost > 0 else 1.0
+    return baseline_cost / new_cost

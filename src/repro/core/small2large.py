@@ -1,0 +1,98 @@
+"""The Small2Large transfer-graph heuristic of the original Predicate Transfer.
+
+The original Predicate Transfer paper (Yang et al., CIDR 2024) orients every
+edge of the (undirected) join graph from the *smaller* relation to the
+*larger* one, producing a DAG (the *transfer graph*).  The forward pass then
+follows the DAG edges in topological order and the backward pass reverses
+them.
+
+As Section 3.1 of the RPT paper shows (Figure 2), this heuristic does **not**
+guarantee a full reduction for acyclic queries: two relations that only meet
+"sideways" through a shared smaller neighbour never exchange filter
+information.  The module exists so the reproduction can run the original PT
+as a baseline and show exactly where it falls short (Figure 8, Appendix B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.join_graph import JoinGraph
+from repro.errors import PlanError
+
+
+@dataclass(frozen=True)
+class TransferGraphEdge:
+    """A directed edge of a transfer graph: filters flow ``source -> target``."""
+
+    source: str
+    target: str
+    attributes: Tuple[str, ...]
+
+    def __repr__(self) -> str:
+        return f"{self.source} => {self.target} [{','.join(self.attributes)}]"
+
+
+@dataclass
+class TransferGraph:
+    """A DAG over the query's relations describing Bloom-filter flow."""
+
+    graph: JoinGraph
+    edges: Tuple[TransferGraphEdge, ...]
+
+    def topological_order(self) -> Tuple[str, ...]:
+        """A topological order of the relations (sources before targets).
+
+        Ties are broken by ascending relation size and then alias, which
+        matches the original PT's intent of letting small, selective tables
+        transfer first.
+        """
+        indegree: Dict[str, int] = {alias: 0 for alias in self.graph.aliases}
+        for edge in self.edges:
+            indegree[edge.target] += 1
+        ready = sorted(
+            (a for a, d in indegree.items() if d == 0),
+            key=lambda a: (self.graph.size(a), a),
+        )
+        order: List[str] = []
+        remaining = dict(indegree)
+        while ready:
+            current = ready.pop(0)
+            order.append(current)
+            for edge in self.edges:
+                if edge.source == current:
+                    remaining[edge.target] -= 1
+                    if remaining[edge.target] == 0:
+                        ready.append(edge.target)
+            ready.sort(key=lambda a: (self.graph.size(a), a))
+        if len(order) != len(self.graph.aliases):
+            raise PlanError("transfer graph contains a cycle; Small2Large produced an invalid DAG")
+        return tuple(order)
+
+    def outgoing(self, alias: str) -> Tuple[TransferGraphEdge, ...]:
+        """Edges whose source is ``alias``."""
+        return tuple(e for e in self.edges if e.source == alias)
+
+    def incoming(self, alias: str) -> Tuple[TransferGraphEdge, ...]:
+        """Edges whose target is ``alias``."""
+        return tuple(e for e in self.edges if e.target == alias)
+
+
+def small2large(graph: JoinGraph) -> TransferGraph:
+    """Build the Small2Large transfer graph.
+
+    Every join-graph edge is directed from the smaller relation to the
+    larger one (ties broken by alias so the orientation is deterministic and
+    acyclic).
+    """
+    edges: List[TransferGraphEdge] = []
+    for edge in graph.edges:
+        left_size = graph.size(edge.left)
+        right_size = graph.size(edge.right)
+        if (left_size, edge.left) <= (right_size, edge.right):
+            source, target = edge.left, edge.right
+        else:
+            source, target = edge.right, edge.left
+        edges.append(TransferGraphEdge(source=source, target=target, attributes=edge.attributes))
+    return TransferGraph(graph=graph, edges=tuple(edges))

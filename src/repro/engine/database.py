@@ -1,0 +1,267 @@
+"""The ``Database`` façade: the public entry point of the library.
+
+A :class:`Database` owns a catalog of tables and executes
+:class:`~repro.query.QuerySpec` queries under any of the
+:class:`~repro.engine.modes.ExecutionMode` strategies, optionally with an
+explicit join plan (the robustness experiments supply random plans) or with
+the built-in optimizer's plan.
+
+Typical usage::
+
+    db = Database()
+    db.register_dataframe("orders", {"o_orderkey": [...], ...}, primary_key=["o_orderkey"])
+    result = db.execute(query, mode=ExecutionMode.RPT)
+    print(result.aggregates, result.stats.total_intermediate_rows)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Sequence
+
+from repro.bloom.registry import BloomFilterRegistry
+from repro.core.join_graph import JoinGraph
+from repro.core.join_tree import JoinTree, is_alpha_acyclic, is_gamma_acyclic
+from repro.core.largest_root import LargestRootOptions, largest_root
+from repro.core.safe_subjoin import is_safe_join_order
+from repro.core.small2large import small2large
+from repro.core.transfer_schedule import (
+    TransferSchedule,
+    schedule_from_transfer_graph,
+    schedule_from_tree,
+)
+from repro.engine.modes import ExecutionMode
+from repro.errors import PlanError
+from repro.exec.join_phase import JoinPhaseExecutor, JoinPhaseOptions
+from repro.exec.relation import BoundRelation, bind_relations
+from repro.exec.statistics import ExecutionStats
+from repro.exec.transfer import TransferExecutor, TransferOptions
+from repro.optimizer.cardinality import CardinalityEstimator, EstimationErrorModel
+from repro.optimizer.join_order import JoinOrderOptimizer, JoinOrderOptions
+from repro.plan.join_plan import JoinPlan, validate_plan_for_query
+from repro.query import QuerySpec
+from repro.storage.catalog import Catalog
+from repro.storage.datatypes import DataType
+from repro.storage.table import ForeignKey, Table
+
+
+@dataclass
+class QueryResult:
+    """The outcome of one query execution."""
+
+    query: QuerySpec
+    mode: ExecutionMode
+    plan: JoinPlan
+    aggregates: Dict[str, float]
+    stats: ExecutionStats
+    join_tree: Optional[JoinTree] = None
+    schedule: Optional[TransferSchedule] = None
+    relations: Dict[str, BoundRelation] = field(default_factory=dict)
+
+    @property
+    def output_rows(self) -> int:
+        """Number of joined tuples in the final result (before aggregation)."""
+        return self.stats.output_rows
+
+
+@dataclass(frozen=True)
+class ExecutionOptions:
+    """Per-execution tuning knobs."""
+
+    transfer: TransferOptions = field(default_factory=TransferOptions)
+    join: JoinPhaseOptions = field(default_factory=JoinPhaseOptions)
+    largest_root: LargestRootOptions = field(default_factory=LargestRootOptions)
+    optimizer: JoinOrderOptions = field(default_factory=JoinOrderOptions)
+    estimation_error: EstimationErrorModel = field(default_factory=EstimationErrorModel)
+    #: §4.3: skip the backward pass when the join order aligns with the transfer order.
+    skip_backward_if_aligned: bool = False
+    #: Have the engine verify that the chosen join order is safe (SafeSubjoin).
+    verify_safe_join_order: bool = False
+
+
+class Database:
+    """An in-process analytical database instance (the DuckDB stand-in)."""
+
+    def __init__(self, catalog: Optional[Catalog] = None) -> None:
+        self.catalog = catalog or Catalog()
+
+    # ------------------------------------------------------------------
+    # Table registration
+    # ------------------------------------------------------------------
+    def register_table(self, table: Table, replace: bool = False) -> None:
+        """Register a pre-built :class:`Table`."""
+        self.catalog.register(table, replace=replace)
+
+    def register_dataframe(
+        self,
+        name: str,
+        data: Mapping[str, Sequence[Any]],
+        dtypes: Optional[Mapping[str, DataType]] = None,
+        primary_key: Sequence[str] = (),
+        foreign_keys: Sequence[ForeignKey] = (),
+        replace: bool = False,
+    ) -> Table:
+        """Create a table from a mapping of column name to values and register it."""
+        table = Table.from_dict(
+            name,
+            data,
+            dtypes=dtypes,
+            primary_key=primary_key,
+            foreign_keys=foreign_keys,
+        )
+        self.catalog.register(table, replace=replace)
+        return table
+
+    def table(self, name: str) -> Table:
+        """Return a registered table."""
+        return self.catalog.table(name)
+
+    # ------------------------------------------------------------------
+    # Planning helpers
+    # ------------------------------------------------------------------
+    def join_graph(self, query: QuerySpec, use_filtered_sizes: bool = True) -> JoinGraph:
+        """Build the join graph of a query with (filtered) relation cardinalities."""
+        sizes: Dict[str, int] = {}
+        for ref in query.relations:
+            table = self.catalog.table(ref.table)
+            if use_filtered_sizes and ref.filter is not None:
+                sizes[ref.alias] = int(ref.filter.evaluate(table).sum())
+            else:
+                sizes[ref.alias] = table.num_rows
+        return JoinGraph.from_query(query, relation_sizes=sizes)
+
+    def optimizer_plan(
+        self,
+        query: QuerySpec,
+        options: Optional[ExecutionOptions] = None,
+        graph: Optional[JoinGraph] = None,
+    ) -> JoinPlan:
+        """The join plan chosen by the built-in cost-based optimizer."""
+        options = options or ExecutionOptions()
+        graph = graph or self.join_graph(query)
+        estimator = CardinalityEstimator(
+            self.catalog, query, graph, error_model=options.estimation_error
+        )
+        return JoinOrderOptimizer(graph, estimator, options.optimizer).optimize()
+
+    def is_acyclic(self, query: QuerySpec) -> bool:
+        """True when the query is α-acyclic."""
+        return is_alpha_acyclic(self.join_graph(query, use_filtered_sizes=False))
+
+    def is_gamma_acyclic(self, query: QuerySpec) -> bool:
+        """True when the query is γ-acyclic."""
+        return is_gamma_acyclic(self.join_graph(query, use_filtered_sizes=False))
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        query: QuerySpec,
+        mode: ExecutionMode = ExecutionMode.RPT,
+        plan: Optional[JoinPlan] = None,
+        options: Optional[ExecutionOptions] = None,
+    ) -> QueryResult:
+        """Execute ``query`` under ``mode``.
+
+        Parameters
+        ----------
+        query:
+            The declarative query.
+        mode:
+            Execution strategy (baseline, Bloom join, PT, RPT, Yannakakis).
+        plan:
+            Explicit join-phase plan.  When omitted the built-in optimizer's
+            plan is used — this is the paper's "optimizer's plan"
+            configuration.
+        options:
+            Tuning knobs; defaults follow the paper (2% FPR, pruning on).
+        """
+        options = options or ExecutionOptions()
+        if not query.is_connected() and len(query.relations) > 1:
+            raise PlanError(
+                f"query {query.name!r} has a disconnected join graph; "
+                "connect it or execute each component separately"
+            )
+
+        stats = ExecutionStats(query_name=query.name, mode=mode.value)
+        graph = self.join_graph(query)
+
+        with stats.time_phase("scan_filter"):
+            relations = bind_relations(query.relations, self.catalog)
+        for ref in query.relations:
+            stats.base_rows[ref.alias] = self.catalog.table(ref.table).num_rows
+            stats.filtered_rows[ref.alias] = relations[ref.alias].num_rows
+
+        join_tree: Optional[JoinTree] = None
+        schedule: Optional[TransferSchedule] = None
+        if mode.uses_transfer_phase:
+            join_tree, schedule = self._build_schedule(mode, graph, options)
+
+        if plan is None:
+            plan = self.optimizer_plan(query, options, graph)
+        validate_plan_for_query(plan, query.aliases)
+
+        if options.verify_safe_join_order and plan.is_left_deep() and is_alpha_acyclic(graph):
+            if not is_safe_join_order(graph, plan.left_deep_order()):
+                raise PlanError(
+                    f"join order {plan.left_deep_order()} contains an unsafe subjoin "
+                    f"for query {query.name!r}"
+                )
+
+        if schedule is not None:
+            if options.skip_backward_if_aligned and self._order_aligned(plan, join_tree):
+                schedule = schedule.without_backward_pass()
+            transfer_options = self._transfer_options(mode, options)
+            executor = TransferExecutor(graph, relations, transfer_options, BloomFilterRegistry())
+            executor.run(schedule, stats)
+
+        join_options = JoinPhaseOptions(
+            bloom_prefilter=mode.uses_per_join_bloom,
+            fpr=options.join.fpr,
+            allow_cartesian_products=options.join.allow_cartesian_products,
+        )
+        join_executor = JoinPhaseExecutor(query, graph, relations, join_options)
+        result = join_executor.run(plan, stats)
+        aggregates = join_executor.aggregate(result, stats)
+
+        return QueryResult(
+            query=query,
+            mode=mode,
+            plan=plan,
+            aggregates=aggregates,
+            stats=stats,
+            join_tree=join_tree,
+            schedule=schedule,
+            relations=relations,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _build_schedule(
+        self,
+        mode: ExecutionMode,
+        graph: JoinGraph,
+        options: ExecutionOptions,
+    ) -> tuple[Optional[JoinTree], TransferSchedule]:
+        if mode in (ExecutionMode.RPT, ExecutionMode.YANNAKAKIS):
+            tree = largest_root(graph, options.largest_root)
+            return tree, schedule_from_tree(tree)
+        if mode is ExecutionMode.PT:
+            transfer_graph = small2large(graph)
+            return None, schedule_from_transfer_graph(transfer_graph)
+        raise PlanError(f"mode {mode} does not use a transfer phase")
+
+    def _transfer_options(self, mode: ExecutionMode, options: ExecutionOptions) -> TransferOptions:
+        return TransferOptions(
+            use_bloom=mode.uses_bloom_filters,
+            fpr=options.transfer.fpr,
+            prune_trivial_semijoins=options.transfer.prune_trivial_semijoins,
+        )
+
+    def _order_aligned(self, plan: JoinPlan, tree: Optional[JoinTree]) -> bool:
+        """True when a left-deep plan joins relations top-down along the join tree."""
+        if tree is None or not plan.is_left_deep():
+            return False
+        return plan.left_deep_order() == tree.aligned_join_order()

@@ -1,0 +1,54 @@
+"""Execution modes: the systems compared throughout the paper's evaluation.
+
+* ``BASELINE``   — plain binary hash joins in the chosen join order
+  (vanilla DuckDB in the paper).
+* ``BLOOM_JOIN`` — baseline plus a per-join Bloom filter passed from the
+  build side to the probe side (classic sideways information passing).
+* ``PT``         — the original Predicate Transfer: Small2Large transfer
+  graph, Bloom-filter transfer phase, then the join phase.
+* ``RPT``        — Robust Predicate Transfer: LargestRoot join tree,
+  Bloom-filter transfer phase, then the join phase.  The paper's
+  contribution.
+* ``YANNAKAKIS`` — exact (hash-based) semi-join reduction over the
+  LargestRoot join tree; the classical algorithm PT/RPT approximate.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class ExecutionMode(enum.Enum):
+    """Which join-processing strategy the engine uses for a query."""
+
+    BASELINE = "baseline"
+    BLOOM_JOIN = "bloom_join"
+    PT = "pt"
+    RPT = "rpt"
+    YANNAKAKIS = "yannakakis"
+
+    @property
+    def uses_transfer_phase(self) -> bool:
+        """True for modes that run a semi-join / Bloom transfer phase."""
+        return self in (ExecutionMode.PT, ExecutionMode.RPT, ExecutionMode.YANNAKAKIS)
+
+    @property
+    def uses_bloom_filters(self) -> bool:
+        """True for modes whose transfer phase uses Bloom filters (not exact semi-joins)."""
+        return self in (ExecutionMode.PT, ExecutionMode.RPT)
+
+    @property
+    def uses_per_join_bloom(self) -> bool:
+        """True for the Bloom Join baseline (per-join SIP filters)."""
+        return self is ExecutionMode.BLOOM_JOIN
+
+    @property
+    def label(self) -> str:
+        """Display label used in reports (matches the paper's legend)."""
+        return {
+            ExecutionMode.BASELINE: "DuckDB",
+            ExecutionMode.BLOOM_JOIN: "Bloom Join",
+            ExecutionMode.PT: "PT",
+            ExecutionMode.RPT: "RPT",
+            ExecutionMode.YANNAKAKIS: "Yannakakis",
+        }[self]

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError` so that callers can distinguish library failures from
+programming mistakes (``TypeError``, ``KeyError`` escaping from NumPy, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SchemaError(ReproError):
+    """A table, column, or datatype definition is invalid or inconsistent."""
+
+
+class CatalogError(ReproError):
+    """A catalog lookup failed or a registration conflicts with an existing entry."""
+
+
+class PlanError(ReproError):
+    """A logical or physical plan is malformed (e.g. disconnected join, missing input)."""
+
+
+class ExecutionError(ReproError):
+    """A runtime failure while executing a physical plan."""
+
+
+class OptimizerError(ReproError):
+    """The optimizer could not produce a plan for the given query."""
+
+
+class AcyclicityError(ReproError):
+    """An operation that requires an acyclic query was invoked on a cyclic one."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator or query-set definition is invalid."""
+
+
+class BenchmarkError(ReproError):
+    """A benchmark harness configuration is invalid."""

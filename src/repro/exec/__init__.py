@@ -1,0 +1,54 @@
+"""Vectorized execution layer: kernels, chunks, operators, executors, statistics."""
+
+from repro.exec.chunk import DEFAULT_CHUNK_SIZE, DataChunk, iter_chunks, num_chunks
+from repro.exec.join_phase import JoinPhaseExecutor, JoinPhaseOptions
+from repro.exec.kernels import (
+    JoinMatches,
+    bloom_probe_cost,
+    combine_key_columns,
+    combine_key_columns_pair,
+    hash_probe_cost,
+    match_keys,
+    semi_join_mask,
+)
+from repro.exec.parallel import ParallelismModel, simulate_parallel_cost
+from repro.exec.relation import BoundRelation, IntermediateResult, bind_relations
+from repro.exec.spill import SpillConfig, simulate_spill
+from repro.exec.statistics import (
+    ExecutionStats,
+    JoinStepStats,
+    PhaseTimings,
+    TransferStepStats,
+    merge_reduced_rows,
+)
+from repro.exec.transfer import TransferExecutor, TransferOptions
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "BoundRelation",
+    "DataChunk",
+    "ExecutionStats",
+    "IntermediateResult",
+    "JoinMatches",
+    "JoinPhaseExecutor",
+    "JoinPhaseOptions",
+    "JoinStepStats",
+    "ParallelismModel",
+    "PhaseTimings",
+    "SpillConfig",
+    "TransferExecutor",
+    "TransferOptions",
+    "TransferStepStats",
+    "bind_relations",
+    "bloom_probe_cost",
+    "combine_key_columns",
+    "combine_key_columns_pair",
+    "hash_probe_cost",
+    "iter_chunks",
+    "match_keys",
+    "merge_reduced_rows",
+    "num_chunks",
+    "semi_join_mask",
+    "simulate_parallel_cost",
+    "simulate_spill",
+]

@@ -1,0 +1,209 @@
+"""Runtime relation representations used by the transfer and join phases.
+
+Two representations are used:
+
+* :class:`BoundRelation` — a base-table occurrence after base-filter
+  application and (possibly) semi-join reduction.  It keeps the underlying
+  :class:`~repro.storage.table.Table` plus a row-index array, so reductions
+  are cheap (index filtering) and columns are gathered lazily.
+
+* :class:`IntermediateResult` — the output of the join phase so far,
+  represented *late-materialized*: for every participating relation alias it
+  stores an array of row positions into that relation's BoundRelation.  A
+  binary join therefore only produces index vectors; real column values are
+  only gathered when a join key or the final aggregate needs them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.query import QualifiedComparison
+from repro.storage.datatypes import DataType
+from repro.storage.table import Table
+
+
+@dataclass
+class BoundRelation:
+    """A base-table occurrence bound into a query execution.
+
+    Attributes
+    ----------
+    alias:
+        The relation alias within the query.
+    table:
+        The underlying catalog table.
+    row_indices:
+        Positions of the surviving rows within ``table`` (after base filters
+        and any semi-join reductions applied so far).
+    """
+
+    alias: str
+    table: Table
+    row_indices: np.ndarray
+
+    @classmethod
+    def from_table(cls, alias: str, table: Table, mask: Optional[np.ndarray] = None) -> "BoundRelation":
+        """Bind a table, optionally pre-filtered by a boolean mask."""
+        if mask is None:
+            indices = np.arange(table.num_rows, dtype=np.int64)
+        else:
+            indices = np.nonzero(np.asarray(mask, dtype=bool))[0].astype(np.int64)
+        return cls(alias=alias, table=table, row_indices=indices)
+
+    @property
+    def num_rows(self) -> int:
+        """Number of surviving rows."""
+        return int(self.row_indices.shape[0])
+
+    def key_values(self, column: str) -> np.ndarray:
+        """Physical (integer-encoded) values of ``column`` for the surviving rows."""
+        col = self.table.column(column)
+        if not col.dtype.is_integer_backed:
+            raise ExecutionError(
+                f"column {column!r} of {self.table.name!r} is not integer-backed; "
+                "only integer-backed columns can be join keys"
+            )
+        return col.data[self.row_indices]
+
+    def column_values(self, column: str) -> np.ndarray:
+        """Physical values of any column for the surviving rows."""
+        return self.table.column(column).data[self.row_indices]
+
+    def decoded_column_values(self, column: str) -> np.ndarray:
+        """Decoded (original-domain) values of ``column`` for the surviving rows."""
+        return self.table.column(column).decode()[self.row_indices]
+
+    def keep(self, mask: np.ndarray) -> None:
+        """Reduce the relation in place: keep rows where ``mask`` is True."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape[0] != self.num_rows:
+            raise ExecutionError(
+                f"semi-join mask length {mask.shape[0]} does not match relation size {self.num_rows}"
+            )
+        self.row_indices = self.row_indices[mask]
+
+    def snapshot(self) -> "BoundRelation":
+        """An independent copy (used to rerun the join phase with multiple orders)."""
+        return BoundRelation(alias=self.alias, table=self.table, row_indices=self.row_indices.copy())
+
+    def estimated_bytes(self) -> int:
+        """Approximate size of the surviving rows in bytes (for spill accounting)."""
+        if self.table.num_rows == 0:
+            return 0
+        bytes_per_row = self.table.memory_bytes() / self.table.num_rows
+        return int(bytes_per_row * self.num_rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BoundRelation({self.alias!r}, rows={self.num_rows})"
+
+
+@dataclass
+class IntermediateResult:
+    """Late-materialized join result: per-alias row positions of equal length."""
+
+    positions: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    @classmethod
+    def from_relation(cls, relation: BoundRelation) -> "IntermediateResult":
+        """Start an intermediate result from a single (reduced) relation."""
+        return cls(positions={relation.alias: np.arange(relation.num_rows, dtype=np.int64)})
+
+    @property
+    def num_rows(self) -> int:
+        """Number of joined tuples represented."""
+        if not self.positions:
+            return 0
+        return int(next(iter(self.positions.values())).shape[0])
+
+    @property
+    def aliases(self) -> frozenset[str]:
+        """Relations already joined into this result."""
+        return frozenset(self.positions)
+
+    def column_values(self, relations: Dict[str, BoundRelation], alias: str, column: str) -> np.ndarray:
+        """Gather the physical values of ``alias.column`` for every joined tuple."""
+        if alias not in self.positions:
+            raise ExecutionError(f"intermediate result does not contain relation {alias!r}")
+        relation = relations[alias]
+        return relation.column_values(column)[self.positions[alias]]
+
+    def take(self, row_selector: np.ndarray) -> "IntermediateResult":
+        """Gather a subset / reordering of the joined tuples."""
+        return IntermediateResult(
+            positions={alias: pos[row_selector] for alias, pos in self.positions.items()}
+        )
+
+    def merge(
+        self,
+        other: "IntermediateResult",
+        self_selector: np.ndarray,
+        other_selector: np.ndarray,
+    ) -> "IntermediateResult":
+        """Combine two results after a join matched ``self_selector`` with ``other_selector``."""
+        overlap = self.aliases & other.aliases
+        if overlap:
+            raise ExecutionError(f"cannot merge intermediate results sharing relations {sorted(overlap)}")
+        merged: Dict[str, np.ndarray] = {}
+        for alias, pos in self.positions.items():
+            merged[alias] = pos[self_selector]
+        for alias, pos in other.positions.items():
+            merged[alias] = pos[other_selector]
+        return IntermediateResult(positions=merged)
+
+    def evaluate_qualified_comparison(
+        self,
+        relations: Dict[str, BoundRelation],
+        term: QualifiedComparison,
+    ) -> np.ndarray:
+        """Evaluate one qualified comparison over the joined tuples."""
+        relation = relations[term.alias]
+        column = relation.table.column(term.column)
+        values = self.column_values(relations, term.alias, term.column)
+        rhs = column.encode_literal(term.value)
+        if column.dtype is DataType.STRING and term.op not in ("==", "!="):
+            decoded = column.decode()[relation.row_indices][self.positions[term.alias]].astype(str)
+            return _compare(decoded, term.op, str(term.value))
+        return _compare(values, term.op, rhs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"IntermediateResult(aliases={sorted(self.positions)}, rows={self.num_rows})"
+
+
+def _compare(values: np.ndarray, op: str, rhs) -> np.ndarray:
+    if op == "==":
+        return values == rhs
+    if op == "!=":
+        return values != rhs
+    if op == "<":
+        return values < rhs
+    if op == "<=":
+        return values <= rhs
+    if op == ">":
+        return values > rhs
+    if op == ">=":
+        return values >= rhs
+    raise ExecutionError(f"unsupported comparison operator {op!r}")
+
+
+def bind_relations(
+    query_relations: Iterable,
+    catalog,
+) -> Dict[str, BoundRelation]:
+    """Bind every relation occurrence of a query against the catalog.
+
+    Base-table filter predicates are evaluated here (this is the
+    "scan + filter pushdown" part of execution).
+    """
+    bound: Dict[str, BoundRelation] = {}
+    for ref in query_relations:
+        table = catalog.table(ref.table)
+        mask = None
+        if ref.filter is not None:
+            mask = ref.filter.evaluate(table)
+        bound[ref.alias] = BoundRelation.from_table(ref.alias, table, mask)
+    return bound

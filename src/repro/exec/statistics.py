@@ -1,0 +1,196 @@
+"""Execution statistics: the measurement substrate of every experiment.
+
+The paper's evaluation reports two kinds of quantities:
+
+* wall-clock execution time (Figures 6-10, 13-15, Tables 1-3), and
+* intermediate-result sizes (Figure 11's case study, the theory in §3).
+
+At reproduction scale, wall-clock alone is noisy, so every executor in this
+library records both: timers per phase *and* exact tuple counts for every
+semi-join step and every binary join.  The robustness metrics
+(:mod:`repro.core.robustness`) can therefore be computed over wall time, over
+a deterministic cost model, or over raw intermediate tuple counts.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+
+@dataclass
+class TransferStepStats:
+    """Statistics for one semi-join (Bloom) step of the transfer phase."""
+
+    source: str
+    target: str
+    pass_: str
+    rows_before: int
+    rows_after: int
+    filter_bytes: int = 0
+    build_rows: int = 0
+    skipped: bool = False
+
+    @property
+    def rows_eliminated(self) -> int:
+        """Tuples removed from the target by this step."""
+        return self.rows_before - self.rows_after
+
+    @property
+    def selectivity(self) -> float:
+        """Fraction of target tuples surviving the step."""
+        if self.rows_before == 0:
+            return 1.0
+        return self.rows_after / self.rows_before
+
+
+@dataclass
+class JoinStepStats:
+    """Statistics for one binary join of the join phase."""
+
+    left_aliases: tuple[str, ...]
+    right_aliases: tuple[str, ...]
+    probe_rows: int
+    build_rows: int
+    output_rows: int
+    bloom_prefiltered_rows: int = 0
+
+    @property
+    def amplification(self) -> float:
+        """Output rows per probe row (> 1 indicates a fan-out join)."""
+        if self.probe_rows == 0:
+            return 0.0
+        return self.output_rows / self.probe_rows
+
+
+@dataclass
+class PhaseTimings:
+    """Wall-clock seconds spent in each execution phase."""
+
+    scan_filter: float = 0.0
+    transfer: float = 0.0
+    join: float = 0.0
+    aggregate: float = 0.0
+    simulated_io: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Total wall-clock + simulated I/O time."""
+        return self.scan_filter + self.transfer + self.join + self.aggregate + self.simulated_io
+
+
+@dataclass
+class ExecutionStats:
+    """Complete measurement record for one query execution."""
+
+    query_name: str = ""
+    mode: str = ""
+    timings: PhaseTimings = field(default_factory=PhaseTimings)
+    transfer_steps: List[TransferStepStats] = field(default_factory=list)
+    join_steps: List[JoinStepStats] = field(default_factory=list)
+    base_rows: Dict[str, int] = field(default_factory=dict)
+    filtered_rows: Dict[str, int] = field(default_factory=dict)
+    reduced_rows: Dict[str, int] = field(default_factory=dict)
+    output_rows: int = 0
+    bloom_bytes: int = 0
+    abstract_cost: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def total_intermediate_rows(self) -> int:
+        """Sum of output sizes of every binary join except the final one.
+
+        This is the quantity the Yannakakis bound constrains
+        (Σ intermediates ≤ n · |OUT| on a fully reduced instance) and what
+        Figure 11 tabulates for JOB 2a.
+        """
+        if not self.join_steps:
+            return 0
+        return sum(step.output_rows for step in self.join_steps[:-1])
+
+    @property
+    def total_join_output_rows(self) -> int:
+        """Sum of output sizes of every binary join (including the final one)."""
+        return sum(step.output_rows for step in self.join_steps)
+
+    @property
+    def total_tuples_processed(self) -> int:
+        """Rows flowing through joins: probe + build + output of every join.
+
+        A deterministic, order-sensitive proxy for execution work used as
+        the robustness cost metric alongside wall time.
+        """
+        return sum(s.probe_rows + s.build_rows + s.output_rows for s in self.join_steps)
+
+    @property
+    def total_transfer_rows_eliminated(self) -> int:
+        """Rows removed across all transfer-phase steps."""
+        return sum(s.rows_eliminated for s in self.transfer_steps)
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Total measured wall time (plus simulated I/O, if any)."""
+        return self.timings.total
+
+    def cost(self, metric: str = "tuples") -> float:
+        """Return the execution cost under the requested metric.
+
+        ``"tuples"``  -> total tuples processed by joins + transfer work,
+        ``"intermediate"`` -> total intermediate join output rows,
+        ``"time"``    -> wall-clock (+ simulated I/O) seconds,
+        ``"abstract"`` -> the abstract cost-model units accumulated.
+        """
+        if metric == "tuples":
+            transfer_work = sum(s.rows_before for s in self.transfer_steps if not s.skipped)
+            return float(self.total_tuples_processed + transfer_work)
+        if metric == "intermediate":
+            return float(self.total_intermediate_rows)
+        if metric == "time":
+            return self.elapsed_seconds
+        if metric == "abstract":
+            return self.abstract_cost
+        raise ValueError(f"unknown cost metric {metric!r}")
+
+    # ------------------------------------------------------------------
+    # Timing helpers
+    # ------------------------------------------------------------------
+    @contextmanager
+    def time_phase(self, phase: str) -> Iterator[None]:
+        """Context manager adding elapsed wall time to a phase counter."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            setattr(self.timings, phase, getattr(self.timings, phase) + elapsed)
+
+    def summary(self) -> str:
+        """Multi-line human readable summary used by examples and reports."""
+        lines = [
+            f"query={self.query_name} mode={self.mode}",
+            f"  output rows          : {self.output_rows}",
+            f"  intermediate rows    : {self.total_intermediate_rows}",
+            f"  tuples processed     : {self.total_tuples_processed}",
+            f"  elapsed seconds      : {self.elapsed_seconds:.6f}",
+            f"  transfer steps       : {len(self.transfer_steps)}"
+            f" (eliminated {self.total_transfer_rows_eliminated} rows)",
+            f"  joins                : {len(self.join_steps)}",
+        ]
+        return "\n".join(lines)
+
+
+def merge_reduced_rows(stats: ExecutionStats) -> Dict[str, int]:
+    """Final per-relation cardinalities after the transfer phase.
+
+    Derived from the last transfer step touching each relation, falling back
+    to the filtered base cardinality when a relation was never reduced.
+    """
+    result = dict(stats.filtered_rows)
+    for step in stats.transfer_steps:
+        if not step.skipped:
+            result[step.target] = step.rows_after
+    return result

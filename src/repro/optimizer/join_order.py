@@ -1,0 +1,208 @@
+"""Join-order optimization: dynamic programming with a greedy fallback.
+
+This mirrors the structure the paper describes for DuckDB's optimizer
+(§2.1/§4.1): an exact dynamic program over connected subsets (DPccp-style,
+here implemented as DP over subsets with a connectivity test) for queries
+with a manageable number of relations, and a greedy algorithm (repeatedly
+join the cheapest pair) for larger join graphs.
+
+Both produce a :class:`~repro.plan.join_plan.JoinPlan`; the DP can be
+restricted to left-deep plans or allowed to produce bushy plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.core.join_graph import JoinGraph
+from repro.errors import OptimizerError
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.optimizer.cost_model import DEFAULT_COST_MODEL, CostModel
+from repro.plan.join_plan import JoinNode, JoinPlan, LeafNode, PlanNode
+
+#: Beyond this many relations the exact DP is abandoned for the greedy algorithm.
+DP_RELATION_LIMIT = 10
+
+
+@dataclass
+class _SubPlan:
+    """Best plan found so far for a subset of relations."""
+
+    node: PlanNode
+    cardinality: float
+    cost: float
+
+
+@dataclass(frozen=True)
+class JoinOrderOptions:
+    """Options for the join-order search."""
+
+    left_deep_only: bool = False
+    dp_relation_limit: int = DP_RELATION_LIMIT
+    cost_model: CostModel = DEFAULT_COST_MODEL
+
+
+class JoinOrderOptimizer:
+    """Chooses a join order for a query given a cardinality estimator."""
+
+    def __init__(
+        self,
+        graph: JoinGraph,
+        estimator: CardinalityEstimator,
+        options: Optional[JoinOrderOptions] = None,
+    ) -> None:
+        self.graph = graph
+        self.estimator = estimator
+        self.options = options or JoinOrderOptions()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def optimize(self) -> JoinPlan:
+        """Return the chosen join plan (DP when feasible, greedy otherwise)."""
+        aliases = list(self.graph.aliases)
+        if not aliases:
+            raise OptimizerError("cannot optimize a query with no relations")
+        if len(aliases) == 1:
+            return JoinPlan.single(aliases[0])
+        if len(aliases) <= self.options.dp_relation_limit:
+            return self._dynamic_programming()
+        return self._greedy()
+
+    # ------------------------------------------------------------------
+    # Dynamic programming over connected subsets
+    # ------------------------------------------------------------------
+    def _dynamic_programming(self) -> JoinPlan:
+        aliases = list(self.graph.aliases)
+        best: Dict[FrozenSet[str], _SubPlan] = {}
+        for alias in aliases:
+            subset = frozenset({alias})
+            best[subset] = _SubPlan(
+                node=LeafNode(alias),
+                cardinality=self.estimator.base_cardinality(alias),
+                cost=0.0,
+            )
+
+        # Enumerate subsets by increasing size.
+        all_subsets = sorted(self._connected_subsets(), key=len)
+        for subset in all_subsets:
+            if len(subset) == 1:
+                continue
+            best_plan: Optional[_SubPlan] = None
+            for left, right in self._splits(subset):
+                if left not in best or right not in best:
+                    continue
+                if not self._sides_connected(left, right):
+                    continue
+                if self.options.left_deep_only and len(right) != 1:
+                    continue
+                left_plan, right_plan = best[left], best[right]
+                output = self.estimator.join_cardinality(
+                    left, right, left_plan.cardinality, right_plan.cardinality
+                )
+                cost = (
+                    left_plan.cost
+                    + right_plan.cost
+                    + self.options.cost_model.join_cost(
+                        left_plan.cardinality, right_plan.cardinality, output
+                    )
+                )
+                if best_plan is None or cost < best_plan.cost:
+                    best_plan = _SubPlan(
+                        node=JoinNode(left=left_plan.node, right=right_plan.node),
+                        cardinality=output,
+                        cost=cost,
+                    )
+            if best_plan is not None:
+                best[subset] = best_plan
+
+        full = frozenset(aliases)
+        if full not in best:
+            raise OptimizerError(
+                f"query {self.graph.query.name!r} has a disconnected join graph; "
+                "no Cartesian-product-free plan exists"
+            )
+        return JoinPlan(root=best[full].node)
+
+    def _connected_subsets(self) -> list[FrozenSet[str]]:
+        """All connected subsets of the join graph (exponential, bounded by the DP limit)."""
+        aliases = list(self.graph.aliases)
+        found: set[FrozenSet[str]] = {frozenset({a}) for a in aliases}
+        frontier = list(found)
+        while frontier:
+            subset = frontier.pop()
+            neighbors: set[str] = set()
+            for alias in subset:
+                neighbors |= self.graph.neighbors(alias)
+            for neighbor in neighbors - set(subset):
+                extended = frozenset(subset | {neighbor})
+                if extended not in found:
+                    found.add(extended)
+                    frontier.append(extended)
+        return sorted(found, key=lambda s: (len(s), sorted(s)))
+
+    def _splits(self, subset: FrozenSet[str]):
+        """All 2-partitions of a subset (each pair yielded once, both orders)."""
+        members = sorted(subset)
+        n = len(members)
+        for bits in range(1, (1 << n) - 1):
+            left = frozenset(members[i] for i in range(n) if bits & (1 << i))
+            right = subset - left
+            yield left, right
+
+    def _sides_connected(self, left: FrozenSet[str], right: FrozenSet[str]) -> bool:
+        return any(self.graph.neighbors(a) & right for a in left)
+
+    # ------------------------------------------------------------------
+    # Greedy fallback
+    # ------------------------------------------------------------------
+    def _greedy(self) -> JoinPlan:
+        """Repeatedly join the pair of current sub-plans with the cheapest join."""
+        plans: Dict[FrozenSet[str], _SubPlan] = {
+            frozenset({a}): _SubPlan(
+                node=LeafNode(a),
+                cardinality=self.estimator.base_cardinality(a),
+                cost=0.0,
+            )
+            for a in self.graph.aliases
+        }
+        while len(plans) > 1:
+            best_pair: Optional[Tuple[FrozenSet[str], FrozenSet[str]]] = None
+            best_cost = float("inf")
+            best_output = 0.0
+            keys = sorted(plans, key=lambda s: sorted(s))
+            for i, left in enumerate(keys):
+                for right in keys[i + 1:]:
+                    if not self._sides_connected(left, right):
+                        continue
+                    left_plan, right_plan = plans[left], plans[right]
+                    output = self.estimator.join_cardinality(
+                        left, right, left_plan.cardinality, right_plan.cardinality
+                    )
+                    cost = self.options.cost_model.join_cost(
+                        left_plan.cardinality, right_plan.cardinality, output
+                    )
+                    if cost < best_cost:
+                        best_cost = cost
+                        best_pair = (left, right)
+                        best_output = output
+            if best_pair is None:
+                raise OptimizerError(
+                    f"query {self.graph.query.name!r} has a disconnected join graph; "
+                    "no Cartesian-product-free plan exists"
+                )
+            left, right = best_pair
+            left_plan, right_plan = plans.pop(left), plans.pop(right)
+            # Keep the smaller estimated side on the build (right) side.
+            if left_plan.cardinality < right_plan.cardinality:
+                node = JoinNode(left=right_plan.node, right=left_plan.node)
+            else:
+                node = JoinNode(left=left_plan.node, right=right_plan.node)
+            plans[left | right] = _SubPlan(
+                node=node,
+                cardinality=best_output,
+                cost=left_plan.cost + right_plan.cost + best_cost,
+            )
+        (final,) = plans.values()
+        return JoinPlan(root=final.node)

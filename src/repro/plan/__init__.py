@@ -1,0 +1,19 @@
+"""Join-phase plan representation (left-deep and bushy binary join trees)."""
+
+from repro.plan.join_plan import (
+    JoinNode,
+    JoinPlan,
+    LeafNode,
+    PlanNode,
+    plan_avoids_cartesian_products,
+    validate_plan_for_query,
+)
+
+__all__ = [
+    "JoinNode",
+    "JoinPlan",
+    "LeafNode",
+    "PlanNode",
+    "plan_avoids_cartesian_products",
+    "validate_plan_for_query",
+]

@@ -1,0 +1,249 @@
+"""Declarative query specification.
+
+The engine does not parse SQL; queries are described by :class:`QuerySpec`
+objects that carry exactly the information the join-ordering / predicate
+transfer algorithms operate on:
+
+* which base tables participate (with per-relation aliases, so the same
+  table may appear multiple times, as in JOB and TPC-DS),
+* the per-relation filter predicates,
+* the equi-join conditions between relations, and
+* optional *post-join* predicates that reference columns of more than one
+  relation and therefore cannot be pushed below the joins (the paper calls
+  these out for TPC-DS Q13/Q48).
+
+A :class:`QuerySpec` is a pure description — executing it is the job of the
+engine (:mod:`repro.engine`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from repro.errors import PlanError
+from repro.expr.expressions import Expression
+
+
+@dataclass(frozen=True)
+class RelationRef:
+    """One occurrence of a base table in a query.
+
+    Attributes
+    ----------
+    alias:
+        Unique name of this occurrence within the query (e.g. ``"mk"``).
+    table:
+        Name of the underlying catalog table (e.g. ``"movie_keyword"``).
+    filter:
+        Optional base-table predicate applied before any join processing.
+    """
+
+    alias: str
+    table: str
+    filter: Optional[Expression] = None
+
+    def __post_init__(self) -> None:
+        if not self.alias or not self.table:
+            raise PlanError("relation alias and table name must be non-empty")
+
+
+@dataclass(frozen=True)
+class JoinCondition:
+    """An equi-join predicate ``left_alias.left_column = right_alias.right_column``."""
+
+    left_alias: str
+    left_column: str
+    right_alias: str
+    right_column: str
+
+    def __post_init__(self) -> None:
+        if self.left_alias == self.right_alias:
+            raise PlanError(
+                f"join condition must reference two distinct relations, got {self.left_alias!r} twice"
+            )
+
+    def aliases(self) -> frozenset[str]:
+        """The pair of relation aliases this condition connects."""
+        return frozenset({self.left_alias, self.right_alias})
+
+    def side(self, alias: str) -> str:
+        """Return the column of this condition belonging to ``alias``."""
+        if alias == self.left_alias:
+            return self.left_column
+        if alias == self.right_alias:
+            return self.right_column
+        raise PlanError(f"alias {alias!r} does not participate in join condition {self}")
+
+    def __repr__(self) -> str:
+        return f"{self.left_alias}.{self.left_column} = {self.right_alias}.{self.right_column}"
+
+
+@dataclass(frozen=True)
+class QualifiedComparison:
+    """A comparison on a qualified column (``alias.column <op> value``).
+
+    Used inside :class:`PostJoinPredicate` for predicates that span relations.
+    """
+
+    alias: str
+    column: str
+    op: str
+    value: Any
+
+
+@dataclass(frozen=True)
+class PostJoinPredicate:
+    """A predicate over columns of multiple relations (cannot be pushed down).
+
+    The predicate is a disjunction of conjunctions (OR of ANDs) of
+    :class:`QualifiedComparison` terms, which covers the shape the paper
+    highlights for TPC-DS Q13/Q48, e.g.::
+
+        (R.a < 100 AND S.b < 200) OR (R.a > 500 AND S.b > 400)
+    """
+
+    disjuncts: tuple[tuple[QualifiedComparison, ...], ...]
+
+    def required_aliases(self) -> frozenset[str]:
+        """Aliases whose columns the predicate reads."""
+        return frozenset(
+            term.alias for conjunct in self.disjuncts for term in conjunct
+        )
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """A single aggregate in the query output, e.g. ``SUM(l.extendedprice)``.
+
+    ``function`` is one of ``count``, ``sum``, ``min``, ``max``, ``avg``;
+    ``alias``/``column`` identify the input (ignored for ``count(*)``, where
+    both may be ``None``).
+    """
+
+    function: str
+    alias: Optional[str] = None
+    column: Optional[str] = None
+    output_name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.function not in ("count", "sum", "min", "max", "avg"):
+            raise PlanError(f"unsupported aggregate function {self.function!r}")
+        if self.function != "count" and (self.alias is None or self.column is None):
+            raise PlanError(f"aggregate {self.function!r} requires an input column")
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """A complete declarative query.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in benchmark reporting (e.g. ``"job_2a"``).
+    relations:
+        The participating relation occurrences.
+    joins:
+        Equi-join conditions connecting the relations.
+    aggregates:
+        Output aggregates; defaults to a single ``count(*)`` which is the
+        standard way robustness studies measure join work.
+    post_join_predicates:
+        Predicates spanning multiple relations, applied once all the
+        relations they reference have been joined.
+    """
+
+    name: str
+    relations: tuple[RelationRef, ...]
+    joins: tuple[JoinCondition, ...]
+    aggregates: tuple[AggregateSpec, ...] = field(
+        default=(AggregateSpec(function="count", output_name="count_star"),)
+    )
+    post_join_predicates: tuple[PostJoinPredicate, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        aliases = [r.alias for r in self.relations]
+        if len(set(aliases)) != len(aliases):
+            raise PlanError(f"query {self.name!r} has duplicate relation aliases")
+        known = set(aliases)
+        for join in self.joins:
+            for alias in (join.left_alias, join.right_alias):
+                if alias not in known:
+                    raise PlanError(
+                        f"query {self.name!r}: join condition references unknown alias {alias!r}"
+                    )
+        for predicate in self.post_join_predicates:
+            missing = predicate.required_aliases() - known
+            if missing:
+                raise PlanError(
+                    f"query {self.name!r}: post-join predicate references unknown aliases {sorted(missing)}"
+                )
+
+    # ------------------------------------------------------------------
+    # Introspection helpers used throughout the optimizer / core package
+    # ------------------------------------------------------------------
+    @property
+    def aliases(self) -> tuple[str, ...]:
+        """All relation aliases, in declaration order."""
+        return tuple(r.alias for r in self.relations)
+
+    @property
+    def num_joins(self) -> int:
+        """Number of join conditions."""
+        return len(self.joins)
+
+    def relation(self, alias: str) -> RelationRef:
+        """Return the relation occurrence with the given alias."""
+        for ref in self.relations:
+            if ref.alias == alias:
+                return ref
+        raise PlanError(f"query {self.name!r} has no relation aliased {alias!r}")
+
+    def joins_between(self, left: str, right: str) -> tuple[JoinCondition, ...]:
+        """All join conditions connecting the two aliases (order-insensitive)."""
+        pair = frozenset({left, right})
+        return tuple(j for j in self.joins if j.aliases() == pair)
+
+    def joins_involving(self, alias: str) -> tuple[JoinCondition, ...]:
+        """All join conditions one of whose sides is ``alias``."""
+        return tuple(j for j in self.joins if alias in j.aliases())
+
+    def neighbors(self, alias: str) -> frozenset[str]:
+        """Aliases directly joined with ``alias``."""
+        result: set[str] = set()
+        for join in self.joins:
+            if alias in join.aliases():
+                result.update(join.aliases() - {alias})
+        return frozenset(result)
+
+    def is_connected(self) -> bool:
+        """True when the join graph of the query is a single connected component."""
+        if not self.relations:
+            return True
+        seen = {self.relations[0].alias}
+        frontier = [self.relations[0].alias]
+        while frontier:
+            current = frontier.pop()
+            for neighbor in self.neighbors(current):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        return len(seen) == len(self.relations)
+
+    def with_aggregates(self, aggregates: Sequence[AggregateSpec]) -> "QuerySpec":
+        """Return a copy of the query with different output aggregates."""
+        return QuerySpec(
+            name=self.name,
+            relations=self.relations,
+            joins=self.joins,
+            aggregates=tuple(aggregates),
+            post_join_predicates=self.post_join_predicates,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"QuerySpec({self.name!r}, relations={len(self.relations)}, joins={len(self.joins)})"
+
+
+def count_star(name: str = "count_star") -> AggregateSpec:
+    """The default ``COUNT(*)`` aggregate."""
+    return AggregateSpec(function="count", output_name=name)

@@ -1,0 +1,20 @@
+"""Columnar storage substrate: datatypes, columns, tables, catalog, buffer manager."""
+
+from repro.storage.buffer import BufferManager, IoStatistics
+from repro.storage.catalog import Catalog, TableStatistics
+from repro.storage.column import Column, concat_columns
+from repro.storage.datatypes import DataType, infer_datatype
+from repro.storage.table import ForeignKey, Table
+
+__all__ = [
+    "BufferManager",
+    "Catalog",
+    "Column",
+    "DataType",
+    "ForeignKey",
+    "IoStatistics",
+    "Table",
+    "TableStatistics",
+    "concat_columns",
+    "infer_datatype",
+]

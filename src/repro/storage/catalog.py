@@ -1,0 +1,111 @@
+"""Catalog: the registry of tables known to a database instance.
+
+The catalog is the only mutable piece of the storage layer.  It maps table
+names to :class:`~repro.storage.table.Table` objects and exposes the
+statistics (row counts, distinct counts) that the optimizer's cardinality
+estimator consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
+
+from repro.errors import CatalogError
+from repro.storage.table import Table
+
+
+@dataclass
+class TableStatistics:
+    """Summary statistics for one table, used by cardinality estimation."""
+
+    num_rows: int
+    distinct_counts: Dict[str, int]
+
+    def distinct(self, column: str) -> int:
+        """Distinct count for a column (falls back to row count if unknown)."""
+        return self.distinct_counts.get(column, max(self.num_rows, 1))
+
+
+class Catalog:
+    """A mutable registry of tables and their statistics."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, Table] = {}
+        self._stats: Dict[str, TableStatistics] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, table: Table, replace: bool = False) -> None:
+        """Register a table.
+
+        Parameters
+        ----------
+        table:
+            The table to register under ``table.name``.
+        replace:
+            When False (default), registering a name that already exists
+            raises :class:`CatalogError`.
+        """
+        if table.name in self._tables and not replace:
+            raise CatalogError(f"table {table.name!r} is already registered")
+        self._tables[table.name] = table
+        self._stats[table.name] = _compute_statistics(table)
+
+    def unregister(self, name: str) -> None:
+        """Remove a table from the catalog."""
+        if name not in self._tables:
+            raise CatalogError(f"table {name!r} is not registered")
+        del self._tables[name]
+        del self._stats[name]
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def table(self, name: str) -> Table:
+        """Return the table registered under ``name``."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(f"table {name!r} is not registered") from None
+
+    def statistics(self, name: str) -> TableStatistics:
+        """Return the statistics for the table registered under ``name``."""
+        try:
+            return self._stats[name]
+        except KeyError:
+            raise CatalogError(f"table {name!r} is not registered") from None
+
+    def has_table(self, name: str) -> bool:
+        """True when a table with that name is registered."""
+        return name in self._tables
+
+    def table_names(self) -> list[str]:
+        """Names of all registered tables, in registration order."""
+        return list(self._tables)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def total_rows(self) -> int:
+        """Total number of rows across all registered tables."""
+        return sum(t.num_rows for t in self._tables.values())
+
+    def largest_table(self) -> Optional[str]:
+        """Name of the registered table with the most rows, or None if empty."""
+        if not self._tables:
+            return None
+        return max(self._tables, key=lambda n: self._tables[n].num_rows)
+
+
+def _compute_statistics(table: Table) -> TableStatistics:
+    """Compute per-column distinct counts for a freshly registered table."""
+    distinct = {col.name: col.distinct_count() for col in table.columns}
+    return TableStatistics(num_rows=table.num_rows, distinct_counts=distinct)

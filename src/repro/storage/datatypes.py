@@ -1,0 +1,98 @@
+"""Logical column datatypes for the columnar storage layer.
+
+The engine stores every column as a NumPy array.  The :class:`DataType`
+enumeration describes the *logical* type of a column; the mapping to a
+physical NumPy dtype is handled here so the rest of the engine never has to
+reason about NumPy dtypes directly.
+
+Strings are dictionary-encoded: a string column is stored as an ``int64``
+code array plus a Python list of distinct values (see
+:class:`repro.storage.column.Column`).  Dictionary encoding keeps every hot
+path (joins, Bloom filters, comparisons against literals) operating on
+integer arrays, which mirrors how analytical engines such as DuckDB execute
+on compressed/dictionary data.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+import numpy as np
+
+from repro.errors import SchemaError
+
+
+class DataType(enum.Enum):
+    """Logical column types supported by the engine."""
+
+    INT64 = "int64"
+    FLOAT64 = "float64"
+    STRING = "string"
+    DATE = "date"  # stored as int64 days since epoch
+    BOOL = "bool"
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        """Return the physical NumPy dtype used to store this logical type."""
+        return _NUMPY_DTYPES[self]
+
+    @property
+    def is_integer_backed(self) -> bool:
+        """True when the physical representation is an integer array.
+
+        Integer-backed columns (ints, dates, dictionary-encoded strings,
+        bools) can be used directly as join keys and Bloom-filter inputs.
+        """
+        return self in (DataType.INT64, DataType.DATE, DataType.STRING, DataType.BOOL)
+
+
+_NUMPY_DTYPES = {
+    DataType.INT64: np.dtype(np.int64),
+    DataType.FLOAT64: np.dtype(np.float64),
+    DataType.STRING: np.dtype(np.int64),  # dictionary codes
+    DataType.DATE: np.dtype(np.int64),
+    DataType.BOOL: np.dtype(np.bool_),
+}
+
+
+def infer_datatype(values: Any) -> DataType:
+    """Infer the logical :class:`DataType` for a sequence of Python values.
+
+    Parameters
+    ----------
+    values:
+        Any sequence or NumPy array of values.
+
+    Raises
+    ------
+    SchemaError
+        If the values are empty or of an unsupported type.
+    """
+    arr = np.asarray(values)
+    if arr.size == 0:
+        raise SchemaError("cannot infer datatype from an empty sequence")
+    if arr.dtype.kind in ("i", "u"):
+        return DataType.INT64
+    if arr.dtype.kind == "f":
+        return DataType.FLOAT64
+    if arr.dtype.kind == "b":
+        return DataType.BOOL
+    if arr.dtype.kind in ("U", "S", "O"):
+        return DataType.STRING
+    raise SchemaError(f"unsupported value dtype: {arr.dtype!r}")
+
+
+def coerce_to_numpy(values: Any, dtype: DataType) -> np.ndarray:
+    """Coerce ``values`` to the physical NumPy array for ``dtype``.
+
+    String columns are *not* handled here (they need dictionary encoding,
+    which is owned by :class:`repro.storage.column.Column`); passing
+    ``DataType.STRING`` raises :class:`SchemaError`.
+    """
+    if dtype is DataType.STRING:
+        raise SchemaError("string columns must be dictionary-encoded via Column.from_values")
+    try:
+        return np.asarray(values, dtype=dtype.numpy_dtype)
+    except (TypeError, ValueError) as exc:
+        raise SchemaError(f"cannot coerce values to {dtype.value}: {exc}") from exc

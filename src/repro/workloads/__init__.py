@@ -1,0 +1,6 @@
+"""Benchmark workloads: TPC-H, JOB (IMDB), TPC-DS, DSB, and synthetic instances."""
+
+from repro.workloads import dsb, job, synthetic, tpcds, tpch
+from repro.workloads.generator import WorkloadScale
+
+__all__ = ["WorkloadScale", "dsb", "job", "synthetic", "tpcds", "tpch"]

@@ -1,0 +1,448 @@
+"""JOB (Join Order Benchmark) workload: synthetic IMDB schema and the 33 templates.
+
+The Join Order Benchmark runs 113 queries (33 structural templates) over the
+real IMDB snapshot.  The reproduction generates a scaled-down synthetic IMDB
+with the same 21-table schema, the same key/foreign-key structure, and
+long-tailed fan-outs from the ``title`` table to its satellite tables (each
+movie has many keywords / info rows / cast entries, with Zipf-like skew —
+exactly the shape that makes naive join orders explode on the real data).
+
+One query per template (the ``a`` variant's join structure) is provided,
+matching how the paper reports JOB results: "for JOB queries, we present one
+result for each of the 33 query templates".  All templates are acyclic,
+which is why the paper's Figure 6b shows no red (cyclic) query numbers for
+JOB.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.engine.database import Database
+from repro.errors import WorkloadError
+from repro.expr import between, contains, eq, ge, gt, isin, le, lt, starts_with
+from repro.query import JoinCondition, QuerySpec, RelationRef
+from repro.storage.table import ForeignKey
+from repro.workloads.generator import (
+    WorkloadScale,
+    categorical_column,
+    foreign_keys,
+    names_column,
+    numeric_column,
+    primary_keys,
+)
+
+#: Base cardinalities at ``scale=1.0`` (IMDB ratios, thousands of times smaller).
+BASE_ROWS = {
+    "kind_type": 7,
+    "info_type": 113,
+    "link_type": 18,
+    "role_type": 12,
+    "comp_cast_type": 4,
+    "company_type": 4,
+    "company_name": 600,
+    "keyword": 800,
+    "name": 4_000,
+    "char_name": 3_000,
+    "title": 2_500,
+    "aka_name": 1_200,
+    "aka_title": 800,
+    "cast_info": 36_000,
+    "complete_cast": 300,
+    "movie_companies": 5_000,
+    "movie_info": 15_000,
+    "movie_info_idx": 4_500,
+    "movie_keyword": 9_000,
+    "movie_link": 600,
+    "person_info": 6_000,
+}
+
+_INFO_KINDS = [
+    "budget", "bottom 10 rank", "genres", "languages", "production notes",
+    "rating", "release dates", "runtimes", "top 250 rank", "votes",
+]
+_KEYWORDS = [
+    "amnesia", "character-name-in-title", "computer-animation", "dark-humor",
+    "hero", "love", "marvel-cinematic-universe", "murder", "revenge",
+    "based-on-novel", "sequel", "superhero", "violence", "blood", "fight",
+]
+_COMPANY_COUNTRIES = ["[us]", "[de]", "[gb]", "[fr]", "[jp]", "[in]"]
+_LINK_KINDS = ["follows", "followed by", "remake of", "features", "references"]
+_KIND_NAMES = ["movie", "tv series", "tv movie", "video movie", "tv mini series", "video game", "episode"]
+_ROLE_NAMES = [
+    "actor", "actress", "producer", "writer", "cinematographer", "composer",
+    "costume designer", "director", "editor", "miscellaneous crew", "production designer", "guest",
+]
+_CCT_KINDS = ["cast", "crew", "complete", "complete+verified"]
+_COMPANY_KINDS = ["distributors", "production companies", "special effects companies", "miscellaneous companies"]
+
+
+def load(db: Database, scale: float = 1.0, seed: int = 7, replace: bool = False) -> Dict[str, int]:
+    """Generate and register the synthetic IMDB tables used by JOB."""
+    ws = WorkloadScale(scale=scale, seed=seed)
+    counts = {name: ws.rows(base) for name, base in BASE_ROWS.items()}
+    for small in ("kind_type", "info_type", "link_type", "role_type", "comp_cast_type", "company_type"):
+        counts[small] = BASE_ROWS[small]
+
+    def reg(name, data, pk=(), fks=()):
+        db.register_dataframe(name, data, primary_key=pk, foreign_keys=fks, replace=replace)
+
+    # --- small dictionary tables -----------------------------------------
+    reg("kind_type", {"id": primary_keys(counts["kind_type"]), "kind": _KIND_NAMES[: counts["kind_type"]]}, pk=["id"])
+    reg(
+        "info_type",
+        {
+            "id": primary_keys(counts["info_type"]),
+            "info": [_INFO_KINDS[i % len(_INFO_KINDS)] + (f" {i}" if i >= len(_INFO_KINDS) else "")
+                     for i in range(counts["info_type"])],
+        },
+        pk=["id"],
+    )
+    reg("link_type", {"id": primary_keys(counts["link_type"]),
+                      "link": [_LINK_KINDS[i % len(_LINK_KINDS)] + (f" {i}" if i >= len(_LINK_KINDS) else "")
+                               for i in range(counts["link_type"])]}, pk=["id"])
+    reg("role_type", {"id": primary_keys(counts["role_type"]), "role": _ROLE_NAMES[: counts["role_type"]]}, pk=["id"])
+    reg("comp_cast_type", {"id": primary_keys(counts["comp_cast_type"]), "kind": _CCT_KINDS[: counts["comp_cast_type"]]}, pk=["id"])
+    reg("company_type", {"id": primary_keys(counts["company_type"]), "kind": _COMPANY_KINDS[: counts["company_type"]]}, pk=["id"])
+
+    # --- entity tables -----------------------------------------------------
+    rng = ws.rng("company_name")
+    reg(
+        "company_name",
+        {
+            "id": primary_keys(counts["company_name"]),
+            "name": names_column("Studio", counts["company_name"]),
+            "country_code": categorical_column(rng, counts["company_name"], _COMPANY_COUNTRIES, [0.45, 0.15, 0.15, 0.1, 0.1, 0.05]),
+        },
+        pk=["id"],
+    )
+    rng = ws.rng("keyword")
+    reg(
+        "keyword",
+        {
+            "id": primary_keys(counts["keyword"]),
+            "keyword": [_KEYWORDS[i % len(_KEYWORDS)] + (f"-{i}" if i >= len(_KEYWORDS) else "")
+                        for i in range(counts["keyword"])],
+        },
+        pk=["id"],
+    )
+    rng = ws.rng("name")
+    reg(
+        "name",
+        {
+            "id": primary_keys(counts["name"]),
+            "name": names_column("Person", counts["name"]),
+            "gender": categorical_column(rng, counts["name"], ["m", "f", ""], [0.6, 0.35, 0.05]),
+        },
+        pk=["id"],
+    )
+    reg("char_name", {"id": primary_keys(counts["char_name"]), "name": names_column("Character", counts["char_name"])}, pk=["id"])
+
+    rng = ws.rng("title")
+    reg(
+        "title",
+        {
+            "id": primary_keys(counts["title"]),
+            "title": names_column("Movie", counts["title"]),
+            "kind_id": foreign_keys(rng, counts["title"], counts["kind_type"]),
+            "production_year": numeric_column(rng, counts["title"], 1930, 2015, integer=True),
+            "episode_nr": numeric_column(rng, counts["title"], 0, 200, integer=True),
+        },
+        pk=["id"],
+        fks=[ForeignKey("kind_id", "kind_type", "id")],
+    )
+
+    rng = ws.rng("aka_name")
+    reg(
+        "aka_name",
+        {
+            "id": primary_keys(counts["aka_name"]),
+            "person_id": foreign_keys(rng, counts["aka_name"], counts["name"]),
+            "name": names_column("Alias", counts["aka_name"]),
+        },
+        pk=["id"],
+        fks=[ForeignKey("person_id", "name", "id")],
+    )
+    rng = ws.rng("aka_title")
+    reg(
+        "aka_title",
+        {
+            "id": primary_keys(counts["aka_title"]),
+            "movie_id": foreign_keys(rng, counts["aka_title"], counts["title"], skew=0.5),
+            "title": names_column("AltTitle", counts["aka_title"]),
+        },
+        pk=["id"],
+        fks=[ForeignKey("movie_id", "title", "id")],
+    )
+
+    # --- relationship (fact) tables ---------------------------------------
+    rng = ws.rng("cast_info")
+    reg(
+        "cast_info",
+        {
+            "id": primary_keys(counts["cast_info"]),
+            "person_id": foreign_keys(rng, counts["cast_info"], counts["name"], skew=0.6),
+            "movie_id": foreign_keys(rng, counts["cast_info"], counts["title"], skew=0.4),
+            "person_role_id": foreign_keys(rng, counts["cast_info"], counts["char_name"], null_fraction=0.3),
+            "role_id": foreign_keys(rng, counts["cast_info"], counts["role_type"]),
+            "note_is_producer": rng.integers(0, 2, counts["cast_info"]),
+        },
+        pk=["id"],
+        fks=[
+            ForeignKey("person_id", "name", "id"),
+            ForeignKey("movie_id", "title", "id"),
+            ForeignKey("person_role_id", "char_name", "id"),
+            ForeignKey("role_id", "role_type", "id"),
+        ],
+    )
+    rng = ws.rng("complete_cast")
+    reg(
+        "complete_cast",
+        {
+            "id": primary_keys(counts["complete_cast"]),
+            "movie_id": foreign_keys(rng, counts["complete_cast"], counts["title"]),
+            "subject_id": foreign_keys(rng, counts["complete_cast"], counts["comp_cast_type"]),
+            "status_id": foreign_keys(rng, counts["complete_cast"], counts["comp_cast_type"]),
+        },
+        pk=["id"],
+        fks=[
+            ForeignKey("movie_id", "title", "id"),
+            ForeignKey("subject_id", "comp_cast_type", "id"),
+            ForeignKey("status_id", "comp_cast_type", "id"),
+        ],
+    )
+    rng = ws.rng("movie_companies")
+    reg(
+        "movie_companies",
+        {
+            "id": primary_keys(counts["movie_companies"]),
+            "movie_id": foreign_keys(rng, counts["movie_companies"], counts["title"], skew=0.3),
+            "company_id": foreign_keys(rng, counts["movie_companies"], counts["company_name"], skew=0.8),
+            "company_type_id": foreign_keys(rng, counts["movie_companies"], counts["company_type"]),
+        },
+        pk=["id"],
+        fks=[
+            ForeignKey("movie_id", "title", "id"),
+            ForeignKey("company_id", "company_name", "id"),
+            ForeignKey("company_type_id", "company_type", "id"),
+        ],
+    )
+    rng = ws.rng("movie_info")
+    reg(
+        "movie_info",
+        {
+            "id": primary_keys(counts["movie_info"]),
+            "movie_id": foreign_keys(rng, counts["movie_info"], counts["title"], skew=0.3),
+            "info_type_id": foreign_keys(rng, counts["movie_info"], counts["info_type"], skew=0.7),
+            "info_bucket": rng.integers(0, 100, counts["movie_info"]),
+        },
+        pk=["id"],
+        fks=[
+            ForeignKey("movie_id", "title", "id"),
+            ForeignKey("info_type_id", "info_type", "id"),
+        ],
+    )
+    rng = ws.rng("movie_info_idx")
+    reg(
+        "movie_info_idx",
+        {
+            "id": primary_keys(counts["movie_info_idx"]),
+            "movie_id": foreign_keys(rng, counts["movie_info_idx"], counts["title"], skew=0.2),
+            "info_type_id": foreign_keys(rng, counts["movie_info_idx"], counts["info_type"], skew=0.5),
+            "info_rating": numeric_column(rng, counts["movie_info_idx"], 1.0, 10.0),
+        },
+        pk=["id"],
+        fks=[
+            ForeignKey("movie_id", "title", "id"),
+            ForeignKey("info_type_id", "info_type", "id"),
+        ],
+    )
+    rng = ws.rng("movie_keyword")
+    reg(
+        "movie_keyword",
+        {
+            "id": primary_keys(counts["movie_keyword"]),
+            "movie_id": foreign_keys(rng, counts["movie_keyword"], counts["title"], skew=0.4),
+            "keyword_id": foreign_keys(rng, counts["movie_keyword"], counts["keyword"], skew=0.9),
+        },
+        pk=["id"],
+        fks=[
+            ForeignKey("movie_id", "title", "id"),
+            ForeignKey("keyword_id", "keyword", "id"),
+        ],
+    )
+    rng = ws.rng("movie_link")
+    reg(
+        "movie_link",
+        {
+            "id": primary_keys(counts["movie_link"]),
+            "movie_id": foreign_keys(rng, counts["movie_link"], counts["title"]),
+            "linked_movie_id": foreign_keys(rng, counts["movie_link"], counts["title"]),
+            "link_type_id": foreign_keys(rng, counts["movie_link"], counts["link_type"]),
+        },
+        pk=["id"],
+        fks=[
+            ForeignKey("movie_id", "title", "id"),
+            ForeignKey("linked_movie_id", "title", "id"),
+            ForeignKey("link_type_id", "link_type", "id"),
+        ],
+    )
+    rng = ws.rng("person_info")
+    reg(
+        "person_info",
+        {
+            "id": primary_keys(counts["person_info"]),
+            "person_id": foreign_keys(rng, counts["person_info"], counts["name"], skew=0.5),
+            "info_type_id": foreign_keys(rng, counts["person_info"], counts["info_type"]),
+        },
+        pk=["id"],
+        fks=[
+            ForeignKey("person_id", "name", "id"),
+            ForeignKey("info_type_id", "info_type", "id"),
+        ],
+    )
+    return counts
+
+
+# ---------------------------------------------------------------------------
+# Query templates
+# ---------------------------------------------------------------------------
+def _rel(alias: str, table: str, filt=None) -> RelationRef:
+    return RelationRef(alias, table, filt)
+
+
+def _join(a: str, ac: str, b: str, bc: str) -> JoinCondition:
+    return JoinCondition(a, ac, b, bc)
+
+
+def _template(number: int) -> QuerySpec:
+    """Build the (simplified) join structure of JOB template ``number``."""
+    t = _rel("t", "title", gt("production_year", 1990))
+    mk = _rel("mk", "movie_keyword")
+    k = _rel("k", "keyword", eq("keyword", "character-name-in-title"))
+    mi = _rel("mi", "movie_info")
+    mi_idx = _rel("mi_idx", "movie_info_idx", gt("info_rating", 6.0))
+    it = _rel("it", "info_type", eq("info", "rating"))
+    it2 = _rel("it2", "info_type", eq("info", "votes"))
+    mc = _rel("mc", "movie_companies")
+    cn = _rel("cn", "company_name", eq("country_code", "[us]"))
+    ct = _rel("ct", "company_type", eq("kind", "production companies"))
+    ci = _rel("ci", "cast_info")
+    n = _rel("n", "name", eq("gender", "f"))
+    an = _rel("an", "aka_name")
+    rt = _rel("rt", "role_type", eq("role", "actress"))
+    chn = _rel("chn", "char_name")
+    kt = _rel("kt", "kind_type", eq("kind", "movie"))
+    ml = _rel("ml", "movie_link")
+    lt_ = _rel("lt", "link_type", eq("link", "follows"))
+    cc = _rel("cc", "complete_cast")
+    cct = _rel("cct", "comp_cast_type", eq("kind", "cast"))
+    pi = _rel("pi", "person_info")
+    at = _rel("at", "aka_title")
+
+    j_mk_t = _join("mk", "movie_id", "t", "id")
+    j_mk_k = _join("mk", "keyword_id", "k", "id")
+    j_mi_t = _join("mi", "movie_id", "t", "id")
+    j_mi_it = _join("mi", "info_type_id", "it", "id")
+    j_mix_t = _join("mi_idx", "movie_id", "t", "id")
+    j_mix_it = _join("mi_idx", "info_type_id", "it", "id")
+    j_mix_it2 = _join("mi_idx", "info_type_id", "it2", "id")
+    j_mc_t = _join("mc", "movie_id", "t", "id")
+    j_mc_cn = _join("mc", "company_id", "cn", "id")
+    j_mc_ct = _join("mc", "company_type_id", "ct", "id")
+    j_ci_t = _join("ci", "movie_id", "t", "id")
+    j_ci_n = _join("ci", "person_id", "n", "id")
+    j_ci_rt = _join("ci", "role_id", "rt", "id")
+    j_ci_chn = _join("ci", "person_role_id", "chn", "id")
+    j_an_n = _join("an", "person_id", "n", "id")
+    j_t_kt = _join("t", "kind_id", "kt", "id")
+    j_ml_t = _join("ml", "movie_id", "t", "id")
+    j_ml_lt = _join("ml", "link_type_id", "lt", "id")
+    j_cc_t = _join("cc", "movie_id", "t", "id")
+    j_cc_cct = _join("cc", "subject_id", "cct", "id")
+    j_pi_n = _join("pi", "person_id", "n", "id")
+    j_at_t = _join("at", "movie_id", "t", "id")
+
+    templates: Dict[int, tuple] = {
+        1: ((ct, it, mc, mi_idx, t), (j_mc_ct, j_mc_t, j_mix_t, j_mix_it)),
+        2: ((cn, k, mc, mk, t), (j_mc_cn, j_mc_t, j_mk_t, j_mk_k)),
+        3: ((k, mi, mk, t), (j_mk_k, j_mk_t, j_mi_t)),
+        4: ((it, k, mi_idx, mk, t), (j_mix_it, j_mix_t, j_mk_t, j_mk_k)),
+        5: ((ct, it, mc, mi, t), (j_mc_ct, j_mc_t, j_mi_t, j_mi_it)),
+        6: ((ci, k, mk, n, t), (j_ci_t, j_ci_n, j_mk_t, j_mk_k)),
+        7: ((an, ci, it, lt_, ml, n, pi, t),
+            (j_an_n, j_ci_n, j_ci_t, j_ml_t, j_ml_lt, j_pi_n, _join("pi", "info_type_id", "it", "id"))),
+        8: ((an, ci, cn, mc, n, rt, t), (j_an_n, j_ci_n, j_ci_t, j_ci_rt, j_mc_t, j_mc_cn)),
+        9: ((an, chn, ci, cn, mc, n, rt, t),
+            (j_an_n, j_ci_chn, j_ci_n, j_ci_t, j_ci_rt, j_mc_t, j_mc_cn)),
+        10: ((chn, ci, cn, ct, mc, rt, t), (j_ci_chn, j_ci_t, j_ci_rt, j_mc_t, j_mc_cn, j_mc_ct)),
+        11: ((cn, ct, k, lt_, mc, mk, ml, t),
+             (j_mc_cn, j_mc_ct, j_mc_t, j_mk_t, j_mk_k, j_ml_t, j_ml_lt)),
+        12: ((cn, ct, it, it2, mc, mi, mi_idx, t),
+             (j_mc_cn, j_mc_ct, j_mc_t, j_mi_t, j_mi_it, j_mix_t, j_mix_it2)),
+        13: ((cn, ct, it, it2, kt, mc, mi, mi_idx, t),
+             (j_mc_cn, j_mc_ct, j_mc_t, j_mi_t, j_mi_it, j_mix_t, j_mix_it2, j_t_kt)),
+        14: ((it, it2, k, kt, mi, mi_idx, mk, t),
+             (j_mi_it, j_mi_t, j_mix_it2, j_mix_t, j_mk_t, j_mk_k, j_t_kt)),
+        15: ((at, cn, it, k, mc, mi, mk, t),
+             (j_at_t, j_mc_cn, j_mc_t, j_mi_t, j_mi_it, j_mk_t, j_mk_k)),
+        16: ((an, ci, cn, k, mc, mk, n, t),
+             (j_an_n, j_ci_n, j_ci_t, j_mc_cn, j_mc_t, j_mk_t, j_mk_k)),
+        17: ((ci, cn, k, mc, mk, n, t), (j_ci_n, j_ci_t, j_mc_cn, j_mc_t, j_mk_t, j_mk_k)),
+        18: ((ci, it, it2, mi, mi_idx, n, t),
+             (j_ci_n, j_ci_t, j_mi_t, j_mi_it, j_mix_t, j_mix_it2)),
+        19: ((an, chn, ci, cn, it, mc, mi, n, rt, t),
+             (j_an_n, j_ci_chn, j_ci_n, j_ci_t, j_ci_rt, j_mc_cn, j_mc_t, j_mi_t, j_mi_it)),
+        20: ((cc, cct, chn, ci, k, kt, mk, n, t),
+             (j_cc_t, j_cc_cct, j_ci_chn, j_ci_n, j_ci_t, j_mk_t, j_mk_k, j_t_kt)),
+        21: ((cn, ct, k, lt_, mc, mi, mk, ml, t),
+             (j_mc_cn, j_mc_ct, j_mc_t, j_mi_t, j_mk_t, j_mk_k, j_ml_t, j_ml_lt)),
+        22: ((cn, ct, it, it2, k, kt, mc, mi, mi_idx, mk, t),
+             (j_mc_cn, j_mc_ct, j_mc_t, j_mi_t, j_mi_it, j_mix_t, j_mix_it2, j_mk_t, j_mk_k, j_t_kt)),
+        23: ((cc, cct, cn, ct, it, kt, mc, mi, t),
+             (j_cc_t, j_cc_cct, j_mc_cn, j_mc_ct, j_mc_t, j_mi_t, j_mi_it, j_t_kt)),
+        24: ((an, chn, ci, it, k, mi, mk, n, rt, t),
+             (j_an_n, j_ci_chn, j_ci_n, j_ci_t, j_ci_rt, j_mi_t, j_mi_it, j_mk_t, j_mk_k)),
+        25: ((ci, it, it2, k, mi, mi_idx, mk, n, t),
+             (j_ci_n, j_ci_t, j_mi_t, j_mi_it, j_mix_t, j_mix_it2, j_mk_t, j_mk_k)),
+        26: ((cc, cct, chn, ci, it, k, kt, mi_idx, mk, n, t),
+             (j_cc_t, j_cc_cct, j_ci_chn, j_ci_n, j_ci_t, j_mix_t, j_mix_it, j_mk_t, j_mk_k, j_t_kt)),
+        27: ((cc, cct, cn, ct, k, lt_, mc, mk, ml, t),
+             (j_cc_t, j_cc_cct, j_mc_cn, j_mc_ct, j_mc_t, j_mk_t, j_mk_k, j_ml_t, j_ml_lt)),
+        28: ((cc, cct, cn, ct, it, it2, k, kt, mc, mi, mi_idx, mk, t),
+             (j_cc_t, j_cc_cct, j_mc_cn, j_mc_ct, j_mc_t, j_mi_t, j_mi_it, j_mix_t, j_mix_it2,
+              j_mk_t, j_mk_k, j_t_kt)),
+        29: ((an, cc, cct, chn, ci, cn, it, it2, k, kt, mc, mi, mk, n, rt, pi, t),
+             (j_an_n, j_cc_t, j_cc_cct, j_ci_chn, j_ci_n, j_ci_t, j_ci_rt, j_mc_cn, j_mc_t,
+              j_mi_t, j_mi_it, j_mk_t, j_mk_k, j_t_kt, j_pi_n, _join("pi", "info_type_id", "it2", "id"))),
+        30: ((cc, cct, ci, it, it2, k, mi, mi_idx, mk, n, t),
+             (j_cc_t, j_cc_cct, j_ci_n, j_ci_t, j_mi_t, j_mi_it, j_mix_t, j_mix_it2, j_mk_t, j_mk_k)),
+        31: ((ci, cn, it, it2, k, mc, mi, mi_idx, mk, n, t),
+             (j_ci_n, j_ci_t, j_mc_cn, j_mc_t, j_mi_t, j_mi_it, j_mix_t, j_mix_it2, j_mk_t, j_mk_k)),
+        32: ((k, lt_, mk, ml, t), (j_mk_k, j_mk_t, j_ml_t, j_ml_lt)),
+        33: ((cn, it, kt, lt_, mc, mi_idx, ml, t),
+             (j_mc_cn, j_mc_t, j_mix_t, j_mix_it, j_ml_t, j_ml_lt, j_t_kt)),
+    }
+    if number not in templates:
+        raise WorkloadError(f"JOB template {number} does not exist (valid: 1..33)")
+    relations, joins = templates[number]
+    return QuerySpec(name=f"job_{number}a", relations=tuple(relations), joins=tuple(joins))
+
+
+def query(number: int) -> QuerySpec:
+    """Return the QuerySpec for JOB template ``number`` (1..33)."""
+    return _template(number)
+
+
+def all_queries() -> Dict[str, QuerySpec]:
+    """All 33 JOB template queries, keyed by name."""
+    return {f"t{n}": _template(n) for n in range(1, 34)}
+
+
+def template_numbers() -> tuple[int, ...]:
+    """All template numbers."""
+    return tuple(range(1, 34))
+
+
+#: Templates highlighted in Figure 8 (original PT's Small2Large under-reduces).
+FIGURE8_TEMPLATES = (32,)

@@ -1,0 +1,172 @@
+"""Synthetic adversarial instances used in the paper's analytical examples.
+
+Three constructions:
+
+* :func:`figure2_instance` — the three-relation query of Figure 2
+  (``R(A,B) ⋈ S(A,C) ⋈ T(B,D)`` with ``|R| < |S| < |T|``) where the original
+  Small2Large heuristic fails to connect S and T and therefore cannot fully
+  reduce when S carries a selective predicate.
+
+* :func:`figure12_instance` — the quadratic-blowup example of Figure 12:
+  a query ``R(A,B) ⋈ S(B,C) ⋈ T(C)`` whose output is empty, yet *any* plan
+  without a semi-join reduction must materialize ``N²/2`` intermediate
+  tuples, while RPT's transfer phase empties the inputs up front.
+
+* :func:`unsafe_subjoin_instance` — the §3.2 example
+  ``R(A,B,C) ⋈ S(A,B) ⋈ T(B,C)`` on a fully reduced instance where the
+  subjoin ``S ⋈ T`` blows up quadratically even though the query output is
+  linear; used to validate SafeSubjoin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.database import Database
+from repro.expr import lt
+from repro.query import JoinCondition, QuerySpec, RelationRef
+
+
+@dataclass(frozen=True)
+class SyntheticInstance:
+    """A generated database plus the query that exercises it."""
+
+    database: Database
+    query: QuerySpec
+    description: str
+
+
+def figure2_instance(base_size: int = 100) -> SyntheticInstance:
+    """The Figure 2 example where Small2Large fails to connect S and T.
+
+    ``R(A,B)`` is the smallest relation (a bijection between A and B values),
+    ``S(A,C)`` carries a selective predicate that removes some A values but
+    still leaves S larger than R, and ``T(B,D)`` is the largest.  A full
+    reduction must remove the T tuples whose B value maps (through R) to an A
+    value eliminated from S; Small2Large orients both edges away from R and
+    therefore never transfers S's filter to T.
+    """
+    db = Database()
+    n_r, n_s, n_t = base_size, base_size * 20, base_size * 4
+    rng = np.random.default_rng(3)
+    domain = np.arange(base_size, dtype=np.int64)
+    db.register_dataframe(
+        "r_table",
+        # A bijection a = b = i so S's surviving A values determine T's surviving B values.
+        {"a": domain, "b": domain},
+    )
+    db.register_dataframe(
+        "s_table",
+        {"a": rng.integers(0, base_size, n_s), "c": np.arange(n_s, dtype=np.int64)},
+    )
+    db.register_dataframe(
+        "t_table",
+        {"b": rng.integers(0, base_size, n_t), "d": np.arange(n_t, dtype=np.int64)},
+    )
+    # Keep ~1.5x |R| rows of S: selective on A values yet |S filtered| > |R|,
+    # preserving the |R| < |S| < |T| premise of Figure 2 after filtering.
+    query = QuerySpec(
+        name="figure2",
+        relations=(
+            RelationRef("r", "r_table"),
+            RelationRef("s", "s_table", lt("c", (3 * n_r) // 2)),
+            RelationRef("t", "t_table"),
+        ),
+        joins=(
+            JoinCondition("r", "a", "s", "a"),
+            JoinCondition("r", "b", "t", "b"),
+        ),
+    )
+    return SyntheticInstance(
+        database=db,
+        query=query,
+        description="Figure 2: Small2Large cannot connect S and T; RPT can.",
+    )
+
+
+def figure12_instance(n: int = 1000) -> SyntheticInstance:
+    """The Figure 12 quadratic-blowup example.
+
+    ``R(A,B)``: A = 1..N/2 each appearing twice with B = 1; B also takes value
+    2 on half the tuples.  ``S(B,C)``: N tuples with B = 1, C = 2 and B = 2,
+    C = 2 patterns arranged so that ``R ⋈ S`` has ~N²/2 tuples while
+    ``R ⋈ S ⋈ T`` is empty because ``T(C)`` contains only values that never
+    survive.  Any join order without pre-filtering processes a quadratic
+    intermediate; the RPT transfer phase empties every input.
+    """
+    half = max(n // 2, 1)
+    db = Database()
+    # R(A, B): every A in 1..half appears with B = 1.
+    db.register_dataframe(
+        "r_table",
+        {
+            "a": np.repeat(np.arange(1, half + 1, dtype=np.int64), 2),
+            "b": np.ones(2 * half, dtype=np.int64),
+        },
+    )
+    # S(B, C): n tuples, all with B = 1 and C = 2.
+    db.register_dataframe(
+        "s_table",
+        {
+            "b": np.ones(n, dtype=np.int64),
+            "c": np.full(n, 2, dtype=np.int64),
+        },
+    )
+    # T(C): values that never match S's C (output is empty).
+    db.register_dataframe(
+        "t_table",
+        {"c": np.full(max(n // 10, 1), 99, dtype=np.int64)},
+    )
+    query = QuerySpec(
+        name="figure12",
+        relations=(
+            RelationRef("r", "r_table"),
+            RelationRef("s", "s_table"),
+            RelationRef("t", "t_table"),
+        ),
+        joins=(
+            JoinCondition("r", "b", "s", "b"),
+            JoinCondition("s", "c", "t", "c"),
+        ),
+    )
+    return SyntheticInstance(
+        database=db,
+        query=query,
+        description="Figure 12: empty output but quadratic R ⋈ S for any plan without RPT.",
+    )
+
+
+def unsafe_subjoin_instance(n: int = 500) -> SyntheticInstance:
+    """The §3.2 example where subjoin S ⋈ T is unsafe on a fully reduced instance.
+
+    ``R = {(i, 1, i)}``, ``S = {(i, 1)}``, ``T = {(1, i)}`` for i in 1..n:
+    the full output has n tuples, but ``S(A,B) ⋈ T(B,C)`` has n² tuples.
+    The query is α-acyclic but not γ-acyclic.
+    """
+    db = Database()
+    i = np.arange(1, n + 1, dtype=np.int64)
+    ones = np.ones(n, dtype=np.int64)
+    db.register_dataframe("r_table", {"a": i, "b": ones, "c": i})
+    db.register_dataframe("s_table", {"a": i, "b": ones})
+    db.register_dataframe("t_table", {"b": ones, "c": i})
+    query = QuerySpec(
+        name="unsafe_subjoin",
+        relations=(
+            RelationRef("r", "r_table"),
+            RelationRef("s", "s_table"),
+            RelationRef("t", "t_table"),
+        ),
+        joins=(
+            JoinCondition("r", "a", "s", "a"),
+            JoinCondition("r", "b", "s", "b"),
+            JoinCondition("r", "b", "t", "b"),
+            JoinCondition("r", "c", "t", "c"),
+        ),
+    )
+    return SyntheticInstance(
+        database=db,
+        query=query,
+        description="§3.2: S ⋈ T is an unsafe subjoin (n² rows) though the output is linear.",
+    )

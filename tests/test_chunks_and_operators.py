@@ -1,0 +1,144 @@
+"""Unit tests for data chunks, selection vectors, and the DuckDB-style operators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bloom import BloomFilter, BloomFilterRegistry, FilterKey
+from repro.errors import ExecutionError
+from repro.exec.chunk import DEFAULT_CHUNK_SIZE, DataChunk, iter_chunks, num_chunks
+from repro.exec.operators import (
+    CreateBF,
+    FilterOperator,
+    HashJoinBuild,
+    HashJoinProbe,
+    Pipeline,
+    ProbeBF,
+    TableScan,
+)
+from repro.expr import gt
+from repro.storage import Table
+
+
+class TestDataChunk:
+    def test_sizes_and_column_access(self):
+        chunk = DataChunk(columns={"a": np.array([1, 2, 3]), "b": np.array([4, 5, 6])})
+        assert chunk.physical_size == 3
+        assert chunk.size == 3
+        assert chunk.column("a").tolist() == [1, 2, 3]
+        with pytest.raises(ExecutionError):
+            chunk.column("missing")
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ExecutionError):
+            DataChunk(columns={"a": np.array([1]), "b": np.array([1, 2])})
+
+    def test_apply_mask_refines_selection(self):
+        chunk = DataChunk(columns={"a": np.arange(6)})
+        chunk = chunk.apply_mask(np.array([True, False, True, True, False, True]))
+        assert chunk.size == 4
+        assert chunk.column("a").tolist() == [0, 2, 3, 5]
+        chunk = chunk.apply_mask(np.array([False, True, True, False]))
+        assert chunk.column("a").tolist() == [2, 3]
+
+    def test_apply_mask_wrong_length_raises(self):
+        chunk = DataChunk(columns={"a": np.arange(3)})
+        with pytest.raises(ExecutionError):
+            chunk.apply_mask(np.array([True]))
+
+    def test_compact(self):
+        chunk = DataChunk(columns={"a": np.arange(5)}).apply_mask(np.array([True, False, False, True, True]))
+        compacted = chunk.compact()
+        assert compacted.selection is None
+        assert compacted.column("a").tolist() == [0, 3, 4]
+
+    def test_iter_chunks_and_counts(self):
+        data = {"a": np.arange(10)}
+        chunks = list(iter_chunks(data, chunk_size=4))
+        assert [c.size for c in chunks] == [4, 4, 2]
+        assert num_chunks(10, 4) == 3
+        assert num_chunks(0, 4) == 0
+        assert num_chunks(1) == 1
+        with pytest.raises(ExecutionError):
+            list(iter_chunks(data, chunk_size=0))
+
+
+@pytest.fixture()
+def people_table() -> Table:
+    return Table.from_dict(
+        "people",
+        {"id": list(range(1, 101)), "age": [20 + (i % 50) for i in range(100)]},
+        primary_key=["id"],
+    )
+
+
+class TestOperators:
+    def test_table_scan_chunks(self, people_table):
+        scan = TableScan(table=people_table, alias="p", chunk_size=30)
+        chunks = list(scan.get_data())
+        assert sum(c.size for c in chunks) == 100
+        assert "p.id" in chunks[0].columns
+
+    def test_filter_operator(self, people_table):
+        scan = TableScan(table=people_table, alias="p", chunk_size=40)
+        filter_op = FilterOperator(predicate=gt("age", 60), table=people_table, alias="p")
+        pipeline = Pipeline(source=scan, operators=[filter_op])
+        output = pipeline.run()
+        total = sum(c.size for c in output)
+        expected = sum(1 for i in range(100) if 20 + (i % 50) > 60)
+        assert total == expected
+
+    def test_create_bf_then_probe_bf(self, people_table):
+        registry = BloomFilterRegistry()
+        key = FilterKey("p", "id")
+        create = CreateBF(registry=registry, filter_key=key, key_column="p.id")
+        Pipeline(source=TableScan(table=people_table, alias="p", chunk_size=33), sink=create).run()
+        assert key in registry
+        assert create.buffered_rows == 100
+
+        # CreateBF then acts as a source feeding a ProbeBF against its own filter.
+        probe = ProbeBF(registry=registry, probes=[(key, "p.id")])
+        output = Pipeline(source=create, operators=[probe]).run()
+        assert sum(c.size for c in output) == 100  # no false negatives
+
+    def test_create_bf_requires_finalize_before_source(self, people_table):
+        registry = BloomFilterRegistry()
+        create = CreateBF(registry=registry, filter_key=FilterKey("p", "id"), key_column="p.id")
+        with pytest.raises(ExecutionError):
+            list(create.get_data())
+
+    def test_probe_bf_filters_misses(self, people_table):
+        registry = BloomFilterRegistry()
+        key = FilterKey("dim", "id")
+        bloom = BloomFilter(expected_keys=10)
+        bloom.insert(np.arange(1, 11, dtype=np.int64))  # only ids 1..10
+        registry.publish(key, bloom)
+        probe = ProbeBF(registry=registry, probes=[(key, "p.id")])
+        output = Pipeline(
+            source=TableScan(table=people_table, alias="p", chunk_size=25),
+            operators=[probe],
+        ).run()
+        survivors = sum(c.size for c in output)
+        assert 10 <= survivors <= 25  # all true matches plus a small number of false positives
+
+    def test_hash_join_operators(self, people_table):
+        orders = Table.from_dict(
+            "orders",
+            {"person_id": [1, 1, 2, 3, 999], "amount": [10, 20, 30, 40, 50]},
+        )
+        build = HashJoinBuild(key_column="p.id")
+        Pipeline(source=TableScan(table=people_table, alias="p", chunk_size=64), sink=build).run()
+        probe = HashJoinProbe(build=build, probe_key_column="o.person_id", build_payload_columns=["p.age"])
+        output = Pipeline(
+            source=TableScan(table=orders, alias="o", chunk_size=3),
+            operators=[probe],
+        ).run()
+        joined_rows = sum(c.size for c in output)
+        assert joined_rows == 4  # person_id 999 has no match
+        assert any("p.age" in c.columns for c in output)
+
+    def test_hash_join_build_requires_finalize(self):
+        build = HashJoinBuild(key_column="x")
+        with pytest.raises(ExecutionError):
+            _ = build.keys

@@ -1,0 +1,268 @@
+"""Unit tests for bound relations, the transfer executor, and the join-phase executor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import largest_root, schedule_from_tree, small2large, schedule_from_transfer_graph
+from repro.engine.database import Database
+from repro.errors import ExecutionError
+from repro.exec.join_phase import JoinPhaseExecutor, JoinPhaseOptions
+from repro.exec.relation import BoundRelation, IntermediateResult, bind_relations
+from repro.exec.statistics import ExecutionStats, merge_reduced_rows
+from repro.exec.transfer import TransferExecutor, TransferOptions
+from repro.plan.join_plan import JoinNode, JoinPlan, LeafNode
+from repro.query import JoinCondition, QuerySpec, RelationRef
+from repro.expr import eq, lt
+from repro.storage.table import ForeignKey, Table
+
+
+@pytest.fixture()
+def small_db() -> Database:
+    db = Database()
+    db.register_dataframe(
+        "dim",
+        {"id": [1, 2, 3, 4, 5], "color": ["red", "blue", "red", "green", "blue"]},
+        primary_key=["id"],
+    )
+    db.register_dataframe(
+        "fact",
+        {
+            "dim_id": [1, 1, 2, 3, 3, 3, 5, 9],
+            "other_id": [1, 2, 1, 2, 1, 2, 1, 2],
+            "value": [10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0],
+        },
+        foreign_keys=[ForeignKey("dim_id", "dim", "id"), ForeignKey("other_id", "other", "id")],
+    )
+    db.register_dataframe("other", {"id": [1, 2], "flag": [0, 1]}, primary_key=["id"])
+    return db
+
+
+@pytest.fixture()
+def small_query() -> QuerySpec:
+    return QuerySpec(
+        name="small",
+        relations=(
+            RelationRef("d", "dim", eq("color", "red")),
+            RelationRef("f", "fact"),
+            RelationRef("o", "other", eq("flag", 1)),
+        ),
+        joins=(
+            JoinCondition("f", "dim_id", "d", "id"),
+            JoinCondition("f", "other_id", "o", "id"),
+        ),
+    )
+
+
+class TestBoundRelation:
+    def test_bind_applies_base_filters(self, small_db, small_query):
+        relations = bind_relations(small_query.relations, small_db.catalog)
+        assert relations["d"].num_rows == 2   # red rows
+        assert relations["f"].num_rows == 8
+        assert relations["o"].num_rows == 1
+
+    def test_key_values_and_keep(self, small_db, small_query):
+        relations = bind_relations(small_query.relations, small_db.catalog)
+        fact = relations["f"]
+        keys = fact.key_values("dim_id")
+        assert keys.tolist() == [1, 1, 2, 3, 3, 3, 5, 9]
+        fact.keep(keys <= 2)
+        assert fact.num_rows == 3
+
+    def test_keep_wrong_length_raises(self, small_db, small_query):
+        relations = bind_relations(small_query.relations, small_db.catalog)
+        with pytest.raises(ExecutionError):
+            relations["f"].keep(np.array([True]))
+
+    def test_float_column_rejected_as_key(self, small_db, small_query):
+        relations = bind_relations(small_query.relations, small_db.catalog)
+        with pytest.raises(ExecutionError):
+            relations["f"].key_values("value")
+
+    def test_snapshot_is_independent(self, small_db, small_query):
+        relations = bind_relations(small_query.relations, small_db.catalog)
+        snap = relations["f"].snapshot()
+        relations["f"].keep(np.zeros(8, dtype=bool))
+        assert relations["f"].num_rows == 0
+        assert snap.num_rows == 8
+
+
+class TestTransferExecutor:
+    def _run(self, db, query, use_bloom=True, prune=True, schedule_kind="rpt"):
+        graph = db.join_graph(query)
+        relations = bind_relations(query.relations, db.catalog)
+        if schedule_kind == "rpt":
+            schedule = schedule_from_tree(largest_root(graph))
+        else:
+            schedule = schedule_from_transfer_graph(small2large(graph))
+        stats = ExecutionStats(query_name=query.name, mode="test")
+        for ref in query.relations:
+            stats.filtered_rows[ref.alias] = relations[ref.alias].num_rows
+        executor = TransferExecutor(
+            graph, relations, TransferOptions(use_bloom=use_bloom, prune_trivial_semijoins=prune)
+        )
+        executor.run(schedule, stats)
+        return relations, stats
+
+    def test_exact_semijoin_full_reduction(self, small_db, small_query):
+        """After the exact transfer phase every surviving tuple joins in the output."""
+        relations, stats = self._run(small_db, small_query, use_bloom=False)
+        # dim rows: only red dims referenced by facts whose other_id has flag=1.
+        # fact rows must reference a red dim AND other_id = 2.
+        fact_rows = {
+            (d, o)
+            for d, o in zip(relations["f"].key_values("dim_id"), relations["f"].key_values("other_id"))
+        }
+        assert all(o == 2 for _, o in fact_rows)
+        assert all(d in (1, 3) for d, _ in fact_rows)
+        assert stats.reduced_rows["f"] == relations["f"].num_rows
+
+    def test_bloom_is_superset_of_exact(self, small_db, small_query):
+        exact_relations, _ = self._run(small_db, small_query, use_bloom=False)
+        bloom_relations, _ = self._run(small_db, small_query, use_bloom=True)
+        for alias in ("d", "f", "o"):
+            exact_rows = set(exact_relations[alias].row_indices.tolist())
+            bloom_rows = set(bloom_relations[alias].row_indices.tolist())
+            assert exact_rows <= bloom_rows
+
+    def test_step_statistics_recorded(self, small_db, small_query):
+        _, stats = self._run(small_db, small_query)
+        assert stats.transfer_steps
+        for step in stats.transfer_steps:
+            assert step.rows_after <= step.rows_before
+        assert stats.bloom_bytes > 0
+
+    def test_trivial_pk_fk_steps_pruned(self, small_db):
+        """With no filter on `dim`, the fact ⋉ dim step is trivial and skipped."""
+        query = QuerySpec(
+            name="no_filter",
+            relations=(RelationRef("d", "dim"), RelationRef("f", "fact")),
+            joins=(JoinCondition("f", "dim_id", "d", "id"),),
+        )
+        _, stats = self._run(small_db, query, prune=True)
+        skipped = [s for s in stats.transfer_steps if s.skipped]
+        assert any(s.source == "d" and s.target == "f" for s in skipped)
+        _, stats_noprune = self._run(small_db, query, prune=False)
+        assert not any(s.skipped for s in stats_noprune.transfer_steps)
+
+    def test_small2large_schedule_also_runs(self, small_db, small_query):
+        relations, stats = self._run(small_db, small_query, schedule_kind="pt")
+        assert stats.transfer_steps
+        assert relations["f"].num_rows <= 8
+
+
+class TestJoinPhaseExecutor:
+    def _reduced(self, db, query):
+        graph = db.join_graph(query)
+        relations = bind_relations(query.relations, db.catalog)
+        schedule = schedule_from_tree(largest_root(graph))
+        stats = ExecutionStats()
+        TransferExecutor(graph, relations, TransferOptions(use_bloom=False)).run(schedule, stats)
+        return graph, relations
+
+    def test_all_left_deep_orders_same_output(self, small_db, small_query):
+        graph, relations = self._reduced(small_db, small_query)
+        outputs = set()
+        for order in (("d", "f", "o"), ("f", "d", "o"), ("o", "f", "d")):
+            executor = JoinPhaseExecutor(small_query, graph, relations)
+            stats = ExecutionStats()
+            result = executor.run(JoinPlan.from_left_deep(order), stats)
+            outputs.add(result.num_rows)
+            assert stats.output_rows == result.num_rows
+        assert len(outputs) == 1
+
+    def test_cartesian_product_rejected_by_default(self, small_db, small_query):
+        graph, relations = self._reduced(small_db, small_query)
+        executor = JoinPhaseExecutor(small_query, graph, relations)
+        with pytest.raises(ExecutionError):
+            executor.run(JoinPlan.from_left_deep(("d", "o", "f")), ExecutionStats())
+
+    def test_cartesian_product_allowed_when_enabled(self, small_db, small_query):
+        graph, relations = self._reduced(small_db, small_query)
+        executor = JoinPhaseExecutor(
+            small_query, graph, relations, JoinPhaseOptions(allow_cartesian_products=True)
+        )
+        stats = ExecutionStats()
+        result = executor.run(JoinPlan.from_left_deep(("d", "o", "f")), stats)
+        reference = JoinPhaseExecutor(small_query, graph, relations).run(
+            JoinPlan.from_left_deep(("d", "f", "o")), ExecutionStats()
+        )
+        assert result.num_rows == reference.num_rows
+
+    def test_bushy_plan_matches_left_deep(self, small_db, small_query):
+        graph, relations = self._reduced(small_db, small_query)
+        bushy = JoinPlan(root=JoinNode(
+            left=JoinNode(left=LeafNode("f"), right=LeafNode("d")),
+            right=LeafNode("o"),
+        ))
+        left_deep = JoinPlan.from_left_deep(("f", "d", "o"))
+        a = JoinPhaseExecutor(small_query, graph, relations).run(bushy, ExecutionStats())
+        b = JoinPhaseExecutor(small_query, graph, relations).run(left_deep, ExecutionStats())
+        assert a.num_rows == b.num_rows
+
+    def test_build_side_flip_preserves_result(self, small_db, small_query):
+        graph, relations = self._reduced(small_db, small_query)
+        flipped = JoinPlan(root=JoinNode(
+            left=JoinNode(left=LeafNode("f"), right=LeafNode("d"), flip_build_side=True),
+            right=LeafNode("o"),
+        ))
+        normal = JoinPlan.from_left_deep(("f", "d", "o"))
+        a = JoinPhaseExecutor(small_query, graph, relations).run(flipped, ExecutionStats())
+        b = JoinPhaseExecutor(small_query, graph, relations).run(normal, ExecutionStats())
+        assert a.num_rows == b.num_rows
+
+    def test_bloom_prefilter_does_not_change_result(self, small_db, small_query):
+        graph, relations = self._reduced(small_db, small_query)
+        plain = JoinPhaseExecutor(small_query, graph, relations).run(
+            JoinPlan.from_left_deep(("f", "d", "o")), ExecutionStats()
+        )
+        stats = ExecutionStats()
+        with_bloom = JoinPhaseExecutor(
+            small_query, graph, relations, JoinPhaseOptions(bloom_prefilter=True)
+        ).run(JoinPlan.from_left_deep(("f", "d", "o")), stats)
+        assert plain.num_rows == with_bloom.num_rows
+
+    def test_aggregates(self, small_db, small_query):
+        from repro.query import AggregateSpec
+
+        graph, relations = self._reduced(small_db, small_query)
+        query = small_query.with_aggregates(
+            [AggregateSpec("count", output_name="n"), AggregateSpec("sum", "f", "value", "total"),
+             AggregateSpec("min", "f", "value", "lo"), AggregateSpec("max", "f", "value", "hi"),
+             AggregateSpec("avg", "f", "value", "mean")]
+        )
+        executor = JoinPhaseExecutor(query, graph, relations)
+        stats = ExecutionStats()
+        result = executor.run(JoinPlan.from_left_deep(("f", "d", "o")), stats)
+        aggs = executor.aggregate(result, stats)
+        assert aggs["n"] == result.num_rows
+        assert aggs["lo"] <= aggs["mean"] <= aggs["hi"]
+        assert aggs["total"] == pytest.approx(aggs["mean"] * aggs["n"])
+
+    def test_join_step_stats_recorded(self, small_db, small_query):
+        graph, relations = self._reduced(small_db, small_query)
+        stats = ExecutionStats()
+        JoinPhaseExecutor(small_query, graph, relations).run(
+            JoinPlan.from_left_deep(("f", "d", "o")), stats
+        )
+        assert len(stats.join_steps) == 2
+        assert stats.total_intermediate_rows == stats.join_steps[0].output_rows
+        assert stats.total_tuples_processed > 0
+        assert merge_reduced_rows(stats) is not None
+
+
+class TestIntermediateResult:
+    def test_merge_rejects_overlap(self):
+        a = IntermediateResult(positions={"x": np.array([0, 1])})
+        b = IntermediateResult(positions={"x": np.array([0])})
+        with pytest.raises(ExecutionError):
+            a.merge(b, np.array([0]), np.array([0]))
+
+    def test_from_relation_and_take(self):
+        table = Table.from_dict("t", {"a": [10, 20, 30]})
+        relation = BoundRelation.from_table("r", table)
+        result = IntermediateResult.from_relation(relation)
+        assert result.num_rows == 3
+        taken = result.take(np.array([2, 0]))
+        assert taken.column_values({"r": relation}, "r", "a").tolist() == [30, 10]

@@ -1,0 +1,151 @@
+"""Unit tests for the expression language and selectivity estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.expr import (
+    and_,
+    between,
+    col,
+    contains,
+    ends_with,
+    eq,
+    estimate_selectivity,
+    ge,
+    gt,
+    isin,
+    le,
+    lit,
+    lt,
+    ne,
+    not_,
+    or_,
+    starts_with,
+)
+from repro.expr.expressions import Comparison
+from repro.storage import Table
+from repro.storage.catalog import TableStatistics
+
+
+@pytest.fixture()
+def table() -> Table:
+    return Table.from_dict(
+        "t",
+        {
+            "x": [1, 5, 10, 15, 20],
+            "y": [2.0, 4.0, 6.0, 8.0, 10.0],
+            "s": ["apple", "banana", "apricot", "cherry", "blueberry"],
+        },
+    )
+
+
+class TestComparisons:
+    def test_eq_int(self, table):
+        assert eq("x", 10).evaluate(table).tolist() == [False, False, True, False, False]
+
+    def test_ne(self, table):
+        assert ne("x", 10).evaluate(table).sum() == 4
+
+    def test_lt_le_gt_ge(self, table):
+        assert lt("x", 10).evaluate(table).sum() == 2
+        assert le("x", 10).evaluate(table).sum() == 3
+        assert gt("x", 10).evaluate(table).sum() == 2
+        assert ge("x", 10).evaluate(table).sum() == 3
+
+    def test_eq_string_uses_dictionary(self, table):
+        assert eq("s", "cherry").evaluate(table).tolist() == [False, False, False, True, False]
+
+    def test_eq_missing_string_matches_nothing(self, table):
+        assert eq("s", "zucchini").evaluate(table).sum() == 0
+
+    def test_ordered_string_comparison_decodes(self, table):
+        # Lexicographic: strings < "b" are only "apple" and "apricot".
+        assert lt("s", "b").evaluate(table).sum() == 2
+
+    def test_invalid_operator_raises(self):
+        with pytest.raises(ExecutionError):
+            Comparison("x", "<>", 1)
+
+    def test_referenced_columns(self):
+        assert eq("x", 1).referenced_columns() == frozenset({"x"})
+
+
+class TestCompoundPredicates:
+    def test_between(self, table):
+        assert between("x", 5, 15).evaluate(table).sum() == 3
+
+    def test_isin(self, table):
+        assert isin("x", [1, 20, 99]).evaluate(table).sum() == 2
+
+    def test_isin_strings(self, table):
+        assert isin("s", ["apple", "cherry"]).evaluate(table).sum() == 2
+
+    def test_string_predicates(self, table):
+        assert starts_with("s", "ap").evaluate(table).sum() == 2
+        assert ends_with("s", "berry").evaluate(table).sum() == 1
+        assert contains("s", "an").evaluate(table).sum() == 1
+
+    def test_string_predicate_on_numeric_raises(self, table):
+        with pytest.raises(ExecutionError):
+            starts_with("x", "a").evaluate(table)
+
+    def test_and_or_not(self, table):
+        expr = and_(gt("x", 1), lt("x", 20))
+        assert expr.evaluate(table).sum() == 3
+        expr = or_(eq("x", 1), eq("x", 20))
+        assert expr.evaluate(table).sum() == 2
+        assert not_(eq("x", 1)).evaluate(table).sum() == 4
+
+    def test_operator_overloads(self, table):
+        expr = (gt("x", 1) & lt("x", 20)) | eq("x", 1)
+        assert expr.evaluate(table).sum() == 4
+        assert (~eq("x", 1)).evaluate(table).sum() == 4
+
+    def test_column_ref_and_literal(self, table):
+        assert col("x").evaluate(table).tolist() == [1, 5, 10, 15, 20]
+        assert lit(7).evaluate(table).tolist() == [7] * 5
+
+    def test_referenced_columns_compound(self, table):
+        expr = and_(eq("x", 1), or_(lt("y", 3.0), eq("s", "apple")))
+        assert expr.referenced_columns() == frozenset({"x", "y", "s"})
+
+
+class TestSelectivity:
+    def test_none_is_one(self):
+        assert estimate_selectivity(None) == 1.0
+
+    def test_equality_uses_distinct_counts(self):
+        stats = TableStatistics(num_rows=1000, distinct_counts={"x": 50})
+        assert estimate_selectivity(eq("x", 1), stats) == pytest.approx(1 / 50)
+
+    def test_equality_default(self):
+        assert estimate_selectivity(eq("x", 1)) == pytest.approx(0.1)
+
+    def test_conjunction_multiplies(self):
+        stats = TableStatistics(num_rows=1000, distinct_counts={"x": 10, "y": 10})
+        sel = estimate_selectivity(and_(eq("x", 1), eq("y", 2)), stats)
+        assert sel == pytest.approx(0.01)
+
+    def test_disjunction_inclusion_exclusion(self):
+        stats = TableStatistics(num_rows=100, distinct_counts={"x": 2})
+        sel = estimate_selectivity(or_(eq("x", 1), eq("x", 2)), stats)
+        assert sel == pytest.approx(0.75)
+
+    def test_not_complements(self):
+        stats = TableStatistics(num_rows=100, distinct_counts={"x": 4})
+        assert estimate_selectivity(not_(eq("x", 1)), stats) == pytest.approx(0.75)
+
+    def test_in_list_scales_with_values(self):
+        stats = TableStatistics(num_rows=100, distinct_counts={"x": 10})
+        assert estimate_selectivity(isin("x", [1, 2, 3]), stats) == pytest.approx(0.3)
+
+    def test_clamped_to_unit_interval(self):
+        stats = TableStatistics(num_rows=10, distinct_counts={"x": 1})
+        assert 0.0 <= estimate_selectivity(isin("x", list(range(100))), stats) <= 1.0
+
+    def test_range_default(self):
+        assert estimate_selectivity(lt("x", 5)) == pytest.approx(1 / 3)
+        assert estimate_selectivity(between("x", 1, 2)) == pytest.approx(0.25)

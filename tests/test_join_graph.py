@@ -1,0 +1,153 @@
+"""Unit tests for join graph construction and attribute equivalence classes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import JoinGraph
+from repro.errors import PlanError
+from repro.query import JoinCondition, QuerySpec, RelationRef
+
+
+def _query_star() -> QuerySpec:
+    """k -(keyword_id)- mk -(movie_id)- t -(movie_id)- mi."""
+    return QuerySpec(
+        name="star",
+        relations=(
+            RelationRef("k", "keyword"),
+            RelationRef("mk", "movie_keyword"),
+            RelationRef("t", "title"),
+            RelationRef("mi", "movie_info"),
+        ),
+        joins=(
+            JoinCondition("mk", "keyword_id", "k", "id"),
+            JoinCondition("mk", "movie_id", "t", "id"),
+            JoinCondition("mi", "movie_id", "t", "id"),
+        ),
+    )
+
+
+def _query_composite() -> QuerySpec:
+    """Two relations joined on two attributes (composite-key join)."""
+    return QuerySpec(
+        name="composite",
+        relations=(RelationRef("ss", "store_sales"), RelationRef("sr", "store_returns")),
+        joins=(
+            JoinCondition("ss", "ss_item_sk", "sr", "sr_item_sk"),
+            JoinCondition("ss", "ss_ticket_number", "sr", "sr_ticket_number"),
+        ),
+    )
+
+
+SIZES = {"k": 100, "mk": 5_000, "t": 2_000, "mi": 15_000}
+
+
+class TestAttributeClasses:
+    def test_transitive_equality_merges_classes(self):
+        graph = JoinGraph.from_query(_query_star(), SIZES)
+        # mk.movie_id = t.id and mi.movie_id = t.id must end up in one class.
+        movie_classes = [
+            ac for ac in graph.attribute_classes.values()
+            if ("t", "id") in ac.members
+        ]
+        assert len(movie_classes) == 1
+        assert ("mk", "movie_id") in movie_classes[0].members
+        assert ("mi", "movie_id") in movie_classes[0].members
+
+    def test_two_classes_total(self):
+        graph = JoinGraph.from_query(_query_star(), SIZES)
+        assert len(graph.attribute_classes) == 2
+
+    def test_column_of(self):
+        graph = JoinGraph.from_query(_query_star(), SIZES)
+        (movie_class,) = [ac for ac in graph.attribute_classes.values() if ac.touches("mi")]
+        assert movie_class.column_of("mi") == "movie_id"
+        assert movie_class.column_of("t") == "id"
+        with pytest.raises(PlanError):
+            movie_class.column_of("k")
+
+
+class TestEdges:
+    def test_edges_and_weights(self):
+        graph = JoinGraph.from_query(_query_star(), SIZES)
+        # Transitive equality also creates an mk-mi edge (both contain movie_id).
+        pairs = {edge.aliases() for edge in graph.edges}
+        assert frozenset({"mk", "k"}) in pairs
+        assert frozenset({"mk", "t"}) in pairs
+        assert frozenset({"mi", "t"}) in pairs
+        assert frozenset({"mk", "mi"}) in pairs
+        assert all(edge.weight == 1 for edge in graph.edges)
+
+    def test_composite_edge_weight(self):
+        graph = JoinGraph.from_query(_query_composite(), {"ss": 100, "sr": 10})
+        assert len(graph.edges) == 1
+        assert graph.edges[0].weight == 2
+
+    def test_edge_between_and_other(self):
+        graph = JoinGraph.from_query(_query_star(), SIZES)
+        edge = graph.edge_between("mk", "k")
+        assert edge is not None
+        assert edge.other("mk") == "k"
+        assert graph.edge_between("k", "mi") is None
+        with pytest.raises(PlanError):
+            edge.other("t")
+
+    def test_neighbors(self):
+        graph = JoinGraph.from_query(_query_star(), SIZES)
+        assert graph.neighbors("t") == frozenset({"mk", "mi"})
+        assert graph.neighbors("k") == frozenset({"mk"})
+
+
+class TestGraphProperties:
+    def test_sizes_and_largest(self):
+        graph = JoinGraph.from_query(_query_star(), SIZES)
+        assert graph.size("mi") == 15_000
+        assert graph.largest_relation() == "mi"
+
+    def test_missing_sizes_default_to_zero(self):
+        graph = JoinGraph.from_query(_query_star())
+        assert graph.size("mi") == 0
+
+    def test_connectivity(self):
+        graph = JoinGraph.from_query(_query_star(), SIZES)
+        assert graph.is_connected()
+        assert graph.connected_components() == (frozenset({"k", "mk", "t", "mi"}),)
+
+    def test_disconnected_components(self):
+        query = QuerySpec(
+            name="two_parts",
+            relations=(RelationRef("a", "t"), RelationRef("b", "t"), RelationRef("c", "t"), RelationRef("d", "t")),
+            joins=(JoinCondition("a", "x", "b", "x"), JoinCondition("c", "y", "d", "y")),
+        )
+        graph = JoinGraph.from_query(query)
+        assert not graph.is_connected()
+        assert len(graph.connected_components()) == 2
+
+    def test_mst_weight_upper_bound(self):
+        graph = JoinGraph.from_query(_query_star(), SIZES)
+        # keyword_id connects 2 relations (1 edge), movie_id connects 3 (2 edges).
+        assert graph.total_mst_weight_upper_bound() == 3
+
+
+class TestSubgraph:
+    def test_subgraph_preserves_parent_attribute_classes(self):
+        graph = JoinGraph.from_query(_query_star(), SIZES)
+        sub = graph.subgraph(["mk", "mi"])
+        # Even without a direct join condition, mk and mi share the movie_id class.
+        assert sub.edge_between("mk", "mi") is not None
+        assert sub.is_connected()
+
+    def test_subgraph_sizes_carried_over(self):
+        graph = JoinGraph.from_query(_query_star(), SIZES)
+        sub = graph.subgraph(["t", "mi"])
+        assert sub.size("mi") == 15_000
+
+    def test_subgraph_unknown_alias_raises(self):
+        graph = JoinGraph.from_query(_query_star(), SIZES)
+        with pytest.raises(PlanError):
+            graph.subgraph(["zz"])
+
+    def test_subgraph_can_be_disconnected(self):
+        graph = JoinGraph.from_query(_query_star(), SIZES)
+        sub = graph.subgraph(["k", "mi"])
+        assert not sub.is_connected()

@@ -1,0 +1,198 @@
+"""Unit tests for join trees, GYO ear removal, and acyclicity tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    JoinGraph,
+    gyo_reduction,
+    has_composite_edges,
+    is_alpha_acyclic,
+    is_gamma_acyclic,
+    is_join_tree,
+    is_maximum_spanning_tree,
+    join_tree_from_gyo,
+    largest_root,
+    maximum_spanning_tree_weight,
+)
+from repro.core.join_tree import attribute_subgraph_connected
+from repro.errors import AcyclicityError, PlanError
+from repro.query import JoinCondition, QuerySpec, RelationRef
+
+
+def _graph(relations, joins, sizes=None) -> JoinGraph:
+    query = QuerySpec(
+        name="q",
+        relations=tuple(RelationRef(a, f"table_{a}") for a in relations),
+        joins=tuple(JoinCondition(*j) for j in joins),
+    )
+    return JoinGraph.from_query(query, sizes or {a: 10 * (i + 1) for i, a in enumerate(relations)})
+
+
+@pytest.fixture()
+def acyclic_graph() -> JoinGraph:
+    """k - mk - t - mi (with transitive mk-mi edge), acyclic."""
+    return _graph(
+        ["k", "mk", "t", "mi"],
+        [("mk", "kid", "k", "id"), ("mk", "mid", "t", "id"), ("mi", "mid", "t", "id")],
+        {"k": 100, "mk": 5000, "t": 2000, "mi": 15000},
+    )
+
+
+@pytest.fixture()
+def triangle_graph() -> JoinGraph:
+    """A genuine cycle: a-b on x, b-c on y, a-c on z (three distinct attributes)."""
+    return _graph(
+        ["a", "b", "c"],
+        [("a", "x", "b", "x"), ("b", "y", "c", "y"), ("a", "z", "c", "z")],
+    )
+
+
+@pytest.fixture()
+def non_gamma_graph() -> JoinGraph:
+    """R(A,B,C) ⋈ S(A,B) ⋈ T(B,C): alpha-acyclic but not gamma-acyclic."""
+    return _graph(
+        ["r", "s", "t"],
+        [("r", "a", "s", "a"), ("r", "b", "s", "b"), ("r", "b", "t", "b"), ("r", "c", "t", "c")],
+    )
+
+
+class TestGyo:
+    def test_acyclic_reduces_to_one(self, acyclic_graph):
+        remaining, sequence = gyo_reduction(acyclic_graph)
+        assert len(remaining) <= 1
+        assert len(sequence) >= 3
+
+    def test_triangle_does_not_reduce(self, triangle_graph):
+        remaining, _ = gyo_reduction(triangle_graph)
+        assert len(remaining) == 3
+
+    def test_alpha_acyclicity(self, acyclic_graph, triangle_graph, non_gamma_graph):
+        assert is_alpha_acyclic(acyclic_graph)
+        assert not is_alpha_acyclic(triangle_graph)
+        assert is_alpha_acyclic(non_gamma_graph)
+
+    def test_single_relation_acyclic(self):
+        graph = _graph(["a"], [])
+        assert is_alpha_acyclic(graph)
+
+    def test_join_tree_from_gyo_is_join_tree(self, acyclic_graph):
+        tree = join_tree_from_gyo(acyclic_graph)
+        assert is_join_tree(tree)
+
+    def test_join_tree_from_gyo_rejects_cyclic(self, triangle_graph):
+        with pytest.raises(AcyclicityError):
+            join_tree_from_gyo(triangle_graph)
+
+
+class TestGammaAcyclicity:
+    def test_gamma_acyclic_star(self, acyclic_graph):
+        assert is_gamma_acyclic(acyclic_graph)
+
+    def test_non_gamma_example(self, non_gamma_graph):
+        assert not is_gamma_acyclic(non_gamma_graph)
+
+    def test_cyclic_is_not_gamma(self, triangle_graph):
+        assert not is_gamma_acyclic(triangle_graph)
+
+    def test_composite_edges_flag(self, acyclic_graph, non_gamma_graph):
+        assert not has_composite_edges(acyclic_graph)
+        assert has_composite_edges(non_gamma_graph)
+
+
+class TestJoinTreeStructure:
+    def test_traversals(self, acyclic_graph):
+        tree = largest_root(acyclic_graph)
+        post = tree.post_order()
+        level = tree.level_order()
+        assert set(post) == set(level) == set(acyclic_graph.aliases)
+        assert post[-1] == tree.root
+        assert level[0] == tree.root
+        # Children always appear before parents in post-order.
+        for edge in tree.edges:
+            assert post.index(edge.child) < post.index(edge.parent)
+        # Parents always appear before children in level order.
+        for edge in tree.edges:
+            assert level.index(edge.parent) < level.index(edge.child)
+
+    def test_parent_child_navigation(self, acyclic_graph):
+        tree = largest_root(acyclic_graph)
+        assert tree.parent_of(tree.root) is None
+        for edge in tree.edges:
+            assert tree.parent_of(edge.child) == edge.parent
+            assert edge.child in tree.children_of(edge.parent)
+        assert tree.depth_of(tree.root) == 0
+        assert tree.height() >= 1
+
+    def test_leaves_and_subtrees(self, acyclic_graph):
+        tree = largest_root(acyclic_graph)
+        leaves = tree.leaves()
+        assert leaves
+        for leaf in leaves:
+            assert tree.children_of(leaf) == ()
+            assert tree.subtree_nodes(leaf) == frozenset({leaf})
+        assert tree.subtree_nodes(tree.root) == tree.nodes
+
+    def test_bottom_up_join_order_is_connected(self, acyclic_graph):
+        tree = largest_root(acyclic_graph)
+        order = tree.bottom_up_join_order()
+        joined = {order[0]}
+        for alias in order[1:]:
+            assert acyclic_graph.neighbors(alias) & joined
+            joined.add(alias)
+
+    def test_invalid_tree_rejected(self, acyclic_graph):
+        from repro.core.join_tree import JoinTree, TreeEdge
+
+        with pytest.raises(PlanError):
+            JoinTree(
+                root="t",
+                edges=(
+                    TreeEdge("mk", "t", ("a",)),
+                    TreeEdge("mk", "mi", ("a",)),  # two parents for mk
+                    TreeEdge("k", "mk", ("b",)),
+                ),
+                graph=acyclic_graph,
+            )
+
+
+class TestLemma32:
+    """Both directions of Lemma 3.2: join tree <=> maximum spanning tree."""
+
+    def test_mst_weight(self, acyclic_graph):
+        assert maximum_spanning_tree_weight(acyclic_graph) == acyclic_graph.total_mst_weight_upper_bound()
+
+    def test_largest_root_tree_is_both(self, acyclic_graph, non_gamma_graph):
+        for graph in (acyclic_graph, non_gamma_graph):
+            tree = largest_root(graph)
+            assert is_maximum_spanning_tree(tree)
+            assert is_join_tree(tree)
+
+    def test_non_mst_spanning_tree_is_not_join_tree(self, non_gamma_graph):
+        """Attach S and T to each other (weight-1 edge) instead of both to R."""
+        from repro.core.join_tree import JoinTree, TreeEdge
+
+        bad = JoinTree(
+            root="r",
+            edges=(
+                TreeEdge("s", "r", non_gamma_graph.shared_attributes("s", "r")),
+                TreeEdge("t", "s", non_gamma_graph.shared_attributes("t", "s")),
+            ),
+            graph=non_gamma_graph,
+        )
+        assert not is_maximum_spanning_tree(bad)
+        assert not is_join_tree(bad)
+
+    def test_attribute_subgraph_connectivity_detects_breaks(self, acyclic_graph):
+        from repro.core.join_tree import JoinTree, TreeEdge
+
+        # Valid join tree: mk-mi both under t.
+        good = largest_root(acyclic_graph)
+        for attribute in acyclic_graph.attribute_classes:
+            assert attribute_subgraph_connected(good, attribute)
+
+    def test_mst_weight_disconnected_raises(self):
+        graph = _graph(["a", "b", "c"], [("a", "x", "b", "x")])
+        with pytest.raises(AcyclicityError):
+            maximum_spanning_tree_weight(graph)

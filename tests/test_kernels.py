@@ -1,0 +1,140 @@
+"""Unit and property tests for the vectorized execution kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ExecutionError
+from repro.exec.kernels import (
+    bloom_probe_cost,
+    combine_key_columns,
+    combine_key_columns_pair,
+    estimate_join_cardinality,
+    hash_probe_cost,
+    match_keys,
+    semi_join_mask,
+)
+
+small_ints = st.integers(min_value=-50, max_value=50)
+
+
+def _brute_force_matches(probe, build):
+    pairs = []
+    for i, p in enumerate(probe):
+        for j, b in enumerate(build):
+            if p == b:
+                pairs.append((i, j))
+    return sorted(pairs)
+
+
+class TestMatchKeys:
+    def test_simple_match(self):
+        matches = match_keys(np.array([1, 2, 3]), np.array([2, 3, 3, 9]))
+        pairs = sorted(zip(matches.probe_indices.tolist(), matches.build_indices.tolist()))
+        assert pairs == [(1, 0), (2, 1), (2, 2)]
+        assert matches.num_matches == 3
+
+    def test_no_matches(self):
+        matches = match_keys(np.array([1, 2]), np.array([5, 6]))
+        assert matches.num_matches == 0
+
+    def test_empty_inputs(self):
+        assert match_keys(np.array([], dtype=np.int64), np.array([1])).num_matches == 0
+        assert match_keys(np.array([1]), np.array([], dtype=np.int64)).num_matches == 0
+
+    def test_duplicates_both_sides(self):
+        matches = match_keys(np.array([7, 7]), np.array([7, 7, 7]))
+        assert matches.num_matches == 6
+
+    @given(
+        st.lists(small_ints, max_size=60),
+        st.lists(small_ints, max_size=60),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_matches_equal_brute_force(self, probe, build):
+        matches = match_keys(np.asarray(probe, dtype=np.int64), np.asarray(build, dtype=np.int64))
+        got = sorted(zip(matches.probe_indices.tolist(), matches.build_indices.tolist()))
+        assert got == _brute_force_matches(probe, build)
+
+
+class TestSemiJoinMask:
+    def test_basic(self):
+        mask = semi_join_mask(np.array([1, 2, 3, 4]), np.array([2, 4, 9]))
+        assert mask.tolist() == [False, True, False, True]
+
+    def test_empty_filter_removes_all(self):
+        assert semi_join_mask(np.array([1, 2]), np.array([], dtype=np.int64)).sum() == 0
+
+    def test_empty_keys(self):
+        assert semi_join_mask(np.array([], dtype=np.int64), np.array([1])).shape == (0,)
+
+    @given(st.lists(small_ints, max_size=60), st.lists(small_ints, max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_python_membership(self, keys, filter_keys):
+        mask = semi_join_mask(np.asarray(keys, dtype=np.int64), np.asarray(filter_keys, dtype=np.int64))
+        expected = [k in set(filter_keys) for k in keys]
+        assert mask.tolist() == expected
+
+
+class TestCompositeKeys:
+    def test_single_column_passthrough(self):
+        col = np.array([4, 5, 6], dtype=np.int64)
+        assert combine_key_columns([col]).tolist() == [4, 5, 6]
+
+    def test_composite_equality_preserved(self):
+        left = [np.array([1, 1, 2]), np.array([10, 20, 10])]
+        right = [np.array([1, 2, 1]), np.array([20, 10, 30])]
+        lk, rk = combine_key_columns_pair(left, right)
+        # (1,20) appears at left[1] and right[0]; (2,10) at left[2] and right[1].
+        assert lk[1] == rk[0]
+        assert lk[2] == rk[1]
+        # Distinct composites stay distinct.
+        assert lk[0] != rk[0] and lk[0] != rk[2]
+
+    def test_mismatched_column_counts_raise(self):
+        with pytest.raises(ExecutionError):
+            combine_key_columns_pair([np.array([1])], [np.array([1]), np.array([2])])
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ExecutionError):
+            combine_key_columns([np.array([1, 2]), np.array([1])])
+
+    def test_empty_column_list_raises(self):
+        with pytest.raises(ExecutionError):
+            combine_key_columns([])
+
+    @given(
+        st.lists(st.tuples(small_ints, small_ints), min_size=1, max_size=40),
+        st.lists(st.tuples(small_ints, small_ints), min_size=1, max_size=40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_composite_join_equals_tuple_join(self, left, right):
+        """Joining on the combined key is identical to joining on the tuple."""
+        left_cols = [np.array([p[0] for p in left]), np.array([p[1] for p in left])]
+        right_cols = [np.array([p[0] for p in right]), np.array([p[1] for p in right])]
+        lk, rk = combine_key_columns_pair(left_cols, right_cols)
+        matches = match_keys(lk, rk)
+        got = sorted(zip(matches.probe_indices.tolist(), matches.build_indices.tolist()))
+        expected = sorted(
+            (i, j) for i, lp in enumerate(left) for j, rp in enumerate(right) if lp == rp
+        )
+        assert got == expected
+
+
+class TestCostHelpers:
+    def test_join_cardinality_estimate(self):
+        assert estimate_join_cardinality(0, 10, 1, 1) == 0.0
+        assert estimate_join_cardinality(100, 200, 50, 100) == pytest.approx(200.0)
+
+    def test_probe_costs_monotone(self):
+        assert hash_probe_cost(1000, 10_000_000) > hash_probe_cost(1000, 100)
+        assert bloom_probe_cost(1000, 10_000_000) > bloom_probe_cost(1000, 100)
+        assert hash_probe_cost(0, 100) == 0.0
+        assert bloom_probe_cost(0, 100) == 0.0
+
+    def test_bloom_probe_cheaper_than_hash_probe(self):
+        for build in (1_000, 100_000, 10_000_000):
+            assert bloom_probe_cost(10_000, build) < hash_probe_cost(10_000, build)

@@ -1,0 +1,127 @@
+"""Unit tests for the declarative query specification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PlanError
+from repro.query import (
+    AggregateSpec,
+    JoinCondition,
+    PostJoinPredicate,
+    QualifiedComparison,
+    QuerySpec,
+    RelationRef,
+    count_star,
+)
+
+
+def _two_table_query() -> QuerySpec:
+    return QuerySpec(
+        name="q",
+        relations=(RelationRef("a", "ta"), RelationRef("b", "tb")),
+        joins=(JoinCondition("a", "x", "b", "y"),),
+    )
+
+
+class TestRelationRef:
+    def test_requires_names(self):
+        with pytest.raises(PlanError):
+            RelationRef("", "t")
+        with pytest.raises(PlanError):
+            RelationRef("a", "")
+
+
+class TestJoinCondition:
+    def test_self_join_same_alias_rejected(self):
+        with pytest.raises(PlanError):
+            JoinCondition("a", "x", "a", "y")
+
+    def test_aliases_and_side(self):
+        join = JoinCondition("a", "x", "b", "y")
+        assert join.aliases() == frozenset({"a", "b"})
+        assert join.side("a") == "x"
+        assert join.side("b") == "y"
+        with pytest.raises(PlanError):
+            join.side("c")
+
+
+class TestAggregateSpec:
+    def test_count_star_default(self):
+        agg = count_star()
+        assert agg.function == "count"
+
+    def test_sum_requires_column(self):
+        with pytest.raises(PlanError):
+            AggregateSpec(function="sum")
+
+    def test_unknown_function(self):
+        with pytest.raises(PlanError):
+            AggregateSpec(function="median", alias="a", column="x")
+
+
+class TestQuerySpec:
+    def test_basic_introspection(self):
+        q = _two_table_query()
+        assert q.aliases == ("a", "b")
+        assert q.num_joins == 1
+        assert q.relation("a").table == "ta"
+        assert q.joins_between("a", "b") == q.joins
+        assert q.joins_between("b", "a") == q.joins
+        assert q.joins_involving("a") == q.joins
+        assert q.neighbors("a") == frozenset({"b"})
+        assert q.is_connected()
+
+    def test_duplicate_aliases_rejected(self):
+        with pytest.raises(PlanError):
+            QuerySpec(
+                name="bad",
+                relations=(RelationRef("a", "t"), RelationRef("a", "t")),
+                joins=(),
+            )
+
+    def test_unknown_join_alias_rejected(self):
+        with pytest.raises(PlanError):
+            QuerySpec(
+                name="bad",
+                relations=(RelationRef("a", "t"),),
+                joins=(JoinCondition("a", "x", "b", "y"),),
+            )
+
+    def test_unknown_relation_lookup_raises(self):
+        with pytest.raises(PlanError):
+            _two_table_query().relation("zz")
+
+    def test_disconnected_query_detected(self):
+        q = QuerySpec(
+            name="disc",
+            relations=(RelationRef("a", "t"), RelationRef("b", "t"), RelationRef("c", "t")),
+            joins=(JoinCondition("a", "x", "b", "x"),),
+        )
+        assert not q.is_connected()
+
+    def test_post_join_predicate_alias_validation(self):
+        predicate = PostJoinPredicate(
+            disjuncts=((QualifiedComparison("z", "c", "==", 1),),)
+        )
+        with pytest.raises(PlanError):
+            QuerySpec(
+                name="bad",
+                relations=(RelationRef("a", "t"),),
+                joins=(),
+                post_join_predicates=(predicate,),
+            )
+
+    def test_post_join_predicate_required_aliases(self):
+        predicate = PostJoinPredicate(
+            disjuncts=(
+                (QualifiedComparison("a", "x", "<", 5), QualifiedComparison("b", "y", ">", 1)),
+                (QualifiedComparison("a", "x", ">", 50),),
+            )
+        )
+        assert predicate.required_aliases() == frozenset({"a", "b"})
+
+    def test_with_aggregates(self):
+        q = _two_table_query().with_aggregates([AggregateSpec("sum", "a", "x", "total")])
+        assert q.aggregates[0].function == "sum"
+        assert q.name == "q"

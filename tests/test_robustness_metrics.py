@@ -1,0 +1,100 @@
+"""Unit tests for robustness factors, summaries, and speedup helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    geometric_mean,
+    robustness_factor,
+    speedup,
+    summarize_robustness,
+)
+from repro.errors import BenchmarkError
+
+
+class TestRobustnessFactor:
+    def test_basic(self):
+        rf = robustness_factor("q1", "baseline", [1.0, 2.0, 10.0])
+        assert rf.factor == pytest.approx(10.0)
+        assert rf.min_cost == 1.0
+        assert rf.max_cost == 10.0
+        assert rf.median_cost == 2.0
+        assert rf.mean_cost == pytest.approx(13.0 / 3.0)
+        assert rf.num_plans == 3
+
+    def test_even_median(self):
+        rf = robustness_factor("q", "m", [1.0, 2.0, 3.0, 4.0])
+        assert rf.median_cost == pytest.approx(2.5)
+
+    def test_identical_costs_give_rf_one(self):
+        assert robustness_factor("q", "m", [5.0, 5.0, 5.0]).factor == pytest.approx(1.0)
+
+    def test_zero_min_gives_infinite(self):
+        assert math.isinf(robustness_factor("q", "m", [0.0, 1.0]).factor)
+        assert robustness_factor("q", "m", [0.0, 0.0]).factor == 1.0
+
+    def test_empty_costs_rejected(self):
+        with pytest.raises(BenchmarkError):
+            robustness_factor("q", "m", [])
+
+    @given(st.lists(st.floats(min_value=0.001, max_value=1e6), min_size=1, max_size=50))
+    @settings(max_examples=60, deadline=None)
+    def test_factor_at_least_one(self, costs):
+        assert robustness_factor("q", "m", costs).factor >= 1.0 - 1e-12
+
+
+class TestSummaries:
+    def test_summarize(self):
+        factors = [
+            robustness_factor("q1", "m", [1.0, 2.0]),
+            robustness_factor("q2", "m", [1.0, 4.0]),
+            robustness_factor("q3", "m", [3.0, 3.0]),
+        ]
+        summary = summarize_robustness("TPC-H", "m", factors)
+        assert summary.min_rf == pytest.approx(1.0)
+        assert summary.max_rf == pytest.approx(4.0)
+        assert summary.avg_rf == pytest.approx((2.0 + 4.0 + 1.0) / 3.0)
+        assert summary.num_queries == 3
+        assert summary.as_row() == {
+            "avg": summary.avg_rf, "min": summary.min_rf, "max": summary.max_rf,
+        }
+
+    def test_empty_rejected(self):
+        with pytest.raises(BenchmarkError):
+            summarize_robustness("b", "m", [])
+
+    def test_infinite_factors_ignored_when_finite_exist(self):
+        factors = [
+            robustness_factor("q1", "m", [0.0, 1.0]),  # infinite
+            robustness_factor("q2", "m", [1.0, 2.0]),
+        ]
+        summary = summarize_robustness("b", "m", factors)
+        assert math.isfinite(summary.avg_rf)
+        assert summary.num_queries == 2
+
+
+class TestSpeedupHelpers:
+    def test_speedup(self):
+        assert speedup(10.0, 5.0) == pytest.approx(2.0)
+        assert speedup(5.0, 10.0) == pytest.approx(0.5)
+        assert math.isinf(speedup(1.0, 0.0))
+        assert speedup(0.0, 0.0) == 1.0
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geometric_mean([1.0, 1.0, 1.0]) == pytest.approx(1.0)
+
+    def test_geometric_mean_requires_positive(self):
+        with pytest.raises(BenchmarkError):
+            geometric_mean([0.0, -1.0])
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_geometric_mean_between_min_and_max(self, values):
+        gm = geometric_mean(values)
+        assert min(values) - 1e-9 <= gm <= max(values) + 1e-9

@@ -1,0 +1,106 @@
+"""Unit tests for SafeSubjoin and safe join-order checking (Algorithm 2, Lemma 3.7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import JoinGraph, is_gamma_acyclic, is_safe_join_order, safe_subjoin, unsafe_prefixes
+from repro.errors import PlanError
+from repro.query import JoinCondition, QuerySpec, RelationRef
+
+
+def _graph(relations, joins, sizes=None) -> JoinGraph:
+    query = QuerySpec(
+        name="q",
+        relations=tuple(RelationRef(a, f"table_{a}") for a in relations),
+        joins=tuple(JoinCondition(*j) for j in joins),
+    )
+    return JoinGraph.from_query(query, sizes or {a: 10 * (i + 1) for i, a in enumerate(relations)})
+
+
+@pytest.fixture()
+def paper_example() -> JoinGraph:
+    """§3.2 example: R(A,B,C) ⋈ S(A,B) ⋈ T(B,C); only join tree is S - R - T."""
+    return _graph(
+        ["r", "s", "t"],
+        [("r", "a", "s", "a"), ("r", "b", "s", "b"), ("r", "b", "t", "b"), ("r", "c", "t", "c")],
+        {"r": 1000, "s": 1000, "t": 1000},
+    )
+
+
+@pytest.fixture()
+def star_graph() -> JoinGraph:
+    """Gamma-acyclic star: fact joins three dimensions on distinct keys."""
+    return _graph(
+        ["f", "d1", "d2", "d3"],
+        [("f", "k1", "d1", "id"), ("f", "k2", "d2", "id"), ("f", "k3", "d3", "id")],
+        {"f": 10_000, "d1": 10, "d2": 20, "d3": 30},
+    )
+
+
+class TestSafeSubjoin:
+    def test_paper_example_rs_and_rt_safe(self, paper_example):
+        assert safe_subjoin(paper_example, ["r", "s"])
+        assert safe_subjoin(paper_example, ["r", "t"])
+
+    def test_paper_example_st_unsafe(self, paper_example):
+        assert not safe_subjoin(paper_example, ["s", "t"])
+
+    def test_full_query_always_safe(self, paper_example):
+        assert safe_subjoin(paper_example, ["r", "s", "t"])
+
+    def test_single_relation_safe(self, paper_example):
+        assert safe_subjoin(paper_example, ["s"])
+
+    def test_disconnected_subjoin_unsafe(self, star_graph):
+        assert not safe_subjoin(star_graph, ["d1", "d2"])
+
+    def test_star_subjoins_safe(self, star_graph):
+        assert safe_subjoin(star_graph, ["f", "d1"])
+        assert safe_subjoin(star_graph, ["f", "d1", "d3"])
+
+    def test_empty_subjoin_raises(self, paper_example):
+        with pytest.raises(PlanError):
+            safe_subjoin(paper_example, [])
+
+    def test_unknown_alias_raises(self, paper_example):
+        with pytest.raises(PlanError):
+            safe_subjoin(paper_example, ["zz"])
+
+    def test_duplicates_tolerated(self, paper_example):
+        assert safe_subjoin(paper_example, ["r", "s", "r"])
+
+
+class TestSafeJoinOrder:
+    def test_safe_orders(self, paper_example):
+        assert is_safe_join_order(paper_example, ["r", "s", "t"])
+        assert is_safe_join_order(paper_example, ["s", "r", "t"])
+        assert is_safe_join_order(paper_example, ["t", "r", "s"])
+
+    def test_unsafe_order_detected(self, paper_example):
+        assert not is_safe_join_order(paper_example, ["s", "t", "r"])
+        assert not is_safe_join_order(paper_example, ["t", "s", "r"])
+
+    def test_gamma_acyclic_all_connected_orders_safe(self, star_graph):
+        assert is_gamma_acyclic(star_graph)
+        assert is_safe_join_order(star_graph, ["d1", "f", "d2", "d3"])
+        assert is_safe_join_order(star_graph, ["f", "d3", "d2", "d1"])
+
+    def test_cartesian_product_orders_unsafe_even_if_gamma_acyclic(self, star_graph):
+        assert not is_safe_join_order(star_graph, ["d1", "d2", "f", "d3"])
+
+    def test_invalid_permutation_rejected(self, paper_example):
+        with pytest.raises(PlanError):
+            is_safe_join_order(paper_example, ["r", "s"])
+        with pytest.raises(PlanError):
+            is_safe_join_order(paper_example, ["r", "s", "s"])
+
+    def test_unsafe_prefix_reporting(self, paper_example):
+        offenders = unsafe_prefixes(paper_example, ["s", "t", "r"])
+        assert frozenset({"s", "t"}) in offenders
+        assert unsafe_prefixes(paper_example, ["s", "r", "t"]) == []
+
+    def test_forced_gamma_flag_skips_subjoin_checks(self, paper_example):
+        # With the flag forced, the connectivity-only check passes the unsafe order;
+        # this documents that the flag is only sound for genuinely gamma-acyclic queries.
+        assert is_safe_join_order(paper_example, ["s", "t", "r"], assume_gamma_acyclic=True)
