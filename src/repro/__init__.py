@@ -19,6 +19,7 @@ Quickstart::
 
 from repro.engine.database import Database, ExecutionOptions, QueryResult
 from repro.engine.modes import ExecutionMode
+from repro.plan.physical import PhysicalPlan
 from repro.query import (
     AggregateSpec,
     JoinCondition,
@@ -37,6 +38,7 @@ __all__ = [
     "ExecutionMode",
     "ExecutionOptions",
     "JoinCondition",
+    "PhysicalPlan",
     "PostJoinPredicate",
     "QualifiedComparison",
     "QueryResult",

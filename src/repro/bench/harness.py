@@ -92,6 +92,9 @@ class PlanCost:
     intermediate_rows: int
     output_rows: int
     abstract_cost: float = 0.0
+    #: Wall seconds per physical-op kind — the uniform per-op breakdown every
+    #: mode reports now that all modes execute through the PhysicalPlan path.
+    op_seconds: Mapping[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -226,6 +229,25 @@ def robustness_table(
     return table
 
 
+def run_uniform_trace(
+    db: Database,
+    query: QuerySpec,
+    modes: Sequence[ExecutionMode] = tuple(ExecutionMode),
+    plan: Optional[JoinPlan] = None,
+    options: Optional[ExecutionOptions] = None,
+) -> Dict[ExecutionMode, QueryResult]:
+    """Execute one query under every mode and return the per-mode results.
+
+    Because every mode compiles to the same PhysicalPlan op vocabulary, the
+    returned results carry directly comparable per-op traces
+    (``result.stats.op_trace()`` / ``result.stats.op_seconds_by_kind()``).
+    Render them with :func:`repro.bench.reporting.format_op_traces`.
+    """
+    if plan is None:
+        plan = db.optimizer_plan(query, options)
+    return {mode: db.execute(query, mode=mode, plan=plan, options=options) for mode in modes}
+
+
 def _plan_cost(query: QuerySpec, mode: ExecutionMode, plan: JoinPlan, result: QueryResult) -> PlanCost:
     return PlanCost(
         query_name=query.name,
@@ -236,4 +258,5 @@ def _plan_cost(query: QuerySpec, mode: ExecutionMode, plan: JoinPlan, result: Qu
         intermediate_rows=result.stats.total_intermediate_rows,
         output_rows=result.stats.output_rows,
         abstract_cost=result.stats.cost("abstract"),
+        op_seconds=result.stats.op_seconds_by_kind(),
     )

@@ -110,6 +110,21 @@ def format_case_study(
     return "\n".join(lines)
 
 
+def format_op_traces(results: Mapping[ExecutionMode, "object"]) -> str:
+    """Render the uniform per-op traces of one query executed under many modes.
+
+    ``results`` maps each mode to its :class:`~repro.engine.database.QueryResult`
+    (as produced by :func:`repro.bench.harness.run_uniform_trace`).  All
+    modes share the same op vocabulary, so the traces line up row for row.
+    """
+    lines = []
+    for mode, result in results.items():
+        lines.append(f"== {mode.label} ==")
+        lines.append(result.stats.op_trace())
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
 def print_report(report: str) -> str:
     """Print a report and return it (convenience for benchmark files)."""
     print()

@@ -6,18 +6,28 @@ A :class:`Database` owns a catalog of tables and executes
 explicit join plan (the robustness experiments supply random plans) or with
 the built-in optimizer's plan.
 
+Execution is *compile-then-run*: every mode compiles
+``(QuerySpec, JoinPlan, TransferSchedule)`` into one
+:class:`~repro.plan.physical.PhysicalPlan` — a flat list of typed ops
+spanning scan, transfer, and join phases — which the backend-pluggable
+:class:`~repro.exec.pipeline.PipelineExecutor` runs.  The compiled plan and
+its uniform per-op trace are exposed on the :class:`QueryResult`.
+
 Typical usage::
 
     db = Database()
     db.register_dataframe("orders", {"o_orderkey": [...], ...}, primary_key=["o_orderkey"])
     result = db.execute(query, mode=ExecutionMode.RPT)
     print(result.aggregates, result.stats.total_intermediate_rows)
+    print(result.physical_plan.describe())
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Sequence
+
+import numpy as np
 
 from repro.bloom.registry import BloomFilterRegistry
 from repro.core.join_graph import JoinGraph
@@ -32,13 +42,16 @@ from repro.core.transfer_schedule import (
 )
 from repro.engine.modes import ExecutionMode
 from repro.errors import PlanError
-from repro.exec.join_phase import JoinPhaseExecutor, JoinPhaseOptions
-from repro.exec.relation import BoundRelation, bind_relations
+from repro.exec.chunk import DEFAULT_CHUNK_SIZE
+from repro.exec.join_phase import JoinPhaseOptions
+from repro.exec.pipeline import PipelineExecutor, PipelineOptions, make_backend
+from repro.exec.relation import BoundRelation
 from repro.exec.statistics import ExecutionStats
-from repro.exec.transfer import TransferExecutor, TransferOptions
+from repro.exec.transfer import TransferOptions
 from repro.optimizer.cardinality import CardinalityEstimator, EstimationErrorModel
 from repro.optimizer.join_order import JoinOrderOptimizer, JoinOrderOptions
 from repro.plan.join_plan import JoinPlan, validate_plan_for_query
+from repro.plan.physical import PhysicalPlan, compile_execution
 from repro.query import QuerySpec
 from repro.storage.catalog import Catalog
 from repro.storage.datatypes import DataType
@@ -57,11 +70,18 @@ class QueryResult:
     join_tree: Optional[JoinTree] = None
     schedule: Optional[TransferSchedule] = None
     relations: Dict[str, BoundRelation] = field(default_factory=dict)
+    #: The compiled physical plan the execution ran through.
+    physical_plan: Optional[PhysicalPlan] = None
 
     @property
     def output_rows(self) -> int:
         """Number of joined tuples in the final result (before aggregation)."""
         return self.stats.output_rows
+
+    @property
+    def op_stats(self):
+        """Per-op statistics of the compiled plan (uniform across all modes)."""
+        return self.stats.op_stats
 
 
 @dataclass(frozen=True)
@@ -77,6 +97,10 @@ class ExecutionOptions:
     skip_backward_if_aligned: bool = False
     #: Have the engine verify that the chosen join order is safe (SafeSubjoin).
     verify_safe_join_order: bool = False
+    #: Pipeline backend: ``"serial"`` (whole-column) or ``"chunked"`` (morsel-driven).
+    backend: str = "serial"
+    #: Chunk granularity of the chunked backend.
+    chunk_size: int = DEFAULT_CHUNK_SIZE
 
 
 class Database:
@@ -119,13 +143,40 @@ class Database:
     # ------------------------------------------------------------------
     # Planning helpers
     # ------------------------------------------------------------------
-    def join_graph(self, query: QuerySpec, use_filtered_sizes: bool = True) -> JoinGraph:
-        """Build the join graph of a query with (filtered) relation cardinalities."""
+    def filter_masks(self, query: QuerySpec) -> Dict[str, np.ndarray]:
+        """Evaluate every base-table predicate of ``query`` exactly once.
+
+        The returned alias -> boolean-mask mapping feeds both the join-graph
+        cardinalities and the scan's ``FilterPush`` ops, so a predicate is
+        never evaluated twice per execution.
+        """
+        masks: Dict[str, np.ndarray] = {}
+        for ref in query.relations:
+            if ref.filter is not None:
+                masks[ref.alias] = np.asarray(
+                    ref.filter.evaluate(self.catalog.table(ref.table)), dtype=bool
+                )
+        return masks
+
+    def join_graph(
+        self,
+        query: QuerySpec,
+        use_filtered_sizes: bool = True,
+        masks: Optional[Mapping[str, np.ndarray]] = None,
+    ) -> JoinGraph:
+        """Build the join graph of a query with (filtered) relation cardinalities.
+
+        ``masks`` — precomputed base-filter masks from :meth:`filter_masks` —
+        avoids re-evaluating the predicates for the cardinalities.
+        """
         sizes: Dict[str, int] = {}
         for ref in query.relations:
             table = self.catalog.table(ref.table)
             if use_filtered_sizes and ref.filter is not None:
-                sizes[ref.alias] = int(ref.filter.evaluate(table).sum())
+                if masks is not None and ref.alias in masks:
+                    sizes[ref.alias] = int(masks[ref.alias].sum())
+                else:
+                    sizes[ref.alias] = int(ref.filter.evaluate(table).sum())
             else:
                 sizes[ref.alias] = table.num_rows
         return JoinGraph.from_query(query, relation_sizes=sizes)
@@ -185,13 +236,9 @@ class Database:
             )
 
         stats = ExecutionStats(query_name=query.name, mode=mode.value)
-        graph = self.join_graph(query)
-
         with stats.time_phase("scan_filter"):
-            relations = bind_relations(query.relations, self.catalog)
-        for ref in query.relations:
-            stats.base_rows[ref.alias] = self.catalog.table(ref.table).num_rows
-            stats.filtered_rows[ref.alias] = relations[ref.alias].num_rows
+            masks = self.filter_masks(query)
+        graph = self.join_graph(query, masks=masks)
 
         join_tree: Optional[JoinTree] = None
         schedule: Optional[TransferSchedule] = None
@@ -209,31 +256,45 @@ class Database:
                     f"for query {query.name!r}"
                 )
 
-        if schedule is not None:
-            if options.skip_backward_if_aligned and self._order_aligned(plan, join_tree):
-                schedule = schedule.without_backward_pass()
-            transfer_options = self._transfer_options(mode, options)
-            executor = TransferExecutor(graph, relations, transfer_options, BloomFilterRegistry())
-            executor.run(schedule, stats)
+        if schedule is not None and options.skip_backward_if_aligned and self._order_aligned(plan, join_tree):
+            schedule = schedule.without_backward_pass()
 
-        join_options = JoinPhaseOptions(
-            bloom_prefilter=mode.uses_per_join_bloom,
-            fpr=options.join.fpr,
-            allow_cartesian_products=options.join.allow_cartesian_products,
+        physical = compile_execution(
+            query,
+            mode,
+            plan,
+            graph,
+            tables={ref.alias: self.catalog.table(ref.table) for ref in query.relations},
+            schedule=schedule,
         )
-        join_executor = JoinPhaseExecutor(query, graph, relations, join_options)
-        result = join_executor.run(plan, stats)
-        aggregates = join_executor.aggregate(result, stats)
+        executor = PipelineExecutor(
+            query,
+            graph,
+            catalog=self.catalog,
+            options=PipelineOptions(
+                transfer_fpr=options.transfer.fpr,
+                join_fpr=options.join.fpr,
+                prune_trivial_semijoins=options.transfer.prune_trivial_semijoins,
+                allow_cartesian_products=options.join.allow_cartesian_products,
+            ),
+            backend=make_backend(options.backend, options.chunk_size),
+            registry=BloomFilterRegistry(),
+        )
+        run = executor.run(physical, stats, masks=masks)
+        if schedule is not None:
+            for alias, relation in run.relations.items():
+                stats.reduced_rows[alias] = relation.num_rows
 
         return QueryResult(
             query=query,
             mode=mode,
             plan=plan,
-            aggregates=aggregates,
+            aggregates=run.aggregates or {},
             stats=stats,
             join_tree=join_tree,
             schedule=schedule,
-            relations=relations,
+            relations=run.relations,
+            physical_plan=physical,
         )
 
     # ------------------------------------------------------------------
@@ -252,13 +313,6 @@ class Database:
             transfer_graph = small2large(graph)
             return None, schedule_from_transfer_graph(transfer_graph)
         raise PlanError(f"mode {mode} does not use a transfer phase")
-
-    def _transfer_options(self, mode: ExecutionMode, options: ExecutionOptions) -> TransferOptions:
-        return TransferOptions(
-            use_bloom=mode.uses_bloom_filters,
-            fpr=options.transfer.fpr,
-            prune_trivial_semijoins=options.transfer.prune_trivial_semijoins,
-        )
 
     def _order_aligned(self, plan: JoinPlan, tree: Optional[JoinTree]) -> bool:
         """True when a left-deep plan joins relations top-down along the join tree."""

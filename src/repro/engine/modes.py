@@ -11,6 +11,19 @@
   contribution.
 * ``YANNAKAKIS`` — exact (hash-based) semi-join reduction over the
   LargestRoot join tree; the classical algorithm PT/RPT approximate.
+
+Every mode compiles into the same :class:`~repro.plan.physical.PhysicalPlan`
+op vocabulary; the property flags below drive that compilation:
+
+==============  ==============  ============  ===============  =============
+mode            transfer phase  Bloom xfer    exact semi-join  per-join SIP
+==============  ==============  ============  ===============  =============
+``BASELINE``    no              no            no               no
+``BLOOM_JOIN``  no              no            no               yes
+``PT``          yes             yes           no               no
+``RPT``         yes             yes           no               no
+``YANNAKAKIS``  yes             no            yes              no
+==============  ==============  ============  ===============  =============
 """
 
 from __future__ import annotations
@@ -36,6 +49,11 @@ class ExecutionMode(enum.Enum):
     def uses_bloom_filters(self) -> bool:
         """True for modes whose transfer phase uses Bloom filters (not exact semi-joins)."""
         return self in (ExecutionMode.PT, ExecutionMode.RPT)
+
+    @property
+    def uses_exact_semijoins(self) -> bool:
+        """True for modes whose transfer phase is exact (no false positives)."""
+        return self is ExecutionMode.YANNAKAKIS
 
     @property
     def uses_per_join_bloom(self) -> bool:

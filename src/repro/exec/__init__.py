@@ -3,7 +3,9 @@
 from repro.exec.chunk import DEFAULT_CHUNK_SIZE, DataChunk, iter_chunks, num_chunks
 from repro.exec.join_phase import JoinPhaseExecutor, JoinPhaseOptions
 from repro.exec.kernels import (
+    HashIndex,
     JoinMatches,
+    as_hash_index,
     bloom_probe_cost,
     combine_key_columns,
     combine_key_columns_pair,
@@ -12,11 +14,22 @@ from repro.exec.kernels import (
     semi_join_mask,
 )
 from repro.exec.parallel import ParallelismModel, simulate_parallel_cost
+from repro.exec.pipeline import (
+    ChunkedBackend,
+    ExecutionBackend,
+    PipelineExecutor,
+    PipelineOptions,
+    PipelineResult,
+    SerialBackend,
+    compute_aggregates,
+    make_backend,
+)
 from repro.exec.relation import BoundRelation, IntermediateResult, bind_relations
 from repro.exec.spill import SpillConfig, simulate_spill
 from repro.exec.statistics import (
     ExecutionStats,
     JoinStepStats,
+    OpStats,
     PhaseTimings,
     TransferStepStats,
     merge_reduced_rows,
@@ -26,25 +39,36 @@ from repro.exec.transfer import TransferExecutor, TransferOptions
 __all__ = [
     "DEFAULT_CHUNK_SIZE",
     "BoundRelation",
+    "ChunkedBackend",
     "DataChunk",
+    "ExecutionBackend",
     "ExecutionStats",
+    "HashIndex",
     "IntermediateResult",
     "JoinMatches",
     "JoinPhaseExecutor",
     "JoinPhaseOptions",
     "JoinStepStats",
+    "OpStats",
     "ParallelismModel",
     "PhaseTimings",
+    "PipelineExecutor",
+    "PipelineOptions",
+    "PipelineResult",
+    "SerialBackend",
     "SpillConfig",
     "TransferExecutor",
     "TransferOptions",
     "TransferStepStats",
+    "as_hash_index",
     "bind_relations",
     "bloom_probe_cost",
     "combine_key_columns",
     "combine_key_columns_pair",
+    "compute_aggregates",
     "hash_probe_cost",
     "iter_chunks",
+    "make_backend",
     "match_keys",
     "merge_reduced_rows",
     "num_chunks",

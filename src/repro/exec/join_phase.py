@@ -1,44 +1,47 @@
-"""Join-phase executor: runs a binary join plan over (reduced) relations.
+"""Join-phase façade: compiles a join plan tree onto the shared op set.
 
 The executor takes a :class:`~repro.plan.join_plan.JoinPlan` (left-deep or
-bushy) plus the query's join graph and produces the final joined result,
-recording per-join statistics (probe/build/output cardinalities) that the
-robustness experiments consume.
+bushy) plus the query's join graph, compiles it into the unified
+:class:`~repro.plan.physical.PhysicalPlan` op vocabulary
+(``HashBuild``/``HashProbe`` pairs, optionally preceded by join-scoped
+``BloomBuild``/``BloomProbe`` pairs for the Bloom Join baseline), and runs
+it on the shared :class:`~repro.exec.pipeline.PipelineExecutor`, recording
+per-join statistics (probe/build/output cardinalities) that the robustness
+experiments consume.
 
 Join conditions are resolved from the join graph's *attribute classes*
 rather than from the raw SQL-style join conditions: two plan subtrees are
 joined on every attribute class that has member columns on both sides.
 This implements transitive equality inference (``R.a = S.b AND S.b = T.c``
 lets ``R`` join ``T`` directly), which the paper's natural-join treatment
-assumes and real optimizers such as DuckDB perform.
+assumes and real optimizers such as DuckDB perform.  Because both subtrees'
+alias sets are known statically, this resolution happens at compile time.
 
-The executor also supports the *Bloom Join* baseline: before each hash join
-the probe side is pre-filtered with a Bloom filter built on the build side
-(classic sideways information passing), which reduces hash-probe work but —
-unlike Predicate Transfer — cannot shrink intermediate results beyond the
-current join.
+The *Bloom Join* baseline (per-join sideways information passing) is also a
+compile-time decision: before each hash join the probe side is pre-filtered
+with a Bloom filter built on the build side, which reduces hash-probe work
+but — unlike Predicate Transfer — cannot shrink intermediate results beyond
+the current join.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
-import numpy as np
-
-from repro.bloom.bloom_filter import DEFAULT_FPR, BloomFilter
+from repro.bloom.bloom_filter import DEFAULT_FPR
 from repro.core.join_graph import JoinGraph
-from repro.errors import ExecutionError
-from repro.exec.kernels import (
-    bloom_probe_cost,
-    combine_key_columns_pair,
-    hash_probe_cost,
-    match_keys,
+from repro.exec.pipeline import (
+    ExecutionBackend,
+    PipelineExecutor,
+    PipelineOptions,
+    compute_aggregates,
 )
 from repro.exec.relation import BoundRelation, IntermediateResult
-from repro.exec.statistics import ExecutionStats, JoinStepStats
-from repro.plan.join_plan import JoinNode, JoinPlan, LeafNode, PlanNode
-from repro.query import PostJoinPredicate, QuerySpec
+from repro.exec.statistics import ExecutionStats
+from repro.plan.join_plan import JoinPlan
+from repro.plan.physical import Operand, PhysicalOp, PhysicalPlan, compile_join_ops
+from repro.query import QuerySpec
 
 
 @dataclass(frozen=True)
@@ -63,7 +66,7 @@ class JoinPhaseOptions:
 
 
 class JoinPhaseExecutor:
-    """Executes a join plan and applies post-join predicates and aggregates."""
+    """Compiles join plans to physical ops and runs them on the pipeline."""
 
     def __init__(
         self,
@@ -71,219 +74,50 @@ class JoinPhaseExecutor:
         graph: JoinGraph,
         relations: Dict[str, BoundRelation],
         options: Optional[JoinPhaseOptions] = None,
+        backend: Optional[ExecutionBackend] = None,
     ) -> None:
         self.query = query
         self.graph = graph
         self.relations = relations
         self.options = options or JoinPhaseOptions()
-        self._pending_predicates: List[PostJoinPredicate] = list(query.post_join_predicates)
+        self.backend = backend
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
+    def compile(self, plan: JoinPlan) -> Tuple[List[PhysicalOp], Operand, int]:
+        """Compile ``plan`` onto the shared physical op set.
+
+        Returns ``(ops, root_operand, num_slots)``.
+        """
+        return compile_join_ops(
+            plan, self.graph, bloom_prefilter=self.options.bloom_prefilter
+        )
+
     def run(self, plan: JoinPlan, stats: ExecutionStats) -> IntermediateResult:
         """Execute ``plan`` and return the final joined result."""
-        self._pending_predicates = list(self.query.post_join_predicates)
-        with stats.time_phase("join"):
-            result = self._execute_node(plan.root, stats)
-            # Predicates that reference a single relation of a single-table
-            # query (or that were never triggered) are applied at the end.
-            result = self._apply_ready_predicates(result, force_all=True)
-        stats.output_rows = result.num_rows
-        return result
+        ops, root, num_slots = self.compile(plan)
+        physical = PhysicalPlan(
+            query_name=self.query.name,
+            mode="join",
+            ops=tuple(ops),
+            num_slots=num_slots,
+            root=root,
+        )
+        executor = PipelineExecutor(
+            self.query,
+            self.graph,
+            options=PipelineOptions(
+                join_fpr=self.options.fpr,
+                allow_cartesian_products=self.options.allow_cartesian_products,
+            ),
+            backend=self.backend,
+        )
+        result = executor.run(physical, stats, relations=self.relations, finalize_root=root)
+        assert result.final is not None
+        return result.final
 
     def aggregate(self, result: IntermediateResult, stats: ExecutionStats) -> Dict[str, float]:
         """Compute the query's aggregates over the final result."""
-        values: Dict[str, float] = {}
         with stats.time_phase("aggregate"):
-            for index, spec in enumerate(self.query.aggregates):
-                name = spec.output_name or f"agg_{index}"
-                if spec.function == "count":
-                    values[name] = float(result.num_rows)
-                    continue
-                assert spec.alias is not None and spec.column is not None
-                column_values = result.column_values(self.relations, spec.alias, spec.column)
-                values[name] = _apply_aggregate(spec.function, column_values)
-        return values
-
-    # ------------------------------------------------------------------
-    # Plan-tree execution
-    # ------------------------------------------------------------------
-    def _execute_node(self, node: PlanNode, stats: ExecutionStats) -> IntermediateResult:
-        if isinstance(node, LeafNode):
-            if node.alias not in self.relations:
-                raise ExecutionError(f"plan references unknown relation {node.alias!r}")
-            return IntermediateResult.from_relation(self.relations[node.alias])
-        assert isinstance(node, JoinNode)
-        left_result = self._execute_node(node.left, stats)
-        right_result = self._execute_node(node.right, stats)
-        joined = self._execute_join(node, left_result, right_result, stats)
-        return self._apply_ready_predicates(joined)
-
-    def _execute_join(
-        self,
-        node: JoinNode,
-        left_result: IntermediateResult,
-        right_result: IntermediateResult,
-        stats: ExecutionStats,
-    ) -> IntermediateResult:
-        probe_result, build_result = left_result, right_result
-        if node.flip_build_side:
-            probe_result, build_result = build_result, probe_result
-
-        join_attributes = self._shared_attribute_classes(probe_result.aliases, build_result.aliases)
-        if not join_attributes:
-            if not self.options.allow_cartesian_products:
-                raise ExecutionError(
-                    "join plan contains a Cartesian product between "
-                    f"{sorted(probe_result.aliases)} and {sorted(build_result.aliases)}"
-                )
-            return self._cartesian_product(probe_result, build_result, stats)
-
-        probe_keys, build_keys = self._resolve_keys(join_attributes, probe_result, build_result)
-
-        bloom_prefiltered = 0
-        if self.options.bloom_prefilter and build_result.num_rows > 0:
-            bloom = BloomFilter(expected_keys=build_result.num_rows, fpr=self.options.fpr)
-            bloom.insert(build_keys)
-            hits = bloom.probe(probe_keys)
-            bloom_prefiltered = int(probe_result.num_rows - hits.sum())
-            keep = np.nonzero(hits)[0]
-            probe_result = probe_result.take(keep)
-            probe_keys = probe_keys[keep]
-            stats.abstract_cost += bloom_probe_cost(int(hits.shape[0]), bloom.size_bytes)
-
-        matches = match_keys(probe_keys, build_keys)
-        joined = probe_result.merge(build_result, matches.probe_indices, matches.build_indices)
-
-        stats.join_steps.append(
-            JoinStepStats(
-                left_aliases=tuple(sorted(probe_result.aliases)),
-                right_aliases=tuple(sorted(build_result.aliases)),
-                probe_rows=probe_result.num_rows,
-                build_rows=build_result.num_rows,
-                output_rows=joined.num_rows,
-                bloom_prefiltered_rows=bloom_prefiltered,
-            )
-        )
-        stats.abstract_cost += (
-            hash_probe_cost(probe_result.num_rows, build_result.num_rows)
-            + float(build_result.num_rows)
-            + float(joined.num_rows)
-        )
-        return joined
-
-    def _cartesian_product(
-        self,
-        left: IntermediateResult,
-        right: IntermediateResult,
-        stats: ExecutionStats,
-    ) -> IntermediateResult:
-        left_idx = np.repeat(np.arange(left.num_rows, dtype=np.int64), right.num_rows)
-        right_idx = np.tile(np.arange(right.num_rows, dtype=np.int64), left.num_rows)
-        joined = left.merge(right, left_idx, right_idx)
-        stats.join_steps.append(
-            JoinStepStats(
-                left_aliases=tuple(sorted(left.aliases)),
-                right_aliases=tuple(sorted(right.aliases)),
-                probe_rows=left.num_rows,
-                build_rows=right.num_rows,
-                output_rows=joined.num_rows,
-            )
-        )
-        stats.abstract_cost += float(joined.num_rows)
-        return joined
-
-    # ------------------------------------------------------------------
-    # Key resolution
-    # ------------------------------------------------------------------
-    def _shared_attribute_classes(
-        self, left_aliases: frozenset[str], right_aliases: frozenset[str]
-    ) -> list[str]:
-        """Attribute classes with member columns on both sides of the join."""
-        shared: list[str] = []
-        for name, attr_class in sorted(self.graph.attribute_classes.items()):
-            touches_left = any(attr_class.touches(a) for a in left_aliases)
-            touches_right = any(attr_class.touches(a) for a in right_aliases)
-            if touches_left and touches_right:
-                shared.append(name)
-        return shared
-
-    def _resolve_keys(
-        self,
-        attributes: list[str],
-        probe_result: IntermediateResult,
-        build_result: IntermediateResult,
-    ) -> tuple[np.ndarray, np.ndarray]:
-        probe_columns = []
-        build_columns = []
-        for attribute in attributes:
-            attr_class = self.graph.attribute_classes[attribute]
-            probe_alias = _representative_alias(attr_class, probe_result.aliases)
-            build_alias = _representative_alias(attr_class, build_result.aliases)
-            probe_columns.append(
-                probe_result.column_values(self.relations, probe_alias, attr_class.column_of(probe_alias))
-            )
-            build_columns.append(
-                build_result.column_values(self.relations, build_alias, attr_class.column_of(build_alias))
-            )
-        return combine_key_columns_pair(probe_columns, build_columns)
-
-    # ------------------------------------------------------------------
-    # Post-join predicates
-    # ------------------------------------------------------------------
-    def _apply_ready_predicates(
-        self, result: IntermediateResult, force_all: bool = False
-    ) -> IntermediateResult:
-        if not self._pending_predicates:
-            return result
-        still_pending: List[PostJoinPredicate] = []
-        for predicate in self._pending_predicates:
-            ready = predicate.required_aliases() <= result.aliases
-            if ready:
-                result = self._apply_predicate(result, predicate)
-            elif force_all:
-                raise ExecutionError(
-                    "post-join predicate references relations missing from the final result: "
-                    f"{sorted(predicate.required_aliases() - result.aliases)}"
-                )
-            else:
-                still_pending.append(predicate)
-        self._pending_predicates = still_pending
-        return result
-
-    def _apply_predicate(
-        self, result: IntermediateResult, predicate: PostJoinPredicate
-    ) -> IntermediateResult:
-        if result.num_rows == 0:
-            return result
-        overall = np.zeros(result.num_rows, dtype=bool)
-        for conjunct in predicate.disjuncts:
-            conjunct_mask = np.ones(result.num_rows, dtype=bool)
-            for term in conjunct:
-                conjunct_mask &= result.evaluate_qualified_comparison(self.relations, term)
-            overall |= conjunct_mask
-        return result.take(np.nonzero(overall)[0])
-
-
-def _representative_alias(attr_class, aliases: frozenset[str]) -> str:
-    for alias in sorted(aliases):
-        if attr_class.touches(alias):
-            return alias
-    raise ExecutionError(
-        f"attribute class {attr_class.name!r} has no member among aliases {sorted(aliases)}"
-    )
-
-
-def _apply_aggregate(function: str, values: np.ndarray) -> float:
-    if values.size == 0:
-        return 0.0
-    if function == "sum":
-        return float(values.sum())
-    if function == "min":
-        return float(values.min())
-    if function == "max":
-        return float(values.max())
-    if function == "avg":
-        return float(values.mean())
-    raise ExecutionError(f"unsupported aggregate function {function!r}")
+            return compute_aggregates(self.query, self.relations, result)

@@ -1,0 +1,827 @@
+"""Backend-pluggable pipeline executor for compiled :class:`PhysicalPlan` ops.
+
+This is the single runtime behind every execution mode: the engine compiles
+``(QuerySpec, JoinPlan, TransferSchedule)`` into one flat op list
+(:mod:`repro.plan.physical`) and the :class:`PipelineExecutor` here runs it.
+Transfer-phase ops (``BloomBuild``/``BloomProbe``/``SemiJoinReduce``) reduce
+:class:`~repro.exec.relation.BoundRelation` objects in place; join-phase ops
+(``HashBuild``/``HashProbe``) flow through late-materialized intermediate
+*slots*; ``Aggregate`` finishes the query.  Each op is timed individually,
+producing the uniform per-op trace (``ExecutionStats.op_stats``) shared by
+all five modes.
+
+Two backends implement the probe/match hot loops:
+
+* :class:`SerialBackend` — whole-column NumPy kernels (the default);
+* :class:`ChunkedBackend` — morsel-driven: probe inputs are processed in
+  :data:`~repro.exec.chunk.DEFAULT_CHUNK_SIZE`-row chunks and a
+  :class:`~repro.exec.parallel.ParallelismModel` accrues the simulated
+  multi-threaded cost of each probe pipeline
+  (``ExecutionStats.simulated_parallel_cost``).  Results are bit-identical
+  to the serial backend.
+
+The executor also owns the cross-pipeline :class:`~repro.exec.kernels.HashIndex`
+cache: a build side probed by multiple pipelines (e.g. a join-tree node that
+reduces several children during the backward transfer pass) is sorted once
+and the sorted index is reused until the relation is reduced again.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.bloom.bloom_filter import DEFAULT_FPR, BloomFilter
+from repro.bloom.registry import BloomFilterRegistry, FilterKey
+from repro.core.join_graph import JoinGraph
+from repro.errors import ExecutionError
+from repro.exec.chunk import DEFAULT_CHUNK_SIZE
+from repro.exec.kernels import (
+    HashIndex,
+    JoinMatches,
+    bloom_probe_cost,
+    combine_key_columns_pair,
+    hash_probe_cost,
+)
+from repro.exec.parallel import ParallelismModel
+from repro.exec.relation import BoundRelation, IntermediateResult
+from repro.exec.statistics import ExecutionStats, JoinStepStats, OpStats, TransferStepStats
+from repro.plan.physical import (
+    SCOPE_JOIN,
+    Aggregate,
+    BloomBuild,
+    BloomProbe,
+    FilterPush,
+    HashBuild,
+    HashProbe,
+    Operand,
+    PhysicalPlan,
+    Scan,
+    SemiJoinReduce,
+)
+from repro.query import PostJoinPredicate, QuerySpec
+
+
+# ---------------------------------------------------------------------------
+# Backends
+# ---------------------------------------------------------------------------
+class ExecutionBackend:
+    """Strategy object for the probe/match hot loops of the pipeline executor."""
+
+    name = "backend"
+
+    def probe_mask(self, keys: np.ndarray, probe_fn) -> np.ndarray:
+        """Evaluate ``probe_fn`` (keys -> boolean mask) over ``keys``."""
+        raise NotImplementedError
+
+    def match(self, probe_keys: np.ndarray, index: HashIndex) -> JoinMatches:
+        """Match probe keys against a build-side index."""
+        raise NotImplementedError
+
+
+class SerialBackend(ExecutionBackend):
+    """Whole-column execution: one vectorized kernel call per probe."""
+
+    name = "serial"
+
+    def probe_mask(self, keys: np.ndarray, probe_fn) -> np.ndarray:
+        return probe_fn(keys)
+
+    def match(self, probe_keys: np.ndarray, index: HashIndex) -> JoinMatches:
+        return index.match(probe_keys)
+
+
+class ChunkedBackend(ExecutionBackend):
+    """Morsel-driven execution: probe inputs are processed chunk at a time.
+
+    Produces results identical to :class:`SerialBackend` while exercising the
+    chunked granularity of the original push-based engine, and accrues the
+    simulated multi-threaded cost of every probe pipeline through a
+    :class:`~repro.exec.parallel.ParallelismModel` (the Figure 14 model: a
+    probe side with few chunks cannot keep all threads busy).
+    """
+
+    name = "chunked"
+
+    def __init__(
+        self,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        parallelism: Optional[ParallelismModel] = None,
+    ) -> None:
+        if chunk_size <= 0:
+            raise ExecutionError("chunk size must be positive")
+        self.chunk_size = chunk_size
+        self.parallelism = parallelism or ParallelismModel(chunk_size=chunk_size)
+        self.simulated_cost = 0.0
+
+    def _account(self, probe_rows: int) -> None:
+        effective = self.parallelism.effective_parallelism(probe_rows)
+        self.simulated_cost += float(probe_rows) / effective + self.parallelism.pipeline_overhead
+
+    def probe_mask(self, keys: np.ndarray, probe_fn) -> np.ndarray:
+        keys = np.asarray(keys)
+        self._account(int(keys.shape[0]))
+        if keys.shape[0] <= self.chunk_size:
+            return probe_fn(keys)
+        parts = [
+            probe_fn(keys[start : start + self.chunk_size])
+            for start in range(0, keys.shape[0], self.chunk_size)
+        ]
+        return np.concatenate(parts)
+
+    def match(self, probe_keys: np.ndarray, index: HashIndex) -> JoinMatches:
+        probe_keys = np.asarray(probe_keys)
+        self._account(int(probe_keys.shape[0]))
+        if probe_keys.shape[0] <= self.chunk_size:
+            return index.match(probe_keys)
+        probe_parts: List[np.ndarray] = []
+        build_parts: List[np.ndarray] = []
+        for start in range(0, probe_keys.shape[0], self.chunk_size):
+            matches = index.match(probe_keys[start : start + self.chunk_size])
+            probe_parts.append(matches.probe_indices + start)
+            build_parts.append(matches.build_indices)
+        return JoinMatches(
+            probe_indices=np.concatenate(probe_parts),
+            build_indices=np.concatenate(build_parts),
+        )
+
+
+def make_backend(name: str, chunk_size: int = DEFAULT_CHUNK_SIZE) -> ExecutionBackend:
+    """Instantiate a backend by name (``"serial"`` or ``"chunked"``)."""
+    if name == "serial":
+        return SerialBackend()
+    if name == "chunked":
+        return ChunkedBackend(chunk_size=chunk_size)
+    raise ExecutionError(f"unknown pipeline backend {name!r}; expected 'serial' or 'chunked'")
+
+
+# ---------------------------------------------------------------------------
+# Options / result
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class PipelineOptions:
+    """Runtime knobs of the pipeline executor (compiled plans carry no data params)."""
+
+    transfer_fpr: float = DEFAULT_FPR
+    join_fpr: float = DEFAULT_FPR
+    prune_trivial_semijoins: bool = True
+    allow_cartesian_products: bool = False
+
+
+@dataclass
+class PipelineResult:
+    """Outcome of one :meth:`PipelineExecutor.run` call."""
+
+    relations: Dict[str, BoundRelation]
+    final: Optional[IntermediateResult] = None
+    aggregates: Optional[Dict[str, float]] = None
+
+
+#: Execution phase each op kind is accounted under (join-scoped Bloom ops override).
+_PHASE_BY_KIND = {
+    "scan": "scan_filter",
+    "filter_push": "scan_filter",
+    "bloom_build": "transfer",
+    "bloom_probe": "transfer",
+    "semi_join_reduce": "transfer",
+    "hash_build": "join",
+    "hash_probe": "join",
+    "aggregate": "aggregate",
+}
+
+
+@dataclass
+class _TransferStage:
+    """Build-side state handed from a transfer ``BloomBuild`` to its ``BloomProbe``."""
+
+    bloom: BloomFilter
+    target_keys: np.ndarray
+    build_rows: int
+
+
+@dataclass
+class _JoinBloomStage:
+    """State handed from a join-scoped ``BloomBuild`` to its ``BloomProbe``."""
+
+    bloom: BloomFilter
+    probe_keys: np.ndarray
+    build_keys: np.ndarray
+
+
+@dataclass
+class _BuildStage:
+    """Materialized build side handed from ``HashBuild`` to ``HashProbe``."""
+
+    result: IntermediateResult
+    index: Optional[HashIndex] = None
+    keys: Optional[np.ndarray] = None
+
+
+class PipelineExecutor:
+    """Runs a compiled :class:`~repro.plan.physical.PhysicalPlan` op list.
+
+    One executor instance serves one query execution (it owns the run's
+    Bloom-filter registry, hash-index cache, and pending post-join
+    predicates); the backend decides how the probe hot loops run.
+    """
+
+    def __init__(
+        self,
+        query: QuerySpec,
+        graph: JoinGraph,
+        catalog=None,
+        options: Optional[PipelineOptions] = None,
+        backend: Optional[ExecutionBackend] = None,
+        registry: Optional[BloomFilterRegistry] = None,
+    ) -> None:
+        self.query = query
+        self.graph = graph
+        self.catalog = catalog
+        self.options = options or PipelineOptions()
+        self.backend = backend or SerialBackend()
+        self.registry = registry or BloomFilterRegistry()
+        self._refs = {ref.alias: ref for ref in query.relations}
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        plan: PhysicalPlan,
+        stats: ExecutionStats,
+        relations: Optional[Dict[str, BoundRelation]] = None,
+        masks: Optional[Mapping[str, Optional[np.ndarray]]] = None,
+        finalize_root: Optional[Operand] = None,
+    ) -> PipelineResult:
+        """Execute every op of ``plan`` in order.
+
+        ``relations`` supplies pre-bound relations for plan *fragments* that
+        carry no ``Scan`` ops (the transfer / join compilers); ``masks``
+        supplies precomputed base-filter masks so predicates evaluated during
+        planning are not evaluated again by ``FilterPush``.  With
+        ``finalize_root`` (fragments without an ``Aggregate`` op) the root
+        operand is materialized, remaining post-join predicates are applied,
+        and ``stats.output_rows`` is set.
+        """
+        self._relations: Dict[str, BoundRelation] = relations if relations is not None else {}
+        self._masks = masks
+        self._slots: Dict[int, IntermediateResult] = {}
+        self._materialized: Dict[Operand, IntermediateResult] = {}
+        self._transfer_stages: Dict[int, _TransferStage] = {}
+        self._join_bloom_stages: Dict[int, _JoinBloomStage] = {}
+        self._build_stages: Dict[int, _BuildStage] = {}
+        self._skipped_steps: set[int] = set()
+        self._join_bloom_eliminated: Dict[int, int] = {}
+        self._join_probe_keys: Dict[int, np.ndarray] = {}
+        self._index_cache: Dict[Tuple[str, Tuple[str, ...]], Tuple[int, HashIndex]] = {}
+        self._filtered: Optional[set[str]] = None
+        self._pending_predicates: List[PostJoinPredicate] = list(self.query.post_join_predicates)
+        self._aggregates: Optional[Dict[str, float]] = None
+        self._final: Optional[IntermediateResult] = None
+
+        base_simulated = getattr(self.backend, "simulated_cost", 0.0)
+        for index, op in enumerate(plan):
+            phase = _PHASE_BY_KIND.get(op.kind, "join")
+            if getattr(op, "scope", None) == SCOPE_JOIN:
+                phase = "join"
+            start = time.perf_counter()
+            rows_in, rows_out, skipped = self._dispatch(op, stats)
+            elapsed = time.perf_counter() - start
+            setattr(stats.timings, phase, getattr(stats.timings, phase) + elapsed)
+            stats.op_stats.append(
+                OpStats(
+                    index=index,
+                    kind=op.kind,
+                    detail=op.describe(),
+                    rows_in=rows_in,
+                    rows_out=rows_out,
+                    seconds=elapsed,
+                    skipped=skipped,
+                )
+            )
+
+        if finalize_root is not None and self._final is None:
+            with stats.time_phase("join"):
+                final = self._materialize(finalize_root)
+                final = self._apply_ready_predicates(final, force_all=True)
+            stats.output_rows = final.num_rows
+            self._final = final
+
+        simulated = getattr(self.backend, "simulated_cost", 0.0) - base_simulated
+        if simulated:
+            stats.simulated_parallel_cost += simulated
+
+        return PipelineResult(
+            relations=self._relations,
+            final=self._final,
+            aggregates=self._aggregates,
+        )
+
+    # ------------------------------------------------------------------
+    # Op dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self, op, stats: ExecutionStats) -> Tuple[int, int, bool]:
+        if isinstance(op, Scan):
+            return self._exec_scan(op, stats)
+        if isinstance(op, FilterPush):
+            return self._exec_filter_push(op, stats)
+        if isinstance(op, BloomBuild):
+            if op.scope == SCOPE_JOIN:
+                return self._exec_join_bloom_build(op, stats)
+            return self._exec_transfer_bloom_build(op, stats)
+        if isinstance(op, BloomProbe):
+            if op.scope == SCOPE_JOIN:
+                return self._exec_join_bloom_probe(op, stats)
+            return self._exec_transfer_bloom_probe(op, stats)
+        if isinstance(op, SemiJoinReduce):
+            return self._exec_semi_join_reduce(op, stats)
+        if isinstance(op, HashBuild):
+            return self._exec_hash_build(op, stats)
+        if isinstance(op, HashProbe):
+            return self._exec_hash_probe(op, stats)
+        if isinstance(op, Aggregate):
+            return self._exec_aggregate(op, stats)
+        raise ExecutionError(f"pipeline executor cannot run op {op!r}")
+
+    # -- scan / filter --------------------------------------------------
+    def _exec_scan(self, op: Scan, stats: ExecutionStats) -> Tuple[int, int, bool]:
+        if self.catalog is None:
+            raise ExecutionError("pipeline plans with Scan ops require a catalog")
+        table = self.catalog.table(op.table)
+        self._relations[op.alias] = BoundRelation.from_table(op.alias, table)
+        stats.base_rows[op.alias] = table.num_rows
+        stats.filtered_rows[op.alias] = table.num_rows
+        return table.num_rows, table.num_rows, False
+
+    def _exec_filter_push(self, op: FilterPush, stats: ExecutionStats) -> Tuple[int, int, bool]:
+        relation = self._relations[op.alias]
+        rows_in = relation.num_rows
+        if self._masks is not None and op.alias in self._masks and self._masks[op.alias] is not None:
+            mask = np.asarray(self._masks[op.alias], dtype=bool)
+        else:
+            ref = self._refs.get(op.alias)
+            if ref is None or ref.filter is None:
+                return rows_in, rows_in, True
+            mask = np.asarray(ref.filter.evaluate(relation.table), dtype=bool)
+        relation.keep(mask)
+        stats.filtered_rows[op.alias] = relation.num_rows
+        return rows_in, relation.num_rows, False
+
+    # -- transfer phase -------------------------------------------------
+    def _exec_transfer_bloom_build(self, op: BloomBuild, stats: ExecutionStats) -> Tuple[int, int, bool]:
+        source = self._relations[op.source.alias]
+        target = self._relations[op.target.alias]
+        if self._should_prune(op.prunable, op.source.alias):
+            self._skip_transfer_step(op, target, stats)
+            return source.num_rows, source.num_rows, True
+        source_keys, target_keys = self._step_keys(op, source, target)
+        bloom = BloomFilter(expected_keys=source.num_rows, fpr=self.options.transfer_fpr)
+        bloom.insert(source_keys)
+        key = FilterKey(
+            relation=op.source.alias,
+            attribute="+".join(op.attributes),
+            pass_id=op.pass_,
+        )
+        self.registry.publish(key, bloom, replace=True)
+        self._transfer_stages[op.step_id] = _TransferStage(
+            bloom=bloom, target_keys=target_keys, build_rows=source.num_rows
+        )
+        return source.num_rows, source.num_rows, False
+
+    def _exec_transfer_bloom_probe(self, op: BloomProbe, stats: ExecutionStats) -> Tuple[int, int, bool]:
+        target = self._relations[op.target.alias]
+        if op.step_id in self._skipped_steps:
+            return target.num_rows, target.num_rows, True
+        stage = self._transfer_stages.pop(op.step_id)
+        rows_before = target.num_rows
+        mask = self.backend.probe_mask(stage.target_keys, stage.bloom.probe)
+        target.keep(mask)
+        self._record_transfer_step(
+            op,
+            rows_before=rows_before,
+            rows_after=target.num_rows,
+            filter_bytes=stage.bloom.size_bytes,
+            build_rows=stage.build_rows,
+            stats=stats,
+        )
+        return rows_before, target.num_rows, False
+
+    def _exec_semi_join_reduce(self, op: SemiJoinReduce, stats: ExecutionStats) -> Tuple[int, int, bool]:
+        source = self._relations[op.source.alias]
+        target = self._relations[op.target.alias]
+        if self._should_prune(op.prunable, op.source.alias):
+            self._skip_transfer_step(op, target, stats)
+            return target.num_rows, target.num_rows, True
+        if len(op.attributes) == 1:
+            # Single-attribute keys are side-independent: resolve the target
+            # side and check the index cache before gathering source keys —
+            # a cache hit (forward + backward pass probing the same source)
+            # skips the source-side gather entirely.
+            attr_class = self.graph.attribute_classes[op.attributes[0]]
+            target_keys = target.key_values(attr_class.column_of(op.target.alias))
+            cached = self._index_cache.get((op.source.alias, op.attributes))
+            if cached is not None and cached[0] == source.version:
+                index = cached[1]
+            else:
+                source_keys = source.key_values(attr_class.column_of(op.source.alias))
+                index = HashIndex(source_keys)
+                self._index_cache[(op.source.alias, op.attributes)] = (source.version, index)
+        else:
+            source_keys, target_keys = self._step_keys(op, source, target)
+            index = HashIndex(source_keys)
+        rows_before = target.num_rows
+        mask = self.backend.probe_mask(target_keys, index.contains)
+        target.keep(mask)
+        self._record_transfer_step(
+            op,
+            rows_before=rows_before,
+            rows_after=target.num_rows,
+            filter_bytes=int(index.keys.nbytes),
+            build_rows=source.num_rows,
+            stats=stats,
+        )
+        return rows_before, target.num_rows, False
+
+    def _should_prune(self, prunable: bool, source_alias: str) -> bool:
+        if not (self.options.prune_trivial_semijoins and prunable):
+            return False
+        if self._filtered is None:
+            self._filtered = self._initially_filtered()
+        return source_alias not in self._filtered
+
+    def _initially_filtered(self) -> set[str]:
+        """Relations whose base predicate eliminated at least one row (§4.3)."""
+        filtered: set[str] = set()
+        for ref in self.query.relations:
+            relation = self._relations.get(ref.alias)
+            if relation is None:
+                continue
+            if ref.filter is not None and relation.num_rows < relation.table.num_rows:
+                filtered.add(ref.alias)
+        return filtered
+
+    def _skip_transfer_step(self, op, target: BoundRelation, stats: ExecutionStats) -> None:
+        if op.step_id in self._skipped_steps:
+            return
+        self._skipped_steps.add(op.step_id)
+        stats.transfer_steps.append(
+            TransferStepStats(
+                source=op.source.alias,
+                target=op.target.alias,
+                pass_=op.pass_,
+                rows_before=target.num_rows,
+                rows_after=target.num_rows,
+                skipped=True,
+            )
+        )
+
+    def _record_transfer_step(
+        self,
+        op,
+        rows_before: int,
+        rows_after: int,
+        filter_bytes: int,
+        build_rows: int,
+        stats: ExecutionStats,
+    ) -> None:
+        stats.transfer_steps.append(
+            TransferStepStats(
+                source=op.source.alias,
+                target=op.target.alias,
+                pass_=op.pass_,
+                rows_before=rows_before,
+                rows_after=rows_after,
+                filter_bytes=filter_bytes,
+                build_rows=build_rows,
+            )
+        )
+        stats.bloom_bytes += filter_bytes
+        stats.abstract_cost += bloom_probe_cost(rows_before, max(filter_bytes, 1))
+        if rows_after < rows_before:
+            if self._filtered is None:
+                self._filtered = self._initially_filtered()
+            self._filtered.add(op.target.alias)
+
+    def _step_keys(self, op, source: BoundRelation, target: BoundRelation):
+        """Resolve a transfer step's attribute classes to concrete key arrays."""
+        source_columns = []
+        target_columns = []
+        for attribute in op.attributes:
+            attr_class = self.graph.attribute_classes[attribute]
+            source_columns.append(source.key_values(attr_class.column_of(op.source.alias)))
+            target_columns.append(target.key_values(attr_class.column_of(op.target.alias)))
+        if not source_columns:
+            raise ExecutionError(f"transfer op {op.describe()} has no join attributes")
+        return combine_key_columns_pair(source_columns, target_columns)
+
+    def _indexed_keys(
+        self,
+        alias: str,
+        attributes: Tuple[str, ...],
+        relation: BoundRelation,
+        keys: np.ndarray,
+    ) -> HashIndex:
+        """Build (or reuse) the sorted index over one side's key array.
+
+        Single-attribute keys are side-independent, so their sorted index can
+        be cached per ``(alias, attributes)`` and reused until the relation
+        is reduced again — the forward and backward transfer passes probing
+        the same source then sort once.  Composite keys are densified jointly
+        with the probe side and cannot be cached across steps.
+        """
+        if len(attributes) != 1:
+            return HashIndex(keys)
+        cache_key = (alias, attributes)
+        cached = self._index_cache.get(cache_key)
+        if cached is not None and cached[0] == relation.version:
+            return cached[1]
+        index = HashIndex(keys)
+        self._index_cache[cache_key] = (relation.version, index)
+        return index
+
+    # -- join phase -----------------------------------------------------
+    def _materialize(self, operand: Operand) -> IntermediateResult:
+        if not operand.is_relation:
+            try:
+                return self._slots[operand.slot]
+            except KeyError:
+                raise ExecutionError(f"pipeline slot ${operand.slot} was never produced") from None
+        cached = self._materialized.get(operand)
+        if cached is None:
+            if operand.alias not in self._relations:
+                raise ExecutionError(f"plan references unknown relation {operand.alias!r}")
+            cached = IntermediateResult.from_relation(self._relations[operand.alias])
+            self._materialized[operand] = cached
+        return cached
+
+    def _set_operand(self, operand: Operand, result: IntermediateResult) -> None:
+        if operand.is_relation:
+            self._materialized[operand] = result
+        else:
+            self._slots[operand.slot] = result
+
+    def _exec_join_bloom_build(self, op: BloomBuild, stats: ExecutionStats) -> Tuple[int, int, bool]:
+        build = self._materialize(op.source)
+        probe = self._materialize(op.target)
+        if build.num_rows == 0:
+            return build.num_rows, build.num_rows, True
+        probe_keys, build_keys = self._pair_keys(op.attributes, probe, build)
+        bloom = BloomFilter(expected_keys=build.num_rows, fpr=self.options.join_fpr)
+        bloom.insert(build_keys)
+        self._join_bloom_stages[op.step_id] = _JoinBloomStage(
+            bloom=bloom, probe_keys=probe_keys, build_keys=build_keys
+        )
+        return build.num_rows, build.num_rows, False
+
+    def _exec_join_bloom_probe(self, op: BloomProbe, stats: ExecutionStats) -> Tuple[int, int, bool]:
+        probe = self._materialize(op.target)
+        stage = self._join_bloom_stages.pop(op.step_id, None)
+        if stage is None:
+            return probe.num_rows, probe.num_rows, True
+        rows_before = probe.num_rows
+        hits = self.backend.probe_mask(stage.probe_keys, stage.bloom.probe)
+        keep = np.nonzero(hits)[0]
+        reduced = probe.take(keep)
+        self._set_operand(op.target, reduced)
+        self._join_bloom_eliminated[op.step_id] = rows_before - int(hits.sum())
+        # Hand the already-filtered pair keys to the upcoming hash join.
+        self._build_stages[op.step_id] = _BuildStage(
+            result=self._materialize(op.source),
+            keys=stage.build_keys,
+        )
+        self._join_probe_keys[op.step_id] = stage.probe_keys[keep]
+        stats.abstract_cost += bloom_probe_cost(int(hits.shape[0]), stage.bloom.size_bytes)
+        return rows_before, reduced.num_rows, False
+
+    def _exec_hash_build(self, op: HashBuild, stats: ExecutionStats) -> Tuple[int, int, bool]:
+        build = self._materialize(op.input)
+        stage = self._build_stages.get(op.build_id)
+        if stage is None:
+            stage = _BuildStage(result=build)
+            self._build_stages[op.build_id] = stage
+        else:
+            stage.result = build
+        if stage.keys is None and len(op.attributes) == 1:
+            # Single-attribute keys are side-independent: gather and sort now
+            # so the probe op only probes.  An index cached by the transfer
+            # phase over the same relation keys skips the gather entirely.
+            stage.index = self._cached_relation_index(op, build)
+            if stage.index is None:
+                stage.keys = self._single_attribute_keys(op.attributes[0], build)
+                stage.index = self._build_index(op, stage.keys)
+        elif stage.keys is not None:
+            stage.index = self._build_index(op, stage.keys)
+        return build.num_rows, build.num_rows, False
+
+    def _cached_relation_index(
+        self, op: HashBuild, build: IntermediateResult
+    ) -> Optional[HashIndex]:
+        """A still-valid cached index over the build relation's keys, if any."""
+        if not (op.input.is_relation and len(op.attributes) == 1):
+            return None
+        relation = self._relations[op.input.alias]
+        if build.num_rows != relation.num_rows:
+            return None
+        cached = self._index_cache.get((op.input.alias, op.attributes))
+        if cached is not None and cached[0] == relation.version:
+            return cached[1]
+        return None
+
+    def _build_index(self, op: HashBuild, keys: np.ndarray) -> HashIndex:
+        if op.input.is_relation and len(op.attributes) == 1:
+            relation = self._relations[op.input.alias]
+            # Publish the index for reuse when the build side is the whole
+            # (un-reduced-since) relation.
+            materialized = self._materialized.get(op.input)
+            if materialized is None or materialized.num_rows == relation.num_rows:
+                return self._indexed_keys(op.input.alias, op.attributes, relation, keys)
+        return HashIndex(keys)
+
+    def _single_attribute_keys(self, attribute: str, result: IntermediateResult) -> np.ndarray:
+        attr_class = self.graph.attribute_classes[attribute]
+        alias = _representative_alias(attr_class, result.aliases)
+        values = result.column_values(self._relations, alias, attr_class.column_of(alias))
+        return np.asarray(values).astype(np.int64, copy=False)
+
+    def _pair_keys(
+        self,
+        attributes: Tuple[str, ...],
+        probe: IntermediateResult,
+        build: IntermediateResult,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        probe_columns = []
+        build_columns = []
+        for attribute in attributes:
+            attr_class = self.graph.attribute_classes[attribute]
+            probe_alias = _representative_alias(attr_class, probe.aliases)
+            build_alias = _representative_alias(attr_class, build.aliases)
+            probe_columns.append(
+                probe.column_values(self._relations, probe_alias, attr_class.column_of(probe_alias))
+            )
+            build_columns.append(
+                build.column_values(self._relations, build_alias, attr_class.column_of(build_alias))
+            )
+        return combine_key_columns_pair(probe_columns, build_columns)
+
+    def _exec_hash_probe(self, op: HashProbe, stats: ExecutionStats) -> Tuple[int, int, bool]:
+        stage = self._build_stages.pop(op.build_id)
+        build = stage.result
+        probe = self._materialize(op.probe)
+
+        if not op.attributes:
+            joined = self._cartesian_product(probe, build, stats)
+            self._slots[op.output_slot] = self._apply_ready_predicates(joined)
+            return probe.num_rows, joined.num_rows, False
+
+        staged_probe_keys = self._join_probe_keys.pop(op.build_id, None)
+        if staged_probe_keys is not None:
+            probe_keys = staged_probe_keys
+            index = stage.index or HashIndex(stage.keys)
+        elif len(op.attributes) == 1:
+            probe_keys = self._single_attribute_keys(op.attributes[0], probe)
+            index = stage.index if stage.index is not None else HashIndex(
+                stage.keys
+                if stage.keys is not None
+                else self._single_attribute_keys(op.attributes[0], build)
+            )
+        else:
+            probe_keys, build_keys = self._pair_keys(op.attributes, probe, build)
+            index = HashIndex(build_keys)
+
+        matches = self.backend.match(probe_keys, index)
+        joined = probe.merge(build, matches.probe_indices, matches.build_indices)
+
+        stats.join_steps.append(
+            JoinStepStats(
+                left_aliases=tuple(sorted(probe.aliases)),
+                right_aliases=tuple(sorted(build.aliases)),
+                probe_rows=probe.num_rows,
+                build_rows=build.num_rows,
+                output_rows=joined.num_rows,
+                bloom_prefiltered_rows=self._join_bloom_eliminated.pop(op.build_id, 0),
+            )
+        )
+        stats.abstract_cost += (
+            hash_probe_cost(probe.num_rows, build.num_rows)
+            + float(build.num_rows)
+            + float(joined.num_rows)
+        )
+        self._slots[op.output_slot] = self._apply_ready_predicates(joined)
+        return probe.num_rows, joined.num_rows, False
+
+    def _cartesian_product(
+        self,
+        left: IntermediateResult,
+        right: IntermediateResult,
+        stats: ExecutionStats,
+    ) -> IntermediateResult:
+        if not self.options.allow_cartesian_products:
+            raise ExecutionError(
+                "join plan contains a Cartesian product between "
+                f"{sorted(left.aliases)} and {sorted(right.aliases)}"
+            )
+        left_idx = np.repeat(np.arange(left.num_rows, dtype=np.int64), right.num_rows)
+        right_idx = np.tile(np.arange(right.num_rows, dtype=np.int64), left.num_rows)
+        joined = left.merge(right, left_idx, right_idx)
+        stats.join_steps.append(
+            JoinStepStats(
+                left_aliases=tuple(sorted(left.aliases)),
+                right_aliases=tuple(sorted(right.aliases)),
+                probe_rows=left.num_rows,
+                build_rows=right.num_rows,
+                output_rows=joined.num_rows,
+            )
+        )
+        stats.abstract_cost += float(joined.num_rows)
+        return joined
+
+    # -- aggregation ----------------------------------------------------
+    def _exec_aggregate(self, op: Aggregate, stats: ExecutionStats) -> Tuple[int, int, bool]:
+        final = self._materialize(op.input)
+        rows_in = final.num_rows
+        final = self._apply_ready_predicates(final, force_all=True)
+        stats.output_rows = final.num_rows
+        self._final = final
+        self._aggregates = compute_aggregates(self.query, self._relations, final)
+        return rows_in, final.num_rows, False
+
+    # -- post-join predicates -------------------------------------------
+    def _apply_ready_predicates(
+        self, result: IntermediateResult, force_all: bool = False
+    ) -> IntermediateResult:
+        if not self._pending_predicates:
+            return result
+        still_pending: List[PostJoinPredicate] = []
+        for predicate in self._pending_predicates:
+            ready = predicate.required_aliases() <= result.aliases
+            if ready:
+                result = self._apply_predicate(result, predicate)
+            elif force_all:
+                raise ExecutionError(
+                    "post-join predicate references relations missing from the final result: "
+                    f"{sorted(predicate.required_aliases() - result.aliases)}"
+                )
+            else:
+                still_pending.append(predicate)
+        self._pending_predicates = still_pending
+        return result
+
+    def _apply_predicate(
+        self, result: IntermediateResult, predicate: PostJoinPredicate
+    ) -> IntermediateResult:
+        if result.num_rows == 0:
+            return result
+        overall = np.zeros(result.num_rows, dtype=bool)
+        for conjunct in predicate.disjuncts:
+            conjunct_mask = np.ones(result.num_rows, dtype=bool)
+            for term in conjunct:
+                conjunct_mask &= result.evaluate_qualified_comparison(self._relations, term)
+            overall |= conjunct_mask
+        return result.take(np.nonzero(overall)[0])
+
+
+# ---------------------------------------------------------------------------
+# Aggregation (shared by the pipeline executor and the join-phase façade)
+# ---------------------------------------------------------------------------
+def compute_aggregates(
+    query: QuerySpec,
+    relations: Dict[str, BoundRelation],
+    result: IntermediateResult,
+) -> Dict[str, float]:
+    """Compute a query's aggregates over the final joined result."""
+    values: Dict[str, float] = {}
+    for index, spec in enumerate(query.aggregates):
+        name = spec.output_name or f"agg_{index}"
+        if spec.function == "count":
+            values[name] = float(result.num_rows)
+            continue
+        assert spec.alias is not None and spec.column is not None
+        column_values = result.column_values(relations, spec.alias, spec.column)
+        values[name] = _apply_aggregate(spec.function, column_values)
+    return values
+
+
+def _apply_aggregate(function: str, values: np.ndarray) -> float:
+    if values.size == 0:
+        return 0.0
+    if function == "sum":
+        return float(values.sum())
+    if function == "min":
+        return float(values.min())
+    if function == "max":
+        return float(values.max())
+    if function == "avg":
+        return float(values.mean())
+    raise ExecutionError(f"unsupported aggregate function {function!r}")
+
+
+def _representative_alias(attr_class, aliases: frozenset) -> str:
+    for alias in sorted(aliases):
+        if attr_class.touches(alias):
+            return alias
+    raise ExecutionError(
+        f"attribute class {attr_class.name!r} has no member among aliases {sorted(aliases)}"
+    )

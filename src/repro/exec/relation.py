@@ -40,11 +40,16 @@ class BoundRelation:
     row_indices:
         Positions of the surviving rows within ``table`` (after base filters
         and any semi-join reductions applied so far).
+    version:
+        Monotonic counter bumped by every in-place reduction.  Executors use
+        it to invalidate cached :class:`~repro.exec.kernels.HashIndex`
+        objects built over this relation's key columns.
     """
 
     alias: str
     table: Table
     row_indices: np.ndarray
+    version: int = 0
 
     @classmethod
     def from_table(cls, alias: str, table: Table, mask: Optional[np.ndarray] = None) -> "BoundRelation":
@@ -86,10 +91,16 @@ class BoundRelation:
                 f"semi-join mask length {mask.shape[0]} does not match relation size {self.num_rows}"
             )
         self.row_indices = self.row_indices[mask]
+        self.version += 1
 
     def snapshot(self) -> "BoundRelation":
         """An independent copy (used to rerun the join phase with multiple orders)."""
-        return BoundRelation(alias=self.alias, table=self.table, row_indices=self.row_indices.copy())
+        return BoundRelation(
+            alias=self.alias,
+            table=self.table,
+            row_indices=self.row_indices.copy(),
+            version=self.version,
+        )
 
     def estimated_bytes(self) -> int:
         """Approximate size of the surviving rows in bytes (for spill accounting)."""
@@ -193,17 +204,25 @@ def _compare(values: np.ndarray, op: str, rhs) -> np.ndarray:
 def bind_relations(
     query_relations: Iterable,
     catalog,
+    masks: Optional[Dict[str, Optional[np.ndarray]]] = None,
 ) -> Dict[str, BoundRelation]:
     """Bind every relation occurrence of a query against the catalog.
 
     Base-table filter predicates are evaluated here (this is the
-    "scan + filter pushdown" part of execution).
+    "scan + filter pushdown" part of execution) unless the caller supplies
+    ``masks`` — precomputed boolean filter masks keyed by alias — in which
+    case each predicate is *not* re-evaluated.  The engine uses this to
+    evaluate every base filter exactly once per query (the same masks feed
+    the join-graph cardinalities and the scan).
     """
     bound: Dict[str, BoundRelation] = {}
     for ref in query_relations:
         table = catalog.table(ref.table)
-        mask = None
-        if ref.filter is not None:
+        if masks is not None and ref.alias in masks:
+            mask = masks[ref.alias]
+        elif ref.filter is not None:
             mask = ref.filter.evaluate(table)
+        else:
+            mask = None
         bound[ref.alias] = BoundRelation.from_table(ref.alias, table, mask)
     return bound

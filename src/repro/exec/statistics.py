@@ -47,6 +47,30 @@ class TransferStepStats:
 
 
 @dataclass
+class OpStats:
+    """Statistics for one op of a compiled :class:`~repro.plan.physical.PhysicalPlan`.
+
+    Every execution mode compiles to the same typed op set, so this is the
+    *uniform trace*: the bench harness can compare a baseline hash-join run
+    against an RPT run op by op (kind, cardinalities, wall time) without
+    mode-specific bookkeeping.
+    """
+
+    index: int
+    kind: str
+    detail: str = ""
+    rows_in: int = 0
+    rows_out: int = 0
+    seconds: float = 0.0
+    skipped: bool = False
+
+    @property
+    def rows_eliminated(self) -> int:
+        """Rows removed by this op (0 for build/scan ops)."""
+        return max(self.rows_in - self.rows_out, 0)
+
+
+@dataclass
 class JoinStepStats:
     """Statistics for one binary join of the join phase."""
 
@@ -90,12 +114,15 @@ class ExecutionStats:
     timings: PhaseTimings = field(default_factory=PhaseTimings)
     transfer_steps: List[TransferStepStats] = field(default_factory=list)
     join_steps: List[JoinStepStats] = field(default_factory=list)
+    op_stats: List[OpStats] = field(default_factory=list)
     base_rows: Dict[str, int] = field(default_factory=dict)
     filtered_rows: Dict[str, int] = field(default_factory=dict)
     reduced_rows: Dict[str, int] = field(default_factory=dict)
     output_rows: int = 0
     bloom_bytes: int = 0
     abstract_cost: float = 0.0
+    #: Simulated multi-threaded cost accumulated by the chunked backend.
+    simulated_parallel_cost: float = 0.0
 
     # ------------------------------------------------------------------
     # Derived quantities
@@ -135,6 +162,26 @@ class ExecutionStats:
     def elapsed_seconds(self) -> float:
         """Total measured wall time (plus simulated I/O, if any)."""
         return self.timings.total
+
+    def op_seconds_by_kind(self) -> Dict[str, float]:
+        """Wall seconds per physical-op kind (the per-op timing breakdown)."""
+        totals: Dict[str, float] = {}
+        for op in self.op_stats:
+            totals[op.kind] = totals.get(op.kind, 0.0) + op.seconds
+        return totals
+
+    def op_trace(self) -> str:
+        """Uniform per-op execution trace shared by every execution mode."""
+        if not self.op_stats:
+            return "(no physical-plan trace recorded)"
+        lines = [f"{'#':>3} {'op':<16} {'rows in':>10} {'rows out':>10} {'seconds':>10}  detail"]
+        for op in self.op_stats:
+            marker = " [skipped]" if op.skipped else ""
+            lines.append(
+                f"{op.index:>3} {op.kind:<16} {op.rows_in:>10} {op.rows_out:>10} "
+                f"{op.seconds:>10.6f}  {op.detail}{marker}"
+            )
+        return "\n".join(lines)
 
     def cost(self, metric: str = "tuples") -> float:
         """Return the execution cost under the requested metric.

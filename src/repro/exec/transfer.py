@@ -1,23 +1,26 @@
-"""Transfer-phase executor: runs a transfer schedule over bound relations.
+"""Transfer-phase façade: compiles a transfer schedule onto the shared op set.
 
 Each :class:`~repro.core.transfer_schedule.TransferStep` ``target ⋉ source``
-is executed as:
+compiles to physical ops of the unified :class:`~repro.plan.physical.PhysicalPlan`
+IR:
 
-1. ``CreateBF`` — build a Bloom filter over ``source``'s current values of
-   the step's join attributes (the source may already have been reduced by
-   earlier steps, so the filter reflects the reduced content);
-2. ``ProbeBF`` — probe the filter with ``target``'s values and drop the rows
-   whose probe misses.
+* with Bloom filters (Predicate Transfer) — a ``BloomBuild`` (build a filter
+  over ``source``'s current values of the step's join attributes; the source
+  may already have been reduced by earlier steps, so the filter reflects the
+  reduced content) followed by a ``BloomProbe`` (drop ``target`` rows whose
+  probe misses);
+* with ``use_bloom=False`` — a single exact ``SemiJoinReduce`` (classic
+  Yannakakis), useful for differential testing: on an acyclic query the
+  exact reduction is the ground truth that the Bloom variant
+  over-approximates (false positives only, never false negatives).
 
-With ``use_bloom=False`` the same steps are executed as *exact* semi-joins
-(classic Yannakakis), which is useful for differential testing: on an
-acyclic query the exact reduction is the ground truth that the Bloom variant
-over-approximates (false positives only, never false negatives).
-
-The §4.3 pruning optimizations are implemented here:
+The compiled ops run on the shared
+:class:`~repro.exec.pipeline.PipelineExecutor`, which also implements the
+§4.3 pruning optimizations:
 
 * a step whose source is the unfiltered primary-key side of a declared
-  PK-FK join is skipped (the semi-join cannot eliminate anything);
+  PK-FK join is skipped (the semi-join cannot eliminate anything) — the
+  PK-FK half of the check is compiled in as a static hint;
 * the caller can drop the backward pass entirely when the join order is
   aligned with the transfer order (see the engine module).
 """
@@ -25,18 +28,16 @@ The §4.3 pruning optimizations are implemented here:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
-import numpy as np
-
-from repro.bloom.bloom_filter import DEFAULT_FPR, BloomFilter
-from repro.bloom.registry import BloomFilterRegistry, FilterKey
+from repro.bloom.bloom_filter import DEFAULT_FPR
+from repro.bloom.registry import BloomFilterRegistry
 from repro.core.join_graph import JoinGraph
-from repro.core.transfer_schedule import TransferSchedule, TransferStep
-from repro.errors import ExecutionError
-from repro.exec.kernels import bloom_probe_cost, combine_key_columns_pair, semi_join_mask
+from repro.core.transfer_schedule import TransferSchedule
+from repro.exec.pipeline import ExecutionBackend, PipelineExecutor, PipelineOptions
 from repro.exec.relation import BoundRelation
-from repro.exec.statistics import ExecutionStats, TransferStepStats
+from repro.exec.statistics import ExecutionStats
+from repro.plan.physical import PhysicalOp, PhysicalPlan, compile_transfer_ops
 
 
 @dataclass(frozen=True)
@@ -61,7 +62,13 @@ class TransferOptions:
 
 
 class TransferExecutor:
-    """Executes a transfer schedule, reducing bound relations in place."""
+    """Compiles transfer schedules to physical ops and runs them on the pipeline.
+
+    Kept as the transfer phase's public façade: ``run`` still reduces the
+    bound relations in place and records the same per-step statistics as the
+    historical monolithic executor, but the actual execution goes through
+    the shared :class:`~repro.exec.pipeline.PipelineExecutor`.
+    """
 
     def __init__(
         self,
@@ -69,122 +76,44 @@ class TransferExecutor:
         relations: Dict[str, BoundRelation],
         options: Optional[TransferOptions] = None,
         registry: Optional[BloomFilterRegistry] = None,
+        backend: Optional[ExecutionBackend] = None,
     ) -> None:
         self.graph = graph
         self.relations = relations
         self.options = options or TransferOptions()
         self.registry = registry or BloomFilterRegistry()
+        self.backend = backend
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
-    def run(self, schedule: TransferSchedule, stats: ExecutionStats) -> None:
-        """Execute every step of ``schedule``, recording statistics into ``stats``."""
-        filtered_since_start = self._initially_filtered()
-        with stats.time_phase("transfer"):
-            for step in schedule:
-                step_stats = self._execute_step(step, filtered_since_start)
-                stats.transfer_steps.append(step_stats)
-                stats.bloom_bytes += step_stats.filter_bytes
-                stats.abstract_cost += bloom_probe_cost(
-                    step_stats.rows_before if not step_stats.skipped else 0,
-                    max(step_stats.filter_bytes, 1),
-                )
-                if not step_stats.skipped and step_stats.rows_after < step_stats.rows_before:
-                    filtered_since_start.add(step.target)
-        for alias, relation in self.relations.items():
-            stats.reduced_rows[alias] = relation.num_rows
-
-    # ------------------------------------------------------------------
-    # Internals
-    # ------------------------------------------------------------------
-    def _initially_filtered(self) -> set[str]:
-        """Relations that enter the transfer phase already filtered.
-
-        A relation counts as filtered when its base predicate eliminated at
-        least one row — this is what makes its semi-join against a PK parent
-        potentially non-trivial.
-        """
-        filtered: set[str] = set()
-        for ref in self.graph.query.relations:
-            relation = self.relations[ref.alias]
-            if ref.filter is not None and relation.num_rows < relation.table.num_rows:
-                filtered.add(ref.alias)
-        return filtered
-
-    def _execute_step(self, step: TransferStep, filtered: set[str]) -> TransferStepStats:
-        source = self.relations[step.source]
-        target = self.relations[step.target]
-        rows_before = target.num_rows
-
-        if self.options.prune_trivial_semijoins and self._is_trivial(step, filtered):
-            return TransferStepStats(
-                source=step.source,
-                target=step.target,
-                pass_=step.pass_.value,
-                rows_before=rows_before,
-                rows_after=rows_before,
-                skipped=True,
+    def compile(self, schedule: TransferSchedule) -> Tuple[PhysicalOp, ...]:
+        """Compile ``schedule`` onto the shared physical op set."""
+        tables = {alias: relation.table for alias, relation in self.relations.items()}
+        return tuple(
+            compile_transfer_ops(
+                schedule, self.graph, tables, use_bloom=self.options.use_bloom
             )
-
-        source_keys, target_keys = self._step_keys(step, source, target)
-        if self.options.use_bloom:
-            bloom = BloomFilter(expected_keys=source.num_rows, fpr=self.options.fpr)
-            bloom.insert(source_keys)
-            key = FilterKey(
-                relation=step.source,
-                attribute="+".join(step.attributes),
-                pass_id=step.pass_.value,
-            )
-            self.registry.publish(key, bloom, replace=True)
-            mask = bloom.probe(target_keys)
-            filter_bytes = bloom.size_bytes
-        else:
-            mask = semi_join_mask(target_keys, source_keys)
-            filter_bytes = int(source_keys.nbytes)
-        target.keep(mask)
-        return TransferStepStats(
-            source=step.source,
-            target=step.target,
-            pass_=step.pass_.value,
-            rows_before=rows_before,
-            rows_after=target.num_rows,
-            filter_bytes=filter_bytes,
-            build_rows=source.num_rows,
         )
 
-    def _step_keys(
-        self,
-        step: TransferStep,
-        source: BoundRelation,
-        target: BoundRelation,
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Resolve the step's attribute classes to concrete key arrays."""
-        source_columns = []
-        target_columns = []
-        for attribute in step.attributes:
-            attr_class = self.graph.attribute_classes[attribute]
-            source_columns.append(source.key_values(attr_class.column_of(step.source)))
-            target_columns.append(target.key_values(attr_class.column_of(step.target)))
-        if not source_columns:
-            raise ExecutionError(f"transfer step {step} has no join attributes")
-        return combine_key_columns_pair(source_columns, target_columns)
-
-    def _is_trivial(self, step: TransferStep, filtered: set[str]) -> bool:
-        """§4.3 pruning: the source is an unfiltered PK side of a PK-FK join."""
-        if step.source in filtered:
-            return False
-        if len(step.attributes) != 1:
-            return False
-        attr_class = self.graph.attribute_classes[step.attributes[0]]
-        source = self.relations[step.source]
-        target = self.relations[step.target]
-        source_column = attr_class.column_of(step.source)
-        target_column = attr_class.column_of(step.target)
-        if not source.table.is_primary_key(source_column):
-            return False
-        # The target side must be a declared foreign key referencing the source table.
-        for fk in target.table.foreign_keys:
-            if fk.column == target_column and fk.ref_table == source.table.name:
-                return True
-        return False
+    def run(self, schedule: TransferSchedule, stats: ExecutionStats) -> None:
+        """Execute every step of ``schedule``, recording statistics into ``stats``."""
+        ops = self.compile(schedule)
+        plan = PhysicalPlan(
+            query_name=self.graph.query.name,
+            mode="transfer",
+            ops=ops,
+        )
+        executor = PipelineExecutor(
+            self.graph.query,
+            self.graph,
+            options=PipelineOptions(
+                transfer_fpr=self.options.fpr,
+                prune_trivial_semijoins=self.options.prune_trivial_semijoins,
+            ),
+            backend=self.backend,
+            registry=self.registry,
+        )
+        executor.run(plan, stats, relations=self.relations)
+        for alias, relation in self.relations.items():
+            stats.reduced_rows[alias] = relation.num_rows
