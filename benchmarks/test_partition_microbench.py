@@ -1,0 +1,67 @@
+"""Radix-partitioned vs monolithic hash join microbenchmark.
+
+The tentpole claim of the partitioned runtime: for build sides that outgrow
+the caches, radix-partitioning (an O(n) hash + radix sort of the small
+partition ids) plus per-partition builds and probes beats the monolithic
+O(n log n) sort with its cache-missing binary searches.  This benchmark
+measures both paths on a ≥1M-row build side and records the run as
+``BENCH_partition.json`` at the repo root so the performance trajectory of
+the partitioned join is tracked from session to session.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench import (
+    format_partition_microbench,
+    print_report,
+    run_partition_microbench,
+    write_bench_json,
+)
+
+#: Where the perf-trajectory record lands (repo root, next to ROADMAP.md).
+BENCH_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_partition.json"
+
+
+@pytest.mark.benchmark(group="partition")
+def test_partitioned_join_beats_monolithic_at_1m_rows(benchmark, tmp_path):
+    def run():
+        return run_partition_microbench(
+            build_sizes=(1 << 18, 1 << 20),
+            probe_rows=1 << 20,
+            bits=8,
+            repeats=2,
+        )
+
+    measurements = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_report(format_partition_microbench(measurements))
+
+    # Refresh the committed perf-trajectory record only when explicitly
+    # recording (REPRO_BENCH_RECORD=1); a plain test run writes to tmp so
+    # running the suite never dirties the working tree.
+    target = (
+        BENCH_JSON_PATH
+        if os.environ.get("REPRO_BENCH_RECORD")
+        else tmp_path / "BENCH_partition.json"
+    )
+    written = write_bench_json(
+        target,
+        name="partition_microbench",
+        measurements=[m.as_dict() for m in measurements],
+        metadata={"bits": 8, "probe_rows": 1 << 20},
+    )
+    assert written.exists()
+
+    at_1m = [m for m in measurements if m.build_rows >= 1 << 20]
+    assert at_1m, "sweep must include a >=1M-row build side"
+    for m in at_1m:
+        # The acceptance point: partitioned beats monolithic end to end on
+        # the large build side (the margin is ~3x here; 1.0 guards flake).
+        assert m.partitioned_seconds < m.monolithic_seconds, (
+            f"partitioned join did not beat monolithic at {m.build_rows} rows: "
+            f"{m.partitioned_seconds:.4f}s vs {m.monolithic_seconds:.4f}s"
+        )

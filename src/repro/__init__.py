@@ -18,7 +18,7 @@ Quickstart::
 """
 
 from repro.engine.database import Database, ExecutionOptions, QueryResult
-from repro.engine.modes import ExecutionMode
+from repro.engine.modes import ExecutionConfig, ExecutionMode
 from repro.plan.physical import PhysicalPlan
 from repro.query import (
     AggregateSpec,
@@ -35,6 +35,7 @@ __version__ = "1.0.0"
 __all__ = [
     "AggregateSpec",
     "Database",
+    "ExecutionConfig",
     "ExecutionMode",
     "ExecutionOptions",
     "JoinCondition",

@@ -17,8 +17,11 @@ scripts, and the benchmark suite.  Its central pieces are:
 
 from __future__ import annotations
 
+import json
+import platform
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from repro.core.robustness import (
     BenchmarkRobustnessSummary,
@@ -246,6 +249,33 @@ def run_uniform_trace(
     if plan is None:
         plan = db.optimizer_plan(query, options)
     return {mode: db.execute(query, mode=mode, plan=plan, options=options) for mode in modes}
+
+
+def write_bench_json(
+    path: Union[str, Path],
+    name: str,
+    measurements: Sequence[Mapping[str, Any]],
+    metadata: Optional[Mapping[str, Any]] = None,
+) -> Path:
+    """Persist one benchmark run as a ``BENCH_*.json`` record.
+
+    The record is the unit of the repo's performance trajectory: each run
+    writes ``{name, environment, metadata, measurements}`` so successive
+    sessions (and CI) can diff the same benchmark over time.  Returns the
+    written path.
+    """
+    path = Path(path)
+    payload = {
+        "name": name,
+        "environment": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "metadata": dict(metadata or {}),
+        "measurements": [dict(m) for m in measurements],
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def _plan_cost(query: QuerySpec, mode: ExecutionMode, plan: JoinPlan, result: QueryResult) -> PlanCost:

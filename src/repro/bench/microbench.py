@@ -13,6 +13,13 @@ actual probe paths:
 The reported quantity is seconds per probe for each build-side size, from
 which the Bloom:hash advantage factor can be computed.
 
+A third sweep (:func:`run_partition_microbench`) compares the monolithic
+hash join against the radix-partitioned one
+(:class:`~repro.exec.kernels.PartitionedHashIndex`) as the build side grows,
+optionally with the partition tasks dispatched through the parallel
+backend's pool; its results feed the repo's ``BENCH_partition.json``
+perf-trajectory record.
+
 A second sweep (:func:`run_semijoin_kernel_microbench`) compares the exact
 semi-join membership kernel strategies on large inputs: ``np.isin`` (the
 engine's historical implementation) against the adaptive
@@ -27,12 +34,18 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.bloom.bloom_filter import BloomFilter
-from repro.exec.kernels import HashIndex, match_keys, semi_join_mask
+from repro.exec.kernels import (
+    HashIndex,
+    PartitionedHashIndex,
+    match_keys,
+    semi_join_mask,
+)
+from repro.exec.pipeline import ParallelBackend
 
 #: Build-side sizes swept by default (the paper goes from 128 to 1G).
 DEFAULT_BUILD_SIZES = (128, 512, 2_048, 8_192, 32_768, 131_072, 524_288)
@@ -199,6 +212,154 @@ def format_semijoin_kernel_microbench(
         lines.append(
             f"{m.filter_rows:>12} {m.isin_seconds:>12.4f} {m.oneshot_seconds:>12.4f} "
             f"{m.indexed_probe_seconds:>12.4f} {m.oneshot_speedup:>12.1f}x {m.indexed_speedup:>13.1f}x"
+        )
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class PartitionJoinMeasurement:
+    """Monolithic vs radix-partitioned hash join timings at one build size."""
+
+    build_rows: int
+    probe_rows: int
+    bits: int
+    monolithic_build_seconds: float
+    monolithic_probe_seconds: float
+    partitioned_build_seconds: float
+    partitioned_probe_seconds: float
+    parallel_build_seconds: Optional[float] = None
+    parallel_probe_seconds: Optional[float] = None
+
+    @property
+    def monolithic_seconds(self) -> float:
+        """Total monolithic join time (build + probe)."""
+        return self.monolithic_build_seconds + self.monolithic_probe_seconds
+
+    @property
+    def partitioned_seconds(self) -> float:
+        """Total partitioned join time (build + probe)."""
+        return self.partitioned_build_seconds + self.partitioned_probe_seconds
+
+    @property
+    def speedup(self) -> float:
+        """How many times faster the partitioned join is end to end."""
+        if self.partitioned_seconds <= 0:
+            return float("inf")
+        return self.monolithic_seconds / self.partitioned_seconds
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation (used for the ``BENCH_partition.json`` record)."""
+        return {
+            "build_rows": self.build_rows,
+            "probe_rows": self.probe_rows,
+            "bits": self.bits,
+            "monolithic_build_seconds": self.monolithic_build_seconds,
+            "monolithic_probe_seconds": self.monolithic_probe_seconds,
+            "partitioned_build_seconds": self.partitioned_build_seconds,
+            "partitioned_probe_seconds": self.partitioned_probe_seconds,
+            "parallel_build_seconds": self.parallel_build_seconds,
+            "parallel_probe_seconds": self.parallel_probe_seconds,
+            "speedup": self.speedup,
+        }
+
+
+#: Build-side sizes swept by the partition microbenchmark (the acceptance
+#: point is the ≥1M-row build side).
+DEFAULT_PARTITION_BUILD_SIZES = (1 << 18, 1 << 20)
+
+
+def run_partition_microbench(
+    build_sizes: Sequence[int] = DEFAULT_PARTITION_BUILD_SIZES,
+    probe_rows: int = 1_000_000,
+    bits: int = 8,
+    key_domain: int = 2**62,
+    seed: int = 13,
+    repeats: int = 3,
+    num_threads: Optional[int] = None,
+) -> List[PartitionJoinMeasurement]:
+    """Compare monolithic vs radix-partitioned hash joins across build sizes.
+
+    For each build size three variants run over the same data: the
+    monolithic :class:`~repro.exec.kernels.HashIndex` (one O(n log n) stable
+    sort, probes binary-searching the full build array), the serial
+    :class:`~repro.exec.kernels.PartitionedHashIndex` (O(n) radix
+    partitioning, per-partition sorts, probes searching one cache-resident
+    partition), and — with ``num_threads`` — the partitioned join with its
+    partition tasks dispatched through a
+    :class:`~repro.exec.pipeline.ParallelBackend` pool.  Build (index
+    construction) and probe (matching) are timed separately; the huge
+    ``key_domain`` keeps the bitmap fast path out of the way so the sweep
+    measures the sort/search paths the partitioning targets.
+    """
+    rng = np.random.default_rng(seed)
+    probe_keys = rng.integers(0, key_domain, size=probe_rows, dtype=np.int64)
+    measurements: List[PartitionJoinMeasurement] = []
+    for build_rows in build_sizes:
+        build_keys = rng.integers(0, key_domain, size=build_rows, dtype=np.int64)
+
+        def mono_build():
+            index = HashIndex(build_keys)
+            index.prepare_match()
+            return index
+
+        mono_build_s = _best_time(mono_build, repeats)
+        mono_index = mono_build()
+        mono_probe_s = _best_time(lambda: mono_index.match(probe_keys), repeats)
+
+        def part_build():
+            index = PartitionedHashIndex(build_keys, bits=bits)
+            index.build()
+            return index
+
+        part_build_s = _best_time(part_build, repeats)
+        part_index = part_build()
+        part_probe_s = _best_time(lambda: part_index.match(probe_keys), repeats)
+
+        parallel_build_s = parallel_probe_s = None
+        if num_threads is not None:
+            backend = ParallelBackend(num_threads=num_threads)
+            try:
+                def par_build():
+                    index = PartitionedHashIndex(build_keys, bits=bits)
+                    index.build(run_tasks=backend.map_tasks)
+                    return index
+
+                parallel_build_s = _best_time(par_build, repeats)
+                par_index = par_build()
+                parallel_probe_s = _best_time(
+                    lambda: par_index.match(probe_keys, run_tasks=backend.map_tasks), repeats
+                )
+            finally:
+                backend.close()
+
+        measurements.append(
+            PartitionJoinMeasurement(
+                build_rows=build_rows,
+                probe_rows=probe_rows,
+                bits=bits,
+                monolithic_build_seconds=mono_build_s,
+                monolithic_probe_seconds=mono_probe_s,
+                partitioned_build_seconds=part_build_s,
+                partitioned_probe_seconds=part_probe_s,
+                parallel_build_seconds=parallel_build_s,
+                parallel_probe_seconds=parallel_probe_s,
+            )
+        )
+    return measurements
+
+
+def format_partition_microbench(measurements: Sequence[PartitionJoinMeasurement]) -> str:
+    """Render the partition sweep as a table."""
+    lines = [
+        "Radix-partitioned vs monolithic hash join (probe side fixed, build side varies)",
+        f"{'build rows':>12} {'bits':>5} {'mono bld (s)':>13} {'mono prb (s)':>13} "
+        f"{'part bld (s)':>13} {'part prb (s)':>13} {'speedup':>9}",
+    ]
+    for m in measurements:
+        lines.append(
+            f"{m.build_rows:>12} {m.bits:>5} {m.monolithic_build_seconds:>13.4f} "
+            f"{m.monolithic_probe_seconds:>13.4f} {m.partitioned_build_seconds:>13.4f} "
+            f"{m.partitioned_probe_seconds:>13.4f} {m.speedup:>8.2f}x"
         )
     return "\n".join(lines)
 

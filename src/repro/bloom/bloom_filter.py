@@ -19,6 +19,7 @@ table probes (reproduced in the Figure 16 microbenchmark).
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass
 from typing import Optional
 
@@ -108,6 +109,10 @@ class BloomFilter:
         self._block_mask = np.uint64(self.num_blocks - 1)
         self._is_power_of_two = (self.num_blocks & (self.num_blocks - 1)) == 0
         self.statistics = BloomFilterStatistics()
+        # Probes run concurrently under the morsel-parallel backend; the
+        # counter updates are read-modify-write and need the lock (the block
+        # array itself is only read during probes).
+        self._stats_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Hashing helpers
@@ -147,8 +152,10 @@ class BloomFilter:
             return np.zeros(0, dtype=bool)
         block_idx, pattern = self._block_and_bits(keys)
         hits = (self._blocks[block_idx] & pattern) == pattern
-        self.statistics.keys_probed += int(keys.size)
-        self.statistics.probes_passed += int(hits.sum())
+        passed = int(hits.sum())
+        with self._stats_lock:
+            self.statistics.keys_probed += int(keys.size)
+            self.statistics.probes_passed += passed
         return hits
 
     def contains(self, key: int) -> bool:

@@ -24,7 +24,7 @@ Typical usage::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Mapping, Optional, Sequence
 
 import numpy as np
@@ -40,14 +40,15 @@ from repro.core.transfer_schedule import (
     schedule_from_transfer_graph,
     schedule_from_tree,
 )
-from repro.engine.modes import ExecutionMode
+from repro.engine.modes import ExecutionConfig, ExecutionMode
 from repro.errors import PlanError
-from repro.exec.chunk import DEFAULT_CHUNK_SIZE
 from repro.exec.join_phase import JoinPhaseOptions
 from repro.exec.pipeline import PipelineExecutor, PipelineOptions, make_backend
 from repro.exec.relation import BoundRelation
+from repro.exec.spill import SpillManager
 from repro.exec.statistics import ExecutionStats
 from repro.exec.transfer import TransferOptions
+from repro.storage.buffer import MemoryGovernor
 from repro.optimizer.cardinality import CardinalityEstimator, EstimationErrorModel
 from repro.optimizer.join_order import JoinOrderOptimizer, JoinOrderOptions
 from repro.plan.join_plan import JoinPlan, validate_plan_for_query
@@ -72,6 +73,8 @@ class QueryResult:
     relations: Dict[str, BoundRelation] = field(default_factory=dict)
     #: The compiled physical plan the execution ran through.
     physical_plan: Optional[PhysicalPlan] = None
+    #: The resolved runtime configuration the execution ran under.
+    execution_config: Optional[ExecutionConfig] = None
 
     @property
     def output_rows(self) -> int:
@@ -97,10 +100,22 @@ class ExecutionOptions:
     skip_backward_if_aligned: bool = False
     #: Have the engine verify that the chosen join order is safe (SafeSubjoin).
     verify_safe_join_order: bool = False
-    #: Pipeline backend: ``"serial"`` (whole-column) or ``"chunked"`` (morsel-driven).
-    backend: str = "serial"
-    #: Chunk granularity of the chunked backend.
-    chunk_size: int = DEFAULT_CHUNK_SIZE
+    #: Runtime configuration (backend, threads, memory budget, partitioning).
+    execution: ExecutionConfig = field(default_factory=ExecutionConfig)
+    #: Legacy shorthand for ``execution.backend`` (``"serial"``, ``"chunked"``,
+    #: or ``"parallel"``); ``None`` defers to ``execution`` / the environment.
+    backend: Optional[str] = None
+    #: Legacy shorthand for ``execution.chunk_size`` (morsel granularity).
+    chunk_size: Optional[int] = None
+
+    def resolved_execution(self) -> ExecutionConfig:
+        """The effective :class:`ExecutionConfig` (legacy fields + env applied)."""
+        config = self.execution
+        if self.backend is not None:
+            config = replace(config, backend=self.backend)
+        if self.chunk_size is not None:
+            config = replace(config, chunk_size=self.chunk_size)
+        return config.resolved()
 
 
 class Database:
@@ -259,6 +274,7 @@ class Database:
         if schedule is not None and options.skip_backward_if_aligned and self._order_aligned(plan, join_tree):
             schedule = schedule.without_backward_pass()
 
+        config = options.resolved_execution()
         physical = compile_execution(
             query,
             mode,
@@ -266,7 +282,12 @@ class Database:
             graph,
             tables={ref.alias: self.catalog.table(ref.table) for ref in query.relations},
             schedule=schedule,
+            partition_threshold=config.partition_threshold,
+            partition_bits=config.partition_bits or 0,
         )
+        spill = SpillManager()
+        governor = MemoryGovernor(config.memory_budget_bytes, spill_handler=spill)
+        backend = make_backend(config.backend, config.chunk_size, config.num_threads)
         executor = PipelineExecutor(
             query,
             graph,
@@ -277,10 +298,17 @@ class Database:
                 prune_trivial_semijoins=options.transfer.prune_trivial_semijoins,
                 allow_cartesian_products=options.join.allow_cartesian_products,
             ),
-            backend=make_backend(options.backend, options.chunk_size),
+            backend=backend,
             registry=BloomFilterRegistry(),
+            governor=governor,
         )
-        run = executor.run(physical, stats, masks=masks)
+        try:
+            run = executor.run(physical, stats, masks=masks)
+        finally:
+            backend.close()
+        io_seconds = spill.simulated_seconds()
+        if io_seconds:
+            stats.timings.simulated_io += io_seconds
         if schedule is not None:
             for alias, relation in run.relations.items():
                 stats.reduced_rows[alias] = relation.num_rows
@@ -295,6 +323,7 @@ class Database:
             schedule=schedule,
             relations=run.relations,
             physical_plan=physical,
+            execution_config=config,
         )
 
     # ------------------------------------------------------------------

@@ -29,6 +29,11 @@ mode            transfer phase  Bloom xfer    exact semi-join  per-join SIP
 from __future__ import annotations
 
 import enum
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.exec.kernels import DEFAULT_PARTITION_BITS
 
 
 class ExecutionMode(enum.Enum):
@@ -70,3 +75,72 @@ class ExecutionMode(enum.Enum):
             ExecutionMode.RPT: "RPT",
             ExecutionMode.YANNAKAKIS: "Yannakakis",
         }[self]
+
+
+#: Estimated build rows at which the compiler switches a hash join to the
+#: radix-partitioned form.  Below this a monolithic sort fits the caches and
+#: the partitioning pass is pure overhead.
+DEFAULT_PARTITION_THRESHOLD = 1 << 17
+
+#: Environment variables consulted when an :class:`ExecutionConfig` knob is
+#: left unset — the CI backend matrix runs the whole suite under
+#: ``REPRO_BACKEND=parallel`` without touching any call site.
+ENV_BACKEND = "REPRO_BACKEND"
+ENV_NUM_THREADS = "REPRO_NUM_THREADS"
+ENV_MEMORY_BUDGET = "REPRO_MEMORY_BUDGET"
+ENV_PARTITION_BITS = "REPRO_PARTITION_BITS"
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """Runtime configuration of the execution stack (backend and resources).
+
+    One object carries every knob the runtime layers consult so the bench
+    harness can compare backends uniformly:
+
+    * ``backend`` — ``"serial"`` (whole-column kernels), ``"chunked"``
+      (morsel-granular with the Figure 14 simulated-parallelism model), or
+      ``"parallel"`` (a real morsel-driven scheduler over a thread pool).
+    * ``num_threads`` — worker threads of the parallel backend (``None``:
+      one per CPU, capped at 32 like the paper's testbed).
+    * ``chunk_size`` — morsel granularity of the chunked/parallel backends
+      (``None``: each backend's own default — 2048-row chunks for the
+      chunked simulation, larger morsels for the real parallel scheduler).
+    * ``memory_budget_bytes`` — the :class:`~repro.storage.buffer.MemoryGovernor`
+      budget; ``None`` means ungoverned (peak footprint still tracked).
+    * ``partition_bits`` / ``partition_threshold`` — radix-partitioned hash
+      join configuration; ``partition_threshold=None`` disables partitioning.
+
+    Unset knobs (``backend=None`` etc.) resolve from ``REPRO_*`` environment
+    variables, then defaults — see :meth:`resolved`.
+    """
+
+    backend: Optional[str] = None
+    num_threads: Optional[int] = None
+    chunk_size: Optional[int] = None
+    memory_budget_bytes: Optional[int] = None
+    partition_bits: Optional[int] = None
+    partition_threshold: Optional[int] = DEFAULT_PARTITION_THRESHOLD
+
+    def resolved(self) -> "ExecutionConfig":
+        """This config with unset knobs filled from the environment / defaults."""
+        backend = self.backend or os.environ.get(ENV_BACKEND) or "serial"
+        num_threads = self.num_threads
+        if num_threads is None and os.environ.get(ENV_NUM_THREADS):
+            num_threads = int(os.environ[ENV_NUM_THREADS])
+        memory_budget = self.memory_budget_bytes
+        if memory_budget is None and os.environ.get(ENV_MEMORY_BUDGET):
+            memory_budget = int(os.environ[ENV_MEMORY_BUDGET])
+        partition_bits = self.partition_bits
+        if partition_bits is None and os.environ.get(ENV_PARTITION_BITS):
+            partition_bits = int(os.environ[ENV_PARTITION_BITS])
+        if partition_bits is None:
+            partition_bits = DEFAULT_PARTITION_BITS
+        return ExecutionConfig(
+            backend=backend,
+            num_threads=num_threads,
+            chunk_size=self.chunk_size,
+            memory_budget_bytes=memory_budget,
+            partition_bits=partition_bits,
+            partition_threshold=self.partition_threshold,
+        )

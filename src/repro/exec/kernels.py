@@ -9,12 +9,19 @@ hash-join operator.  It uses a sort + binary-search strategy, which is the
 NumPy-friendly equivalent of building and probing a hash table: ``O(n log n)``
 to "build" (sort) and ``O(log n)`` per probe, with every step fully
 vectorized.
+
+For build sides that outgrow the caches, :func:`radix_partition` and
+:class:`PartitionedHashIndex` provide the radix-partitioned variant: both
+join sides are split by a multiplicative key hash in O(n) (NumPy radix-sorts
+the small ``uint16`` partition ids), each partition is sorted independently
+(the unit of parallel work for the morsel backend), and probes binary-search
+only their own cache-resident partition.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Tuple, Union
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -123,6 +130,7 @@ class HashIndex:
         "_fallback_probes",
         "_probe_rows_seen",
         "_key_bounds",
+        "_frozen",
     )
 
     #: Hard cap on the bitmap fast-path size (entries; 1 byte each).
@@ -138,6 +146,7 @@ class HashIndex:
         self._fallback_probes = 0
         self._probe_rows_seen = 0
         self._key_bounds: "tuple[int, int] | None" = None
+        self._frozen = False
 
     @property
     def num_keys(self) -> int:
@@ -190,6 +199,32 @@ class HashIndex:
         self._table = table
         return True
 
+    def prepare(self, expected_probe_rows: int) -> None:
+        """Freeze the index for concurrent read-only :meth:`contains` probes.
+
+        The adaptive strategy choice (bitmap table vs sorted binary search vs
+        one-shot ``np.isin``) normally happens lazily on the first probe and
+        mutates cached state.  A morsel-parallel backend probes the same
+        index from many threads at once, so it calls ``prepare`` once — with
+        the *total* probe volume, so the table-vs-sort decision matches what
+        a single whole-column probe would choose — and every subsequent
+        ``contains`` call is a pure read.
+        """
+        if self._frozen:
+            return
+        if self.num_keys:
+            if not (
+                np.issubdtype(self.keys.dtype, np.integer)
+                and self._ensure_table(int(expected_probe_rows))
+            ):
+                _ = self.sorted_keys  # force the sort so probes never mutate
+        self._frozen = True
+
+    def prepare_match(self) -> None:
+        """Freeze the index for concurrent read-only :meth:`match` probes."""
+        _ = self.sorted_keys
+        _ = self.order
+
     def contains(self, probe_keys: np.ndarray) -> np.ndarray:
         """Boolean membership mask of ``probe_keys`` against the indexed keys."""
         probe_keys = np.asarray(probe_keys)
@@ -197,8 +232,9 @@ class HashIndex:
             return np.zeros(0, dtype=bool)
         if self.num_keys == 0:
             return np.zeros(probe_keys.shape[0], dtype=bool)
-        if np.issubdtype(probe_keys.dtype, np.integer) and self._ensure_table(
-            int(probe_keys.shape[0])
+        if np.issubdtype(probe_keys.dtype, np.integer) and (
+            self._table is not None
+            or (not self._frozen and self._ensure_table(int(probe_keys.shape[0])))
         ):
             in_range = (probe_keys >= self._table_lo) & (probe_keys <= self._table_hi)
             clipped = np.clip(probe_keys, self._table_lo, self._table_hi)
@@ -252,6 +288,240 @@ class HashIndex:
         probe_indices = np.repeat(matched_probe, matched_counts).astype(np.int64)
         build_indices = self.order[build_positions].astype(np.int64)
         return JoinMatches(probe_indices=probe_indices, build_indices=build_indices)
+
+
+# ---------------------------------------------------------------------------
+# Radix partitioning
+# ---------------------------------------------------------------------------
+#: Fibonacci-hashing multiplier used to spread join keys across partitions.
+RADIX_HASH_MULTIPLIER = np.uint64(0x9E3779B97F4A7C15)
+
+#: Default number of radix bits (2^6 = 64 partitions).
+DEFAULT_PARTITION_BITS = 6
+
+#: Upper bound on radix bits (partition ids are materialized as ``uint16``).
+MAX_PARTITION_BITS = 16
+
+
+def radix_partition_ids(keys: np.ndarray, bits: int) -> np.ndarray:
+    """Partition id of every key: the top ``bits`` of a multiplicative hash.
+
+    The multiplicative (Fibonacci) hash spreads clustered key domains —
+    dense surrogate ids, dictionary codes — evenly across the ``2**bits``
+    partitions; taking the *top* bits keeps the full 64-bit mix.  Both sides
+    of a join use the same function, so equal keys always land in the same
+    partition.  Returned as ``uint16`` so the partitioning sort below hits
+    NumPy's O(n) radix sort for small integer dtypes.
+    """
+    if not 1 <= bits <= MAX_PARTITION_BITS:
+        raise ExecutionError(f"partition bits must be in [1, {MAX_PARTITION_BITS}], got {bits}")
+    hashed = keys.astype(np.uint64, copy=False) * RADIX_HASH_MULTIPLIER
+    return (hashed >> np.uint64(64 - bits)).astype(np.uint16)
+
+
+@dataclass(frozen=True)
+class KeyPartitions:
+    """One side's keys radix-partitioned: a permutation plus partition offsets.
+
+    ``order`` is a stable permutation grouping rows by partition id (NumPy
+    radix-sorts the ``uint16`` ids in O(n), so partitioning never pays a
+    comparison sort), ``offsets[p] : offsets[p + 1]`` delimits partition
+    ``p`` within ``keys[order]``, and ``partitioned_keys`` is that gathered
+    key array.  ``order`` maps positions *within a partition segment* back
+    to original row positions.
+    """
+
+    bits: int
+    order: np.ndarray
+    offsets: np.ndarray
+    partitioned_keys: np.ndarray
+
+    @property
+    def num_partitions(self) -> int:
+        """Number of radix partitions (``2**bits``)."""
+        return 1 << self.bits
+
+    @property
+    def num_rows(self) -> int:
+        """Total number of partitioned rows."""
+        return int(self.partitioned_keys.shape[0])
+
+    def partition_rows(self, partition: int) -> int:
+        """Number of rows in one partition."""
+        return int(self.offsets[partition + 1] - self.offsets[partition])
+
+    def segment_keys(self, partition: int) -> np.ndarray:
+        """The keys of one partition (a view into the gathered key array)."""
+        return self.partitioned_keys[self.offsets[partition] : self.offsets[partition + 1]]
+
+    def segment_order(self, partition: int) -> np.ndarray:
+        """Original row positions of one partition's rows."""
+        return self.order[self.offsets[partition] : self.offsets[partition + 1]]
+
+
+def radix_partition(keys: np.ndarray, bits: int = DEFAULT_PARTITION_BITS) -> KeyPartitions:
+    """Radix-partition a key array into ``2**bits`` hash partitions.
+
+    Runs in O(n): partition ids are one vectorized hash, the grouping
+    permutation is NumPy's radix sort over the ``uint16`` ids, and the
+    offsets come from ``bincount``.
+    """
+    keys = np.asarray(keys)
+    pids = radix_partition_ids(keys, bits)
+    order = np.argsort(pids, kind="stable").astype(np.int64, copy=False)
+    counts = np.bincount(pids, minlength=1 << bits)
+    offsets = np.concatenate([np.zeros(1, dtype=np.int64), np.cumsum(counts, dtype=np.int64)])
+    return KeyPartitions(bits=bits, order=order, offsets=offsets, partitioned_keys=keys[order])
+
+
+#: Runs a list of thunks and returns their results in order (a backend hook:
+#: the parallel backend dispatches them to its worker pool).
+TaskRunner = Callable[[Sequence[Callable[[], object]]], List[object]]
+
+
+def _run_serial(tasks: Sequence[Callable[[], object]]) -> List[object]:
+    return [task() for task in tasks]
+
+
+class PartitionedHashIndex:
+    """A radix-partitioned build side: per-partition :class:`HashIndex` objects.
+
+    Large monolithic build sides are slow to sort (O(n log n) over the whole
+    array) and slow to probe (every binary-search step is a cache miss in a
+    build array that outgrows the caches).  Radix-partitioning both sides by
+    the same key hash fixes both: each partition is sorted independently
+    (shorter sorts, and independent units of parallel work — the per-worker
+    *partial* builds that a morsel-parallel pipeline breaker merges), and
+    probes only search their own cache-resident partition.
+
+    Construction only computes the O(n) partitioning; the per-partition
+    indexes are built by :meth:`build` (optionally through a ``run_tasks``
+    hook so a parallel backend can build partitions concurrently) or lazily
+    on first probe.
+    """
+
+    __slots__ = ("partitions", "_indexes")
+
+    def __init__(self, keys: np.ndarray, bits: int = DEFAULT_PARTITION_BITS) -> None:
+        self.partitions = radix_partition(keys, bits)
+        self._indexes: List[Optional[HashIndex]] = [None] * self.partitions.num_partitions
+
+    @property
+    def bits(self) -> int:
+        """Number of radix bits."""
+        return self.partitions.bits
+
+    @property
+    def num_partitions(self) -> int:
+        """Number of radix partitions."""
+        return self.partitions.num_partitions
+
+    @property
+    def num_keys(self) -> int:
+        """Total number of indexed build-side keys."""
+        return self.partitions.num_rows
+
+    def partition_bytes(self, partition: int) -> int:
+        """Approximate bytes materialized for one partition (keys + order)."""
+        rows = self.partitions.partition_rows(partition)
+        return rows * (self.partitions.partitioned_keys.itemsize + 8)
+
+    def _index(self, partition: int) -> HashIndex:
+        index = self._indexes[partition]
+        if index is None:
+            index = HashIndex(self.partitions.segment_keys(partition))
+            index.prepare_match()
+            self._indexes[partition] = index
+        return index
+
+    def build(self, run_tasks: Optional[TaskRunner] = None) -> int:
+        """Build the index of every non-empty partition; returns the task count.
+
+        Each partition build is an independent task (sort of that partition's
+        keys); ``run_tasks`` lets the caller fan the builds out to worker
+        threads and acts as the pipeline breaker that merges the partial
+        builds: it returns only when every partition index exists.
+        """
+        run = run_tasks or _run_serial
+        pending = [
+            p for p in range(self.num_partitions)
+            if self._indexes[p] is None and self.partitions.partition_rows(p) > 0
+        ]
+        run([(lambda p=p: self._index(p)) for p in pending])
+        return len(pending)
+
+    def match(
+        self,
+        probe_keys: np.ndarray,
+        run_tasks: Optional[TaskRunner] = None,
+        on_partition: Optional[Callable[[int], None]] = None,
+    ) -> JoinMatches:
+        """All (probe, build) index pairs with equal keys, via per-partition matching.
+
+        The probe side is radix-partitioned with the same hash, each partition
+        is matched against its build counterpart (independent tasks), and the
+        per-partition matches — expressed in original row positions through
+        the two permutations — are concatenated in partition order, so the
+        result is deterministic regardless of how ``run_tasks`` schedules the
+        work.  ``on_partition`` is called (serially, before the fan-out) for
+        every partition the probe will actually visit — the memory governor's
+        hook for charging reloads of exactly the spilled partitions the join
+        reads.
+        """
+        probe_keys = np.asarray(probe_keys)
+        if probe_keys.size == 0 or self.num_keys == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return JoinMatches(probe_indices=empty, build_indices=empty)
+        probe_parts = radix_partition(probe_keys, self.bits)
+        active = [
+            p for p in range(self.num_partitions)
+            if probe_parts.partition_rows(p) > 0 and self.partitions.partition_rows(p) > 0
+        ]
+        if on_partition is not None:
+            for p in active:
+                on_partition(p)
+
+        def match_partition(p: int) -> Tuple[np.ndarray, np.ndarray]:
+            local = self._index(p).match(probe_parts.segment_keys(p))
+            return (
+                probe_parts.segment_order(p)[local.probe_indices],
+                self.partitions.segment_order(p)[local.build_indices],
+            )
+
+        run = run_tasks or _run_serial
+        results = run([(lambda p=p: match_partition(p)) for p in active])
+        if not results:
+            empty = np.zeros(0, dtype=np.int64)
+            return JoinMatches(probe_indices=empty, build_indices=empty)
+        return JoinMatches(
+            probe_indices=np.concatenate([r[0] for r in results]),
+            build_indices=np.concatenate([r[1] for r in results]),
+        )
+
+    def contains(
+        self, probe_keys: np.ndarray, run_tasks: Optional[TaskRunner] = None
+    ) -> np.ndarray:
+        """Boolean membership mask of ``probe_keys``, via per-partition probes."""
+        probe_keys = np.asarray(probe_keys)
+        if probe_keys.size == 0:
+            return np.zeros(0, dtype=bool)
+        if self.num_keys == 0:
+            return np.zeros(probe_keys.shape[0], dtype=bool)
+        probe_parts = radix_partition(probe_keys, self.bits)
+        mask = np.zeros(probe_keys.shape[0], dtype=bool)
+        active = [p for p in range(self.num_partitions) if probe_parts.partition_rows(p) > 0]
+
+        def probe_partition(p: int) -> Tuple[np.ndarray, np.ndarray]:
+            if self.partitions.partition_rows(p) == 0:
+                hits = np.zeros(probe_parts.partition_rows(p), dtype=bool)
+            else:
+                hits = self._index(p).contains(probe_parts.segment_keys(p))
+            return probe_parts.segment_order(p), hits
+
+        run = run_tasks or _run_serial
+        for positions, hits in run([(lambda p=p: probe_partition(p)) for p in active]):
+            mask[positions] = hits
+        return mask
 
 
 BuildSide = Union[np.ndarray, HashIndex]

@@ -5,11 +5,20 @@ that RPT stays robust, but the *variance* across random plans grows because
 some plans place a small (heavily reduced) table on the probe side of a long
 pipeline — it then has too few data chunks to keep 32 threads busy.
 
-Python cannot demonstrate this with real threads (GIL), so this module
-models it: the measured single-threaded work of each pipeline is divided by
+This module is the **deterministic figure-reproduction path** for that
+effect: the measured single-threaded work of each pipeline is divided by
 the *effective parallelism*, which is capped by the number of data chunks
 the probe side provides.  The per-query output is a simulated parallel
-execution time that exhibits exactly the under-utilization effect.
+execution time that exhibits exactly the under-utilization effect, free of
+measurement noise.
+
+The engine also has a *real* morsel-parallel runtime — the ``"parallel"``
+backend (:class:`~repro.exec.pipeline.ParallelBackend`), a morsel scheduler
+over a thread pool whose NumPy kernels release the GIL.  Its per-op morsel
+counters (``OpStats.morsels``) expose the same quantity this model caps
+parallelism by (morsels available per pipeline), so the simulated Figure 14
+numbers and the real backend's utilization can be cross-checked over one
+trace vocabulary.
 """
 
 from __future__ import annotations

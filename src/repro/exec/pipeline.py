@@ -10,7 +10,7 @@ Transfer-phase ops (``BloomBuild``/``BloomProbe``/``SemiJoinReduce``) reduce
 producing the uniform per-op trace (``ExecutionStats.op_stats``) shared by
 all five modes.
 
-Two backends implement the probe/match hot loops:
+Three backends implement the probe/match hot loops:
 
 * :class:`SerialBackend` — whole-column NumPy kernels (the default);
 * :class:`ChunkedBackend` — morsel-driven: probe inputs are processed in
@@ -19,6 +19,21 @@ Two backends implement the probe/match hot loops:
   multi-threaded cost of each probe pipeline
   (``ExecutionStats.simulated_parallel_cost``).  Results are bit-identical
   to the serial backend.
+* :class:`ParallelBackend` — a *real* morsel-driven scheduler over a
+  ``ThreadPoolExecutor``: probe inputs are cut into chunk-granularity
+  morsels dispatched to worker threads (the NumPy kernels release the GIL
+  on large inputs), per-partition hash builds run as concurrent partial
+  builds merged at the pipeline breaker, and results are gathered in
+  dispatch order so they stay bit-identical to the serial backend.
+
+Radix-partitioned joins (``Partition`` / ``PartitionedHashBuild`` /
+``PartitionedHashProbe`` ops) execute on any backend; under the parallel
+backend each partition is an independent task.  A
+:class:`~repro.storage.buffer.MemoryGovernor`, when configured, is consulted
+*during* execution: build sides and partitions reserve budget before
+materializing, over-budget reservations spill through the
+:class:`~repro.exec.spill.SpillManager` callback, and probing spilled state
+charges the reload — surfaced per op in ``ExecutionStats.op_stats``.
 
 The executor also owns the cross-pipeline :class:`~repro.exec.kernels.HashIndex`
 cache: a build side probed by multiple pipelines (e.g. a join-tree node that
@@ -28,9 +43,11 @@ and the sorted index is reused until the relation is reduced again.
 
 from __future__ import annotations
 
+import os
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -42,6 +59,7 @@ from repro.exec.chunk import DEFAULT_CHUNK_SIZE
 from repro.exec.kernels import (
     HashIndex,
     JoinMatches,
+    PartitionedHashIndex,
     bloom_probe_cost,
     combine_key_columns_pair,
     hash_probe_cost,
@@ -58,28 +76,66 @@ from repro.plan.physical import (
     HashBuild,
     HashProbe,
     Operand,
+    Partition,
+    PartitionedHashBuild,
+    PartitionedHashProbe,
     PhysicalPlan,
     Scan,
     SemiJoinReduce,
 )
 from repro.query import PostJoinPredicate, QuerySpec
+from repro.storage.buffer import MemoryGovernor
+
+#: Threads the parallel backend uses when not configured explicitly: one per
+#: CPU, capped at the paper testbed's 32.
+MAX_DEFAULT_THREADS = 32
+
+#: Morsel granularity of the parallel backend.  Larger than the chunked
+#: backend's simulation granularity: each morsel must carry enough work to
+#: amortize task dispatch in pure Python.
+DEFAULT_MORSEL_SIZE = 32_768
 
 
 # ---------------------------------------------------------------------------
 # Backends
 # ---------------------------------------------------------------------------
 class ExecutionBackend:
-    """Strategy object for the probe/match hot loops of the pipeline executor."""
+    """Strategy object for the probe/match hot loops of the pipeline executor.
+
+    ``tasks_dispatched`` counts the morsels / partition tasks the backend has
+    processed; the executor samples it around each op to surface per-op
+    parallelism counters in ``ExecutionStats.op_stats``.
+    """
 
     name = "backend"
 
-    def probe_mask(self, keys: np.ndarray, probe_fn) -> np.ndarray:
-        """Evaluate ``probe_fn`` (keys -> boolean mask) over ``keys``."""
+    def __init__(self) -> None:
+        self.tasks_dispatched = 0
+
+    def probe_mask(self, keys: np.ndarray, probe_fn, prepare=None) -> np.ndarray:
+        """Evaluate ``probe_fn`` (keys -> boolean mask) over ``keys``.
+
+        ``prepare`` (optional thunk) freezes lazily-built probe structures for
+        concurrent read-only access; only fan-out backends invoke it.
+        """
         raise NotImplementedError
 
     def match(self, probe_keys: np.ndarray, index: HashIndex) -> JoinMatches:
         """Match probe keys against a build-side index."""
         raise NotImplementedError
+
+    def map_tasks(self, tasks: Sequence[Callable[[], object]]) -> List[object]:
+        """Run independent thunks and return their results in order."""
+        self.tasks_dispatched += len(tasks)
+        return [task() for task in tasks]
+
+    def account_probe(self, probe_rows: int) -> None:
+        """Accrue simulated-parallelism cost for a probe pipeline that bypasses
+        :meth:`probe_mask`/:meth:`match` (the partitioned join path).  Only the
+        chunked backend's Figure 14 model does anything here."""
+
+    def close(self) -> None:
+        """Release backend resources (worker pools); idempotent."""
 
 
 class SerialBackend(ExecutionBackend):
@@ -87,7 +143,7 @@ class SerialBackend(ExecutionBackend):
 
     name = "serial"
 
-    def probe_mask(self, keys: np.ndarray, probe_fn) -> np.ndarray:
+    def probe_mask(self, keys: np.ndarray, probe_fn, prepare=None) -> np.ndarray:
         return probe_fn(keys)
 
     def match(self, probe_keys: np.ndarray, index: HashIndex) -> JoinMatches:
@@ -111,6 +167,7 @@ class ChunkedBackend(ExecutionBackend):
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         parallelism: Optional[ParallelismModel] = None,
     ) -> None:
+        super().__init__()
         if chunk_size <= 0:
             raise ExecutionError("chunk size must be positive")
         self.chunk_size = chunk_size
@@ -121,21 +178,27 @@ class ChunkedBackend(ExecutionBackend):
         effective = self.parallelism.effective_parallelism(probe_rows)
         self.simulated_cost += float(probe_rows) / effective + self.parallelism.pipeline_overhead
 
-    def probe_mask(self, keys: np.ndarray, probe_fn) -> np.ndarray:
+    def account_probe(self, probe_rows: int) -> None:
+        self._account(probe_rows)
+
+    def probe_mask(self, keys: np.ndarray, probe_fn, prepare=None) -> np.ndarray:
         keys = np.asarray(keys)
         self._account(int(keys.shape[0]))
         if keys.shape[0] <= self.chunk_size:
+            self.tasks_dispatched += 1
             return probe_fn(keys)
         parts = [
             probe_fn(keys[start : start + self.chunk_size])
             for start in range(0, keys.shape[0], self.chunk_size)
         ]
+        self.tasks_dispatched += len(parts)
         return np.concatenate(parts)
 
     def match(self, probe_keys: np.ndarray, index: HashIndex) -> JoinMatches:
         probe_keys = np.asarray(probe_keys)
         self._account(int(probe_keys.shape[0]))
         if probe_keys.shape[0] <= self.chunk_size:
+            self.tasks_dispatched += 1
             return index.match(probe_keys)
         probe_parts: List[np.ndarray] = []
         build_parts: List[np.ndarray] = []
@@ -143,19 +206,129 @@ class ChunkedBackend(ExecutionBackend):
             matches = index.match(probe_keys[start : start + self.chunk_size])
             probe_parts.append(matches.probe_indices + start)
             build_parts.append(matches.build_indices)
+        self.tasks_dispatched += len(probe_parts)
         return JoinMatches(
             probe_indices=np.concatenate(probe_parts),
             build_indices=np.concatenate(build_parts),
         )
 
 
-def make_backend(name: str, chunk_size: int = DEFAULT_CHUNK_SIZE) -> ExecutionBackend:
-    """Instantiate a backend by name (``"serial"`` or ``"chunked"``)."""
+class ParallelBackend(ExecutionBackend):
+    """Morsel-parallel execution over a real thread pool.
+
+    Probe inputs are cut into ``morsel_size``-row morsels dispatched to a
+    ``ThreadPoolExecutor``; the NumPy probe kernels (Bloom probes, bitmap /
+    binary-search membership, ``searchsorted`` matching) release the GIL on
+    large arrays, so morsels genuinely overlap.  Futures are gathered in
+    dispatch order and concatenated, which makes every result bit-identical
+    to the serial backend regardless of thread scheduling.  Lazily-built
+    probe structures are frozen (``HashIndex.prepare``/``prepare_match``)
+    before fan-out so worker threads only read shared state.
+
+    The pool is created on first use and must be released with
+    :meth:`close` (the engine does this per execution).
+    """
+
+    name = "parallel"
+
+    def __init__(
+        self,
+        num_threads: Optional[int] = None,
+        morsel_size: int = DEFAULT_MORSEL_SIZE,
+    ) -> None:
+        super().__init__()
+        if num_threads is not None and num_threads <= 0:
+            raise ExecutionError("parallel backend needs at least one thread")
+        if morsel_size <= 0:
+            raise ExecutionError("morsel size must be positive")
+        self.num_threads = num_threads or min(MAX_DEFAULT_THREADS, os.cpu_count() or 1)
+        self.morsel_size = morsel_size
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    def _pool_instance(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.num_threads, thread_name_prefix="repro-morsel"
+            )
+        return self._pool
+
+    def map_tasks(self, tasks: Sequence[Callable[[], object]]) -> List[object]:
+        tasks = list(tasks)
+        self.tasks_dispatched += len(tasks)
+        if len(tasks) <= 1 or self.num_threads == 1:
+            return [task() for task in tasks]
+        pool = self._pool_instance()
+        futures = [pool.submit(task) for task in tasks]
+        return [future.result() for future in futures]
+
+    def _morsels(self, total_rows: int) -> List[Tuple[int, int]]:
+        return [
+            (start, min(start + self.morsel_size, total_rows))
+            for start in range(0, total_rows, self.morsel_size)
+        ]
+
+    def probe_mask(self, keys: np.ndarray, probe_fn, prepare=None) -> np.ndarray:
+        keys = np.asarray(keys)
+        if keys.shape[0] <= self.morsel_size:
+            self.tasks_dispatched += 1
+            return probe_fn(keys)
+        if prepare is not None:
+            prepare()
+        parts = self.map_tasks(
+            [
+                (lambda lo=lo, hi=hi: probe_fn(keys[lo:hi]))
+                for lo, hi in self._morsels(int(keys.shape[0]))
+            ]
+        )
+        return np.concatenate(parts)
+
+    def match(self, probe_keys: np.ndarray, index: HashIndex) -> JoinMatches:
+        probe_keys = np.asarray(probe_keys)
+        if probe_keys.shape[0] <= self.morsel_size:
+            self.tasks_dispatched += 1
+            return index.match(probe_keys)
+        index.prepare_match()
+        morsels = self._morsels(int(probe_keys.shape[0]))
+        results = self.map_tasks(
+            [(lambda lo=lo, hi=hi: index.match(probe_keys[lo:hi])) for lo, hi in morsels]
+        )
+        probe_parts = [m.probe_indices + lo for m, (lo, _) in zip(results, morsels)]
+        return JoinMatches(
+            probe_indices=np.concatenate(probe_parts),
+            build_indices=np.concatenate([m.build_indices for m in results]),
+        )
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+def make_backend(
+    name: str,
+    chunk_size: Optional[int] = None,
+    num_threads: Optional[int] = None,
+) -> ExecutionBackend:
+    """Instantiate a backend by name (``"serial"``, ``"chunked"``, or ``"parallel"``).
+
+    ``chunk_size=None`` takes each backend's own default granularity
+    (:data:`~repro.exec.chunk.DEFAULT_CHUNK_SIZE` for the chunked backend,
+    the larger :data:`DEFAULT_MORSEL_SIZE` for the parallel one).
+    """
     if name == "serial":
         return SerialBackend()
     if name == "chunked":
-        return ChunkedBackend(chunk_size=chunk_size)
-    raise ExecutionError(f"unknown pipeline backend {name!r}; expected 'serial' or 'chunked'")
+        return ChunkedBackend(
+            chunk_size=DEFAULT_CHUNK_SIZE if chunk_size is None else chunk_size
+        )
+    if name == "parallel":
+        return ParallelBackend(
+            num_threads=num_threads,
+            morsel_size=DEFAULT_MORSEL_SIZE if chunk_size is None else chunk_size,
+        )
+    raise ExecutionError(
+        f"unknown pipeline backend {name!r}; expected 'serial', 'chunked', or 'parallel'"
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -189,6 +362,9 @@ _PHASE_BY_KIND = {
     "semi_join_reduce": "transfer",
     "hash_build": "join",
     "hash_probe": "join",
+    "partition": "join",
+    "partitioned_hash_build": "join",
+    "partitioned_hash_probe": "join",
     "aggregate": "aggregate",
 }
 
@@ -218,6 +394,7 @@ class _BuildStage:
     result: IntermediateResult
     index: Optional[HashIndex] = None
     keys: Optional[np.ndarray] = None
+    partitioned: Optional[PartitionedHashIndex] = None
 
 
 class PipelineExecutor:
@@ -236,6 +413,7 @@ class PipelineExecutor:
         options: Optional[PipelineOptions] = None,
         backend: Optional[ExecutionBackend] = None,
         registry: Optional[BloomFilterRegistry] = None,
+        governor: Optional[MemoryGovernor] = None,
     ) -> None:
         self.query = query
         self.graph = graph
@@ -243,6 +421,7 @@ class PipelineExecutor:
         self.options = options or PipelineOptions()
         self.backend = backend or SerialBackend()
         self.registry = registry or BloomFilterRegistry()
+        self.governor = governor
         self._refs = {ref.alias: ref for ref in query.relations}
 
     # ------------------------------------------------------------------
@@ -283,10 +462,17 @@ class PipelineExecutor:
         self._final: Optional[IntermediateResult] = None
 
         base_simulated = getattr(self.backend, "simulated_cost", 0.0)
+        governor = self.governor
+        if governor is not None:
+            base_spill_events = governor.spill_events
+            base_spilled = governor.spilled_bytes
+            base_reloaded = governor.reloaded_bytes
         for index, op in enumerate(plan):
             phase = _PHASE_BY_KIND.get(op.kind, "join")
             if getattr(op, "scope", None) == SCOPE_JOIN:
                 phase = "join"
+            tasks_before = self.backend.tasks_dispatched
+            spilled_before = governor.spilled_bytes if governor is not None else 0
             start = time.perf_counter()
             rows_in, rows_out, skipped = self._dispatch(op, stats)
             elapsed = time.perf_counter() - start
@@ -300,6 +486,10 @@ class PipelineExecutor:
                     rows_out=rows_out,
                     seconds=elapsed,
                     skipped=skipped,
+                    morsels=self.backend.tasks_dispatched - tasks_before,
+                    spilled_bytes=(
+                        governor.spilled_bytes - spilled_before if governor is not None else 0
+                    ),
                 )
             )
 
@@ -313,6 +503,11 @@ class PipelineExecutor:
         simulated = getattr(self.backend, "simulated_cost", 0.0) - base_simulated
         if simulated:
             stats.simulated_parallel_cost += simulated
+        if governor is not None:
+            stats.peak_memory_bytes = max(stats.peak_memory_bytes, governor.peak_reserved_bytes)
+            stats.spill_events += governor.spill_events - base_spill_events
+            stats.spilled_bytes += governor.spilled_bytes - base_spilled
+            stats.reloaded_bytes += governor.reloaded_bytes - base_reloaded
 
         return PipelineResult(
             relations=self._relations,
@@ -342,6 +537,12 @@ class PipelineExecutor:
             return self._exec_hash_build(op, stats)
         if isinstance(op, HashProbe):
             return self._exec_hash_probe(op, stats)
+        if isinstance(op, Partition):
+            return self._exec_partition(op, stats)
+        if isinstance(op, PartitionedHashBuild):
+            return self._exec_partitioned_hash_build(op, stats)
+        if isinstance(op, PartitionedHashProbe):
+            return self._exec_partitioned_hash_probe(op, stats)
         if isinstance(op, Aggregate):
             return self._exec_aggregate(op, stats)
         raise ExecutionError(f"pipeline executor cannot run op {op!r}")
@@ -433,7 +634,11 @@ class PipelineExecutor:
             source_keys, target_keys = self._step_keys(op, source, target)
             index = HashIndex(source_keys)
         rows_before = target.num_rows
-        mask = self.backend.probe_mask(target_keys, index.contains)
+        mask = self.backend.probe_mask(
+            target_keys,
+            index.contains,
+            prepare=lambda: index.prepare(int(np.asarray(target_keys).shape[0])),
+        )
         target.keep(mask)
         self._record_transfer_step(
             op,
@@ -614,7 +819,34 @@ class PipelineExecutor:
                 stage.index = self._build_index(op, stage.keys)
         elif stage.keys is not None:
             stage.index = self._build_index(op, stage.keys)
+        self._reserve_build(op.build_id, stage)
         return build.num_rows, build.num_rows, False
+
+    # -- memory governance ----------------------------------------------
+    def _stage_bytes(self, stage: _BuildStage) -> int:
+        """Approximate bytes materialized by one build stage."""
+        total = sum(int(arr.nbytes) for arr in stage.result.positions.values())
+        if stage.keys is not None:
+            total += int(stage.keys.nbytes)
+        elif stage.index is not None:
+            total += int(stage.index.keys.nbytes)
+        return total
+
+    def _reserve_build(self, build_id: int, stage: _BuildStage) -> None:
+        if self.governor is not None:
+            self.governor.reserve(f"build:{build_id}", self._stage_bytes(stage))
+
+    def _touch_build(self, build_id: int) -> None:
+        if self.governor is not None:
+            self.governor.touch(f"build:{build_id}")
+
+    def _release_build(self, build_id: int, stage: _BuildStage) -> None:
+        if self.governor is None:
+            return
+        self.governor.release(f"build:{build_id}")
+        if stage.partitioned is not None:
+            for p in range(stage.partitioned.num_partitions):
+                self.governor.release(f"partition:{build_id}:{p}")
 
     def _cached_relation_index(
         self, op: HashBuild, build: IntermediateResult
@@ -670,10 +902,12 @@ class PipelineExecutor:
         stage = self._build_stages.pop(op.build_id)
         build = stage.result
         probe = self._materialize(op.probe)
+        self._touch_build(op.build_id)
 
         if not op.attributes:
             joined = self._cartesian_product(probe, build, stats)
             self._slots[op.output_slot] = self._apply_ready_predicates(joined)
+            self._release_build(op.build_id, stage)
             return probe.num_rows, joined.num_rows, False
 
         staged_probe_keys = self._join_probe_keys.pop(op.build_id, None)
@@ -710,6 +944,91 @@ class PipelineExecutor:
             + float(joined.num_rows)
         )
         self._slots[op.output_slot] = self._apply_ready_predicates(joined)
+        self._release_build(op.build_id, stage)
+        return probe.num_rows, joined.num_rows, False
+
+    # -- radix-partitioned join phase -----------------------------------
+    def _exec_partition(self, op: Partition, stats: ExecutionStats) -> Tuple[int, int, bool]:
+        build = self._materialize(op.input)
+        stage = self._build_stages.get(op.build_id)
+        if stage is None:
+            stage = _BuildStage(result=build)
+            self._build_stages[op.build_id] = stage
+        else:
+            # A join-scoped Bloom pair already staged the (filtered) pair keys.
+            stage.result = build
+        if stage.keys is None:
+            stage.keys = self._single_attribute_keys(op.attributes[0], build)
+        stage.partitioned = PartitionedHashIndex(stage.keys, bits=op.bits)
+        # The build side's materialized rows are reserved like the monolithic
+        # path's; the partitioned key/order copies are reserved per partition
+        # (the granularity the governor spills at).
+        self._reserve_build(op.build_id, stage)
+        if self.governor is not None:
+            partitioned = stage.partitioned
+            for p in range(partitioned.num_partitions):
+                nbytes = partitioned.partition_bytes(p)
+                if nbytes:
+                    self.governor.reserve(f"partition:{op.build_id}:{p}", nbytes)
+        return build.num_rows, build.num_rows, False
+
+    def _exec_partitioned_hash_build(
+        self, op: PartitionedHashBuild, stats: ExecutionStats
+    ) -> Tuple[int, int, bool]:
+        stage = self._build_stages[op.build_id]
+        assert stage.partitioned is not None, "Partition op must precede PartitionedHashBuild"
+        # Per-partition index builds are independent partial builds; map_tasks
+        # is the pipeline breaker that merges them (parallel backends fan out).
+        stage.partitioned.build(run_tasks=self.backend.map_tasks)
+        rows = stage.partitioned.num_keys
+        return rows, rows, False
+
+    def _exec_partitioned_hash_probe(
+        self, op: PartitionedHashProbe, stats: ExecutionStats
+    ) -> Tuple[int, int, bool]:
+        stage = self._build_stages.pop(op.build_id)
+        assert stage.partitioned is not None, "Partition op must precede PartitionedHashProbe"
+        build = stage.result
+        probe = self._materialize(op.probe)
+        self._touch_build(op.build_id)
+
+        staged_probe_keys = self._join_probe_keys.pop(op.build_id, None)
+        if staged_probe_keys is not None:
+            probe_keys = staged_probe_keys
+        else:
+            probe_keys = self._single_attribute_keys(op.attributes[0], probe)
+        self.backend.account_probe(int(np.asarray(probe_keys).shape[0]))
+        # Only the partitions the probe actually visits are touched, so a
+        # spilled partition is charged a reload iff the join reads it.
+        on_partition = None
+        if self.governor is not None:
+            governor = self.governor
+            on_partition = lambda p: governor.touch(f"partition:{op.build_id}:{p}")  # noqa: E731
+        matches = stage.partitioned.match(
+            probe_keys, run_tasks=self.backend.map_tasks, on_partition=on_partition
+        )
+        joined = probe.merge(build, matches.probe_indices, matches.build_indices)
+
+        stats.join_steps.append(
+            JoinStepStats(
+                left_aliases=tuple(sorted(probe.aliases)),
+                right_aliases=tuple(sorted(build.aliases)),
+                probe_rows=probe.num_rows,
+                build_rows=build.num_rows,
+                output_rows=joined.num_rows,
+                bloom_prefiltered_rows=self._join_bloom_eliminated.pop(op.build_id, 0),
+            )
+        )
+        # Partitioned probes search cache-resident segments: charge the hash
+        # probe cost at partition granularity rather than the full build size.
+        per_partition = max(build.num_rows >> stage.partitioned.bits, 1)
+        stats.abstract_cost += (
+            hash_probe_cost(probe.num_rows, per_partition)
+            + float(build.num_rows)
+            + float(joined.num_rows)
+        )
+        self._slots[op.output_slot] = self._apply_ready_predicates(joined)
+        self._release_build(op.build_id, stage)
         return probe.num_rows, joined.num_rows, False
 
     def _cartesian_product(

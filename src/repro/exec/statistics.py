@@ -63,6 +63,11 @@ class OpStats:
     rows_out: int = 0
     seconds: float = 0.0
     skipped: bool = False
+    #: Morsels / partition tasks the backend dispatched for this op (0 when
+    #: the op ran as one whole-column kernel call).
+    morsels: int = 0
+    #: Bytes the memory governor spilled while this op was reserving budget.
+    spilled_bytes: int = 0
 
     @property
     def rows_eliminated(self) -> int:
@@ -123,6 +128,13 @@ class ExecutionStats:
     abstract_cost: float = 0.0
     #: Simulated multi-threaded cost accumulated by the chunked backend.
     simulated_parallel_cost: float = 0.0
+    #: High-water mark of memory reserved with the MemoryGovernor (bytes).
+    peak_memory_bytes: int = 0
+    #: Governor-ordered spills during execution (count / bytes written).
+    spill_events: int = 0
+    spilled_bytes: int = 0
+    #: Bytes re-read because a probed reservation had been spilled.
+    reloaded_bytes: int = 0
 
     # ------------------------------------------------------------------
     # Derived quantities
@@ -174,12 +186,17 @@ class ExecutionStats:
         """Uniform per-op execution trace shared by every execution mode."""
         if not self.op_stats:
             return "(no physical-plan trace recorded)"
-        lines = [f"{'#':>3} {'op':<16} {'rows in':>10} {'rows out':>10} {'seconds':>10}  detail"]
+        lines = [
+            f"{'#':>3} {'op':<22} {'rows in':>10} {'rows out':>10} {'seconds':>10} "
+            f"{'morsels':>8}  detail"
+        ]
         for op in self.op_stats:
             marker = " [skipped]" if op.skipped else ""
+            if op.spilled_bytes:
+                marker += f" [spilled {op.spilled_bytes}B]"
             lines.append(
-                f"{op.index:>3} {op.kind:<16} {op.rows_in:>10} {op.rows_out:>10} "
-                f"{op.seconds:>10.6f}  {op.detail}{marker}"
+                f"{op.index:>3} {op.kind:<22} {op.rows_in:>10} {op.rows_out:>10} "
+                f"{op.seconds:>10.6f} {op.morsels:>8}  {op.detail}{marker}"
             )
         return "\n".join(lines)
 

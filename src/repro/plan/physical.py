@@ -22,6 +22,10 @@ op                meaning
 ``SemiJoinReduce``exact (hash) semi-join reduction (Yannakakis transfer)
 ``HashBuild``     materialize the build side of one hash join
 ``HashProbe``     probe it, producing a new intermediate slot
+``Partition``     radix-partition a large build side (cache locality + the
+                  granularity of parallel builds and governed spilling)
+``PartitionedHashBuild``  per-partition index builds (parallel partial builds)
+``PartitionedHashProbe``  per-partition probe, producing an intermediate slot
 ``Aggregate``     compute the query's aggregates over the final slot
 ================  ==========================================================
 
@@ -182,6 +186,76 @@ class SemiJoinReduce(PhysicalOp):
 
 
 @dataclass(frozen=True)
+class Partition(PhysicalOp):
+    """Radix-partition the build side of one hash join into ``2**bits`` partitions.
+
+    The partitioning itself is O(n) (a multiplicative hash plus a radix sort
+    of the small partition ids); the per-partition index builds are the
+    paired ``PartitionedHashBuild``'s job.  Partitioning is compiled in when
+    the *estimated* build side is large enough that a monolithic sort and
+    cache-missing probes would dominate (see ``compile_join_ops``), and it is
+    the granularity at which the memory governor reserves, spills, and
+    reloads build-side memory.
+    """
+
+    build_id: int
+    input: Operand
+    attributes: Tuple[str, ...]
+    bits: int
+    kind = "partition"
+
+    def describe(self) -> str:
+        return (
+            f"partition #{self.build_id} {self.input.describe()} "
+            f"[{','.join(self.attributes)}] into 2^{self.bits}"
+        )
+
+
+@dataclass(frozen=True)
+class PartitionedHashBuild(PhysicalOp):
+    """Build the per-partition hash indexes of a radix-partitioned build side.
+
+    Every non-empty partition is an independent sort — the per-worker partial
+    builds a morsel-parallel backend runs concurrently; the op completes only
+    when all partitions are built (the pipeline-breaker merge).
+    """
+
+    build_id: int
+    input: Operand
+    attributes: Tuple[str, ...]
+    kind = "partitioned_hash_build"
+
+    def describe(self) -> str:
+        return (
+            f"partitioned_hash_build #{self.build_id} {self.input.describe()} "
+            f"[{','.join(self.attributes)}]"
+        )
+
+
+@dataclass(frozen=True)
+class PartitionedHashProbe(PhysicalOp):
+    """Probe a radix-partitioned build with ``probe``, emitting slot ``output_slot``.
+
+    The probe side is partitioned with the same key hash and each partition
+    is matched only against its build counterpart — shorter binary searches
+    over cache-resident segments, and one independent task per partition for
+    the parallel backend.
+    """
+
+    build_id: int
+    probe: Operand
+    output_slot: int
+    attributes: Tuple[str, ...]
+    kind = "partitioned_hash_probe"
+
+    def describe(self) -> str:
+        return (
+            f"partitioned_hash_probe #{self.build_id} {self.probe.describe()} "
+            f"[{','.join(self.attributes)}] -> ${self.output_slot}"
+        )
+
+
+@dataclass(frozen=True)
 class HashBuild(PhysicalOp):
     """Materialize the build side of one hash join (build id ``build_id``).
 
@@ -337,6 +411,8 @@ def compile_join_ops(
     graph: JoinGraph,
     bloom_prefilter: bool = False,
     first_build_id: int = 0,
+    partition_threshold: Optional[int] = None,
+    partition_bits: int = 0,
 ) -> Tuple[List[PhysicalOp], Operand, int]:
     """Compile a join-plan tree into ``HashBuild``/``HashProbe`` ops.
 
@@ -347,10 +423,21 @@ def compile_join_ops(
     baseline) a join-scoped ``BloomBuild``/``BloomProbe`` pair precedes each
     hash join, pre-filtering the probe side.
 
+    With ``partition_threshold``/``partition_bits`` set, single-attribute
+    joins whose *estimated* build side reaches the threshold compile to the
+    radix-partitioned form instead: ``Partition`` + ``PartitionedHashBuild``
+    + ``PartitionedHashProbe``.  The estimate is static (the graph's filtered
+    base cardinalities; for intermediate build sides the largest member
+    relation), keeping compilation pure.  Composite-key and Cartesian joins
+    always take the monolithic form.
+
     Returns ``(ops, root_operand, num_slots)``.
     """
     ops: List[PhysicalOp] = []
     counter = {"build": first_build_id, "slot": 0}
+
+    def estimated_rows(aliases) -> int:
+        return max((graph.size(alias) for alias in aliases), default=0)
 
     def walk(node: PlanNode) -> Operand:
         if isinstance(node, LeafNode):
@@ -385,12 +472,33 @@ def compile_join_ops(
                     scope=SCOPE_JOIN,
                 )
             )
-        ops.append(HashBuild(build_id=build_id, input=build, attributes=attributes))
         slot = counter["slot"]
         counter["slot"] += 1
-        ops.append(
-            HashProbe(build_id=build_id, probe=probe, output_slot=slot, attributes=attributes)
+        partitioned = (
+            partition_threshold is not None
+            and partition_bits > 0
+            and len(attributes) == 1
+            and estimated_rows(build_aliases) >= partition_threshold
         )
+        if partitioned:
+            ops.append(
+                Partition(
+                    build_id=build_id, input=build, attributes=attributes, bits=partition_bits
+                )
+            )
+            ops.append(
+                PartitionedHashBuild(build_id=build_id, input=build, attributes=attributes)
+            )
+            ops.append(
+                PartitionedHashProbe(
+                    build_id=build_id, probe=probe, output_slot=slot, attributes=attributes
+                )
+            )
+        else:
+            ops.append(HashBuild(build_id=build_id, input=build, attributes=attributes))
+            ops.append(
+                HashProbe(build_id=build_id, probe=probe, output_slot=slot, attributes=attributes)
+            )
         return Operand.intermediate(slot)
 
     root = walk(plan.root)
@@ -404,12 +512,16 @@ def compile_execution(
     graph: JoinGraph,
     tables: Mapping[str, Table],
     schedule: Optional[TransferSchedule] = None,
+    partition_threshold: Optional[int] = None,
+    partition_bits: int = 0,
 ) -> PhysicalPlan:
     """Compile one full query execution (every phase) into a PhysicalPlan.
 
     This is what ``Database.execute`` calls: scan + filter pushdown, the
     mode's transfer phase (if any), the join phase (with per-join SIP
-    filters for the Bloom Join baseline), and the final aggregation.
+    filters for the Bloom Join baseline, and radix-partitioned hash joins
+    for estimated build sides at or above ``partition_threshold``), and the
+    final aggregation.
     """
     ops: List[PhysicalOp] = compile_scan_filter(query)
     if mode.uses_transfer_phase:
@@ -421,7 +533,11 @@ def compile_execution(
             )
         )
     join_ops, root, num_slots = compile_join_ops(
-        plan, graph, bloom_prefilter=mode.uses_per_join_bloom
+        plan,
+        graph,
+        bloom_prefilter=mode.uses_per_join_bloom,
+        partition_threshold=partition_threshold,
+        partition_bits=partition_bits,
     )
     ops.extend(join_ops)
     ops.append(Aggregate(input=root))

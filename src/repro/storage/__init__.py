@@ -1,6 +1,6 @@
 """Columnar storage substrate: datatypes, columns, tables, catalog, buffer manager."""
 
-from repro.storage.buffer import BufferManager, IoStatistics
+from repro.storage.buffer import BufferManager, IoStatistics, MemoryGovernor
 from repro.storage.catalog import Catalog, TableStatistics
 from repro.storage.column import Column, concat_columns
 from repro.storage.datatypes import DataType, infer_datatype
@@ -13,6 +13,7 @@ __all__ = [
     "DataType",
     "ForeignKey",
     "IoStatistics",
+    "MemoryGovernor",
     "Table",
     "TableStatistics",
     "concat_columns",

@@ -1,25 +1,32 @@
-"""Buffer manager simulation for the on-disk / spill experiments (Figure 15).
+"""Memory governance: the live :class:`MemoryGovernor` and the Figure 15 model.
 
-The paper evaluates RPT when (1) base tables reside on disk and (2) the
-materialized intermediate chunks of the transfer phase do not fit in memory
-("+spill").  We cannot measure a real SSD here, so this module provides a
-*deterministic accounting model*: every chunk pinned into the buffer pool is
-charged an I/O cost when it has to be (re)read from "disk", and evictions are
-tracked so the backward pass of the transfer phase pays for re-reading
-whatever was spilled.
+Two layers live here:
 
-The model intentionally exposes the two quantities the paper's discussion
-hinges on:
+* :class:`MemoryGovernor` — the *live* memory-budget authority of the
+  pipeline executor.  Operators reserve budget **before** materializing
+  build sides or partitions; when a reservation pushes the total over
+  budget, the governor evicts least-recently-used evictable reservations
+  through a spill handler (:class:`~repro.exec.spill.SpillManager`), and a
+  later touch of a spilled reservation charges the reload.  Execution
+  results are bit-identical with or without a budget — only the accounted
+  I/O and the spill/reload counters change.
 
-* the volume of data materialized after the forward pass (small because the
-  semi-join filters are selective), and
-* the number of bytes that had to be re-read because they were spilled.
+* :class:`BufferManager` — the original *deterministic accounting model*
+  for the on-disk / spill experiments (Figure 15): every chunk pinned into
+  the simulated buffer pool is charged an I/O cost when it has to be
+  (re)read from "disk".  It remains the figure-reproduction path
+  (:func:`~repro.exec.spill.simulate_spill`) operating on an
+  already-measured execution trace.
+
+Both expose the quantities the paper's discussion hinges on: the volume of
+data materialized after the forward pass, and the bytes re-read because they
+were spilled.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Protocol
 
 
 @dataclass
@@ -131,3 +138,151 @@ class BufferManager:
                 # Spill to disk so a later read can find it.
                 self.stats.bytes_written_to_disk += victim.size_bytes
                 self._on_disk[victim.key] = victim.size_bytes
+
+
+# ---------------------------------------------------------------------------
+# The live memory governor
+# ---------------------------------------------------------------------------
+class SpillHandler(Protocol):
+    """What the governor calls when it must evict or reload a reservation."""
+
+    def spill(self, key: str, size_bytes: int) -> None:
+        """Evict ``key`` from memory (charge the write)."""
+
+    def reload(self, key: str, size_bytes: int) -> None:
+        """Bring a spilled ``key`` back (charge the read)."""
+
+
+@dataclass
+class _Reservation:
+    """One live memory reservation."""
+
+    key: str
+    size_bytes: int
+    evictable: bool
+    last_use: int
+    spilled: bool = False
+
+
+class MemoryGovernor:
+    """Grants, tracks, and reclaims the executor's memory budget *during* a run.
+
+    Unlike :class:`BufferManager` (which charges I/O against a finished
+    trace), the governor sits in the execution hot path: an operator calls
+    :meth:`reserve` before materializing a build side or a partition,
+    :meth:`touch` before probing it, and :meth:`release` once the data is
+    dead.  When a reservation exceeds the budget, the least-recently-used
+    *evictable* reservations are spilled through the handler until the total
+    fits (the reservation being admitted is pinned); touching a spilled
+    reservation reloads it, which may in turn evict others.
+
+    A ``budget_bytes`` of ``None`` disables eviction but still tracks the
+    peak footprint, which is how the engine measures an unbudgeted run to
+    derive a budget for a constrained one (the Figure 15 "+spill" setup:
+    ≈50% of peak).
+    """
+
+    def __init__(
+        self,
+        budget_bytes: Optional[int] = None,
+        spill_handler: Optional[SpillHandler] = None,
+    ) -> None:
+        if budget_bytes is not None and budget_bytes < 0:
+            raise ValueError("memory budget must be non-negative")
+        self.budget_bytes = budget_bytes
+        self.spill_handler = spill_handler
+        self.peak_reserved_bytes = 0
+        self.spill_events = 0
+        self.spilled_bytes = 0
+        self.reload_events = 0
+        self.reloaded_bytes = 0
+        self._reservations: Dict[str, _Reservation] = {}
+        self._clock = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def reserved_bytes(self) -> int:
+        """Bytes currently resident (spilled reservations excluded)."""
+        return sum(r.size_bytes for r in self._reservations.values() if not r.spilled)
+
+    @property
+    def over_budget(self) -> bool:
+        """True when the resident total currently exceeds the budget."""
+        return self.budget_bytes is not None and self.reserved_bytes > self.budget_bytes
+
+    def is_spilled(self, key: str) -> bool:
+        """True when ``key`` is reserved but currently spilled."""
+        reservation = self._reservations.get(key)
+        return reservation is not None and reservation.spilled
+
+    # ------------------------------------------------------------------
+    # Reservation lifecycle
+    # ------------------------------------------------------------------
+    def reserve(self, key: str, size_bytes: int, evictable: bool = True) -> None:
+        """Reserve ``size_bytes`` for ``key`` before materializing it.
+
+        Re-reserving an existing key resizes it.  If the new total exceeds
+        the budget, LRU evictable reservations (other than ``key`` itself,
+        which is pinned while being admitted) are spilled until the total
+        fits or nothing evictable remains — a minimum working set is always
+        admitted, as in any real memory broker.
+        """
+        if size_bytes < 0:
+            raise ValueError(f"cannot reserve {size_bytes} bytes for {key!r}")
+        self._clock += 1
+        self._reservations[key] = _Reservation(
+            key=key, size_bytes=size_bytes, evictable=evictable, last_use=self._clock
+        )
+        self._reclaim(pinned=key)
+        self.peak_reserved_bytes = max(self.peak_reserved_bytes, self.reserved_bytes)
+
+    def touch(self, key: str) -> bool:
+        """Mark ``key`` as used; reload it when spilled.
+
+        Returns ``True`` when the touch had to reload spilled data (the
+        executor counts these as spill-induced re-reads).  Touching an
+        unknown key is a no-op returning ``False`` (the caller may run
+        without a governor for that operator).
+        """
+        reservation = self._reservations.get(key)
+        if reservation is None:
+            return False
+        self._clock += 1
+        reservation.last_use = self._clock
+        if not reservation.spilled:
+            return False
+        reservation.spilled = False
+        self.reload_events += 1
+        self.reloaded_bytes += reservation.size_bytes
+        if self.spill_handler is not None:
+            self.spill_handler.reload(reservation.key, reservation.size_bytes)
+        self._reclaim(pinned=key)
+        self.peak_reserved_bytes = max(self.peak_reserved_bytes, self.reserved_bytes)
+        return True
+
+    def release(self, key: str) -> None:
+        """Drop a reservation entirely (its data is dead; no I/O charged)."""
+        self._reservations.pop(key, None)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _reclaim(self, pinned: str) -> None:
+        if self.budget_bytes is None:
+            return
+        while self.reserved_bytes > self.budget_bytes:
+            victims = [
+                r
+                for r in self._reservations.values()
+                if r.evictable and not r.spilled and r.key != pinned
+            ]
+            if not victims:
+                return
+            victim = min(victims, key=lambda r: r.last_use)
+            victim.spilled = True
+            self.spill_events += 1
+            self.spilled_bytes += victim.size_bytes
+            if self.spill_handler is not None:
+                self.spill_handler.spill(victim.key, victim.size_bytes)

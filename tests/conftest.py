@@ -13,7 +13,7 @@ import pytest
 from repro import Database, ExecutionMode, JoinCondition, QuerySpec, RelationRef
 from repro.expr import eq, lt
 from repro.storage.table import ForeignKey
-from repro.workloads import job, tpch
+from repro.workloads import dsb, job, tpcds, tpch
 
 
 @pytest.fixture(scope="session")
@@ -144,6 +144,22 @@ def job_db() -> Database:
     """A tiny JOB/IMDB database shared by integration tests."""
     db = Database()
     job.load(db, scale=0.1, seed=1)
+    return db
+
+
+@pytest.fixture(scope="session")
+def tpcds_db() -> Database:
+    """A tiny TPC-DS database shared by integration tests."""
+    db = Database()
+    tpcds.load(db, scale=0.1, seed=1)
+    return db
+
+
+@pytest.fixture(scope="session")
+def dsb_db() -> Database:
+    """A tiny DSB (skewed TPC-DS) database shared by integration tests."""
+    db = Database()
+    dsb.load(db, scale=0.1, seed=1)
     return db
 
 

@@ -1,0 +1,48 @@
+"""Smoke test: every script in ``examples/`` runs cleanly against the current API.
+
+The examples are executed as real subprocesses (fresh interpreter, the same
+``PYTHONPATH=src`` contract the README documents), so any API drift — a
+renamed option, a changed ``QueryResult`` attribute, a moved module — fails
+CI instead of silently rotting the documentation.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES_DIR = REPO_ROOT / "examples"
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+#: Generous per-example ceiling; each example runs in around a second.
+EXAMPLE_TIMEOUT_SECONDS = 300
+
+
+def test_examples_directory_is_populated():
+    assert EXAMPLE_SCRIPTS, f"no example scripts found under {EXAMPLES_DIR}"
+
+
+@pytest.mark.parametrize("script", EXAMPLE_SCRIPTS, ids=lambda p: p.name)
+def test_example_runs_cleanly(script: Path):
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        cwd=str(REPO_ROOT),
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=EXAMPLE_TIMEOUT_SECONDS,
+    )
+    assert completed.returncode == 0, (
+        f"{script.name} exited with {completed.returncode}\n"
+        f"--- stdout ---\n{completed.stdout[-2000:]}\n"
+        f"--- stderr ---\n{completed.stderr[-2000:]}"
+    )
+    assert completed.stdout.strip(), f"{script.name} produced no output"

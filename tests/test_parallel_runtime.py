@@ -1,0 +1,248 @@
+"""Tests for the morsel-parallel runtime and the radix-partitioned hash joins.
+
+Covers the radix-partitioning kernels (partition ids, permutation/offsets,
+:class:`PartitionedHashIndex` match/contains equivalence with the monolithic
+kernels), the compilation of ``Partition`` / ``PartitionedHashBuild`` /
+``PartitionedHashProbe`` ops under an :class:`ExecutionConfig` threshold, the
+:class:`ParallelBackend` morsel scheduler (bit-identical results, morsel
+counters, pool lifecycle), and the environment-variable config resolution
+behind the CI backend matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Database, ExecutionConfig, ExecutionMode, ExecutionOptions
+from repro.errors import ExecutionError
+from repro.exec.kernels import (
+    HashIndex,
+    PartitionedHashIndex,
+    match_keys,
+    radix_partition,
+    radix_partition_ids,
+)
+from repro.exec.pipeline import ParallelBackend
+
+
+# ---------------------------------------------------------------------------
+# Radix partitioning kernels
+# ---------------------------------------------------------------------------
+class TestRadixPartition:
+    def test_partition_ids_cover_range_and_agree_across_sides(self):
+        rng = np.random.default_rng(3)
+        keys = rng.integers(0, 2**60, size=10_000, dtype=np.int64)
+        pids = radix_partition_ids(keys, bits=5)
+        assert pids.dtype == np.uint16
+        assert pids.min() >= 0 and pids.max() < 32
+        # Equal keys hash to equal partitions regardless of the array they sit in.
+        np.testing.assert_array_equal(pids, radix_partition_ids(keys.copy(), bits=5))
+
+    def test_partition_ids_rejects_bad_bits(self):
+        keys = np.arange(10, dtype=np.int64)
+        with pytest.raises(ExecutionError):
+            radix_partition_ids(keys, bits=0)
+        with pytest.raises(ExecutionError):
+            radix_partition_ids(keys, bits=17)
+
+    def test_partitioning_is_a_permutation_with_consistent_offsets(self):
+        rng = np.random.default_rng(4)
+        keys = rng.integers(0, 1_000, size=5_000, dtype=np.int64)
+        parts = radix_partition(keys, bits=4)
+        assert parts.num_rows == keys.shape[0]
+        np.testing.assert_array_equal(np.sort(parts.order), np.arange(keys.shape[0]))
+        assert int(parts.offsets[-1]) == keys.shape[0]
+        pids = radix_partition_ids(keys, bits=4)
+        for p in range(parts.num_partitions):
+            segment = parts.segment_keys(p)
+            assert segment.shape[0] == parts.partition_rows(p)
+            # Every row in partition p hashes to p, and maps back to its key.
+            assert (radix_partition_ids(segment, bits=4) == p).all()
+            np.testing.assert_array_equal(keys[parts.segment_order(p)], segment)
+        assert int(np.bincount(pids, minlength=16).sum()) == keys.shape[0]
+
+    def test_partitioned_match_agrees_with_monolithic(self):
+        rng = np.random.default_rng(5)
+        build = rng.integers(0, 700, size=4_000, dtype=np.int64)
+        probe = rng.integers(0, 700, size=6_000, dtype=np.int64)
+        mono = match_keys(probe, build)
+        part = PartitionedHashIndex(build, bits=4).match(probe)
+        # Same multiset of (probe, build) pairs, partition order notwithstanding.
+        assert part.num_matches == mono.num_matches
+        mono_pairs = np.sort(mono.probe_indices * 1_000_000 + mono.build_indices)
+        part_pairs = np.sort(part.probe_indices * 1_000_000 + part.build_indices)
+        np.testing.assert_array_equal(mono_pairs, part_pairs)
+
+    def test_partitioned_contains_agrees_with_monolithic(self):
+        rng = np.random.default_rng(6)
+        build = rng.integers(0, 2**50, size=3_000, dtype=np.int64)
+        probe = rng.integers(0, 2**50, size=5_000, dtype=np.int64)
+        expected = HashIndex(build).contains(probe)
+        got = PartitionedHashIndex(build, bits=3).contains(probe)
+        np.testing.assert_array_equal(got, expected)
+
+    def test_empty_sides(self):
+        empty = np.zeros(0, dtype=np.int64)
+        some = np.array([1, 2, 3], dtype=np.int64)
+        index = PartitionedHashIndex(empty, bits=2)
+        assert index.match(some).num_matches == 0
+        assert not index.contains(some).any()
+        full = PartitionedHashIndex(some, bits=2)
+        assert full.match(empty).num_matches == 0
+        assert full.contains(empty).shape == (0,)
+
+    def test_build_counts_pending_partitions_once(self):
+        keys = np.arange(1_000, dtype=np.int64)
+        index = PartitionedHashIndex(keys, bits=3)
+        first = index.build()
+        assert first > 0
+        assert index.build() == 0  # already built: nothing pending
+
+    def test_parallel_task_runner_matches_serial(self):
+        rng = np.random.default_rng(7)
+        build = rng.integers(0, 500, size=8_000, dtype=np.int64)
+        probe = rng.integers(0, 500, size=8_000, dtype=np.int64)
+        backend = ParallelBackend(num_threads=4)
+        try:
+            serial = PartitionedHashIndex(build, bits=4).match(probe)
+            parallel_index = PartitionedHashIndex(build, bits=4)
+            parallel_index.build(run_tasks=backend.map_tasks)
+            parallel = parallel_index.match(probe, run_tasks=backend.map_tasks)
+        finally:
+            backend.close()
+        np.testing.assert_array_equal(serial.probe_indices, parallel.probe_indices)
+        np.testing.assert_array_equal(serial.build_indices, parallel.build_indices)
+
+
+# ---------------------------------------------------------------------------
+# ParallelBackend morsel scheduler
+# ---------------------------------------------------------------------------
+class TestParallelBackend:
+    def test_probe_mask_is_bit_identical_and_counts_morsels(self):
+        rng = np.random.default_rng(8)
+        keys = rng.integers(0, 100, size=10_000, dtype=np.int64)
+        backend = ParallelBackend(num_threads=4, morsel_size=1_024)
+        try:
+            mask = backend.probe_mask(keys, lambda k: k % 2 == 0)
+        finally:
+            backend.close()
+        np.testing.assert_array_equal(mask, keys % 2 == 0)
+        assert backend.tasks_dispatched == 10  # ceil(10000 / 1024)
+
+    def test_match_is_bit_identical_to_serial(self):
+        rng = np.random.default_rng(9)
+        build = rng.integers(0, 300, size=5_000, dtype=np.int64)
+        probe = rng.integers(0, 300, size=9_000, dtype=np.int64)
+        index = HashIndex(build)
+        serial = index.match(probe)
+        backend = ParallelBackend(num_threads=4, morsel_size=512)
+        try:
+            parallel = backend.match(probe, HashIndex(build))
+        finally:
+            backend.close()
+        np.testing.assert_array_equal(serial.probe_indices, parallel.probe_indices)
+        np.testing.assert_array_equal(serial.build_indices, parallel.build_indices)
+
+    def test_small_inputs_skip_the_pool(self):
+        backend = ParallelBackend(num_threads=4, morsel_size=1_000)
+        try:
+            backend.probe_mask(np.arange(10, dtype=np.int64), lambda k: k > 5)
+            assert backend._pool is None  # single morsel: no pool spun up
+        finally:
+            backend.close()
+
+    def test_invalid_construction(self):
+        with pytest.raises(ExecutionError):
+            ParallelBackend(num_threads=0)
+        with pytest.raises(ExecutionError):
+            ParallelBackend(morsel_size=0)
+
+    def test_close_is_idempotent(self):
+        backend = ParallelBackend(num_threads=2, morsel_size=4)
+        backend.map_tasks([lambda: 1, lambda: 2, lambda: 3])
+        backend.close()
+        backend.close()
+
+
+# ---------------------------------------------------------------------------
+# Partitioned join compilation + execution through the engine
+# ---------------------------------------------------------------------------
+class TestPartitionedJoins:
+    def _options(self, backend: str) -> ExecutionOptions:
+        return ExecutionOptions(
+            execution=ExecutionConfig(
+                backend=backend,
+                num_threads=4,
+                partition_threshold=1,  # partition every single-attribute join
+                partition_bits=3,
+            )
+        )
+
+    def test_partition_ops_compiled_above_threshold(self, imdb_db, chain_query):
+        result = imdb_db.execute(chain_query, options=self._options("serial"))
+        kinds = result.physical_plan.op_kinds()
+        assert "partition" in kinds
+        assert kinds.count("partitioned_hash_build") == kinds.count("partition")
+        assert kinds.count("partitioned_hash_probe") == kinds.count("partition")
+        # The Partition op immediately precedes its build, which precedes its probe.
+        for i, kind in enumerate(kinds):
+            if kind == "partition":
+                assert kinds[i + 1] == "partitioned_hash_build"
+                assert kinds[i + 2] == "partitioned_hash_probe"
+
+    def test_threshold_disables_partitioning(self, imdb_db, chain_query):
+        options = ExecutionOptions(
+            execution=ExecutionConfig(partition_threshold=None, partition_bits=3)
+        )
+        result = imdb_db.execute(chain_query, options=options)
+        assert result.physical_plan.count("partition") == 0
+
+    @pytest.mark.parametrize("backend", ["serial", "chunked", "parallel"])
+    def test_partitioned_execution_matches_monolithic(
+        self, imdb_db, chain_query, all_modes, backend
+    ):
+        for mode in all_modes:
+            monolithic = imdb_db.execute(chain_query, mode=mode)
+            partitioned = imdb_db.execute(
+                chain_query, mode=mode, options=self._options(backend)
+            )
+            assert monolithic.aggregates == partitioned.aggregates, (mode, backend)
+            assert monolithic.output_rows == partitioned.output_rows, (mode, backend)
+
+    def test_partitioned_ops_record_morsel_counts(self, imdb_db, chain_query):
+        result = imdb_db.execute(chain_query, options=self._options("parallel"))
+        partition_ops = [o for o in result.op_stats if o.kind == "partitioned_hash_build"]
+        assert partition_ops
+        assert all(o.morsels > 0 for o in partition_ops)
+
+
+# ---------------------------------------------------------------------------
+# ExecutionConfig resolution (the CI backend matrix hook)
+# ---------------------------------------------------------------------------
+class TestExecutionConfigResolution:
+    def test_defaults_resolve_to_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert ExecutionConfig().resolved().backend == "serial"
+
+    def test_env_backend_applies_when_unset(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "parallel")
+        monkeypatch.setenv("REPRO_NUM_THREADS", "3")
+        resolved = ExecutionConfig().resolved()
+        assert resolved.backend == "parallel"
+        assert resolved.num_threads == 3
+
+    def test_explicit_backend_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "parallel")
+        assert ExecutionConfig(backend="chunked").resolved().backend == "chunked"
+        assert ExecutionOptions(backend="serial").resolved_execution().backend == "serial"
+
+    def test_env_matrix_runs_whole_queries(self, imdb_db, star_query, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "parallel")
+        monkeypatch.delenv("REPRO_NUM_THREADS", raising=False)
+        env_result = imdb_db.execute(star_query, mode=ExecutionMode.RPT)
+        assert env_result.execution_config.backend == "parallel"
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        serial_result = imdb_db.execute(star_query, mode=ExecutionMode.RPT)
+        assert serial_result.execution_config.backend == "serial"
+        assert env_result.aggregates == serial_result.aggregates

@@ -2,9 +2,9 @@
 
 Covers the mode property flags, mode ↔ PhysicalPlan compilation (every mode
 compiles to the expected op sequence), cross-mode result agreement through
-the pipeline executor on the synthetic / TPC-H / JOB fixtures, the serial
-vs chunked backends, the searchsorted semi-join kernel, and the
-evaluate-base-filters-once guarantee.
+the pipeline executor on the synthetic / TPC-H / JOB / TPC-DS / DSB
+fixtures, the serial vs chunked vs parallel backends, the searchsorted
+semi-join kernel, and the evaluate-base-filters-once guarantee.
 """
 
 from __future__ import annotations
@@ -14,12 +14,12 @@ import pytest
 
 from repro import Database, ExecutionMode, ExecutionOptions, JoinCondition, QuerySpec, RelationRef
 from repro.exec.kernels import HashIndex, match_keys, semi_join_mask
-from repro.exec.pipeline import ChunkedBackend, SerialBackend, make_backend
+from repro.exec.pipeline import ChunkedBackend, ParallelBackend, SerialBackend, make_backend
 from repro.expr.expressions import Expression, eq
 from repro.errors import ExecutionError
 from repro.plan.join_plan import JoinPlan
 from repro.plan.physical import PhysicalPlan, compile_execution
-from repro.workloads import job, synthetic, tpch
+from repro.workloads import dsb, job, synthetic, tpcds, tpch
 
 
 # ---------------------------------------------------------------------------
@@ -180,6 +180,26 @@ class TestModeAgreement:
         }
         assert len({tuple(sorted(r.items())) for r in results.values()}) == 1, results
 
+    @pytest.mark.parametrize("number", [3, 27])
+    def test_tpcds_fixture(self, tpcds_db, number):
+        query = tpcds.query(number)
+        plan = tpcds_db.optimizer_plan(query)
+        results = {
+            mode: tpcds_db.execute(query, mode=mode, plan=plan).aggregates
+            for mode in ExecutionMode
+        }
+        assert len({tuple(sorted(r.items())) for r in results.values()}) == 1, results
+
+    @pytest.mark.parametrize("number", [7, 96])
+    def test_dsb_fixture(self, dsb_db, number):
+        query = dsb.query(number)
+        plan = dsb_db.optimizer_plan(query)
+        results = {
+            mode: dsb_db.execute(query, mode=mode, plan=plan).aggregates
+            for mode in ExecutionMode
+        }
+        assert len({tuple(sorted(r.items())) for r in results.values()}) == 1, results
+
 
 # ---------------------------------------------------------------------------
 # Backends
@@ -188,6 +208,7 @@ class TestBackends:
     def test_make_backend(self):
         assert isinstance(make_backend("serial"), SerialBackend)
         assert isinstance(make_backend("chunked"), ChunkedBackend)
+        assert isinstance(make_backend("parallel"), ParallelBackend)
         with pytest.raises(ExecutionError):
             make_backend("gpu")
 
@@ -202,6 +223,17 @@ class TestBackends:
             assert serial.aggregates == chunked.aggregates, mode
             assert serial.output_rows == chunked.output_rows, mode
 
+    def test_parallel_backend_matches_serial(self, imdb_db, chain_query, all_modes):
+        for mode in all_modes:
+            serial = imdb_db.execute(chain_query, mode=mode)
+            parallel = imdb_db.execute(
+                chain_query,
+                mode=mode,
+                options=ExecutionOptions(backend="parallel", chunk_size=256),
+            )
+            assert serial.aggregates == parallel.aggregates, mode
+            assert serial.output_rows == parallel.output_rows, mode
+
     def test_chunked_backend_accrues_simulated_cost(self, imdb_db, star_query):
         result = imdb_db.execute(
             star_query,
@@ -209,7 +241,9 @@ class TestBackends:
             options=ExecutionOptions(backend="chunked", chunk_size=128),
         )
         assert result.stats.simulated_parallel_cost > 0.0
-        serial = imdb_db.execute(star_query, mode=ExecutionMode.RPT)
+        serial = imdb_db.execute(
+            star_query, mode=ExecutionMode.RPT, options=ExecutionOptions(backend="serial")
+        )
         assert serial.stats.simulated_parallel_cost == 0.0
 
 
