@@ -364,6 +364,211 @@ def format_partition_microbench(measurements: Sequence[PartitionJoinMeasurement]
     return "\n".join(lines)
 
 
+@dataclass(frozen=True)
+class TransferMicrobenchMeasurement:
+    """Transfer-phase timings of one star query under the caching configs.
+
+    Four configurations run the *same* query over the same data and plan:
+
+    * ``uncached`` — hash cache, selection vectors, and artifact cache off
+      (the historical per-pass hash + materialize behavior);
+    * ``hash_once`` — query-lifetime hash cache + selection vectors on,
+      artifact cache off (the cold single-query regime);
+    * ``cold_artifact`` — all three on, first execution (pays the artifact
+      builds and freezes);
+    * ``warm_artifact`` — all three on, repeated execution against the now
+      warm artifact cache (the repeated-traffic regime).
+
+    All four produce identical aggregates (asserted by the runner); only the
+    transfer-phase seconds differ.
+    """
+
+    fact_rows: int
+    dim_rows: int
+    num_dims: int
+    uncached_seconds: float
+    hash_once_seconds: float
+    cold_artifact_seconds: float
+    warm_artifact_seconds: float
+    warm_artifact_hits: int
+    hash_reuse_hits: int
+    selection_vector_rows: int
+
+    @property
+    def hash_once_speedup(self) -> float:
+        """Single-query transfer speedup from hash reuse + selection vectors."""
+        if self.hash_once_seconds <= 0:
+            return float("inf")
+        return self.uncached_seconds / self.hash_once_seconds
+
+    @property
+    def warm_speedup(self) -> float:
+        """Repeated-query transfer speedup with a warm artifact cache."""
+        if self.warm_artifact_seconds <= 0:
+            return float("inf")
+        return self.uncached_seconds / self.warm_artifact_seconds
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation (the ``BENCH_transfer.json`` record)."""
+        return {
+            "fact_rows": self.fact_rows,
+            "dim_rows": self.dim_rows,
+            "num_dims": self.num_dims,
+            "uncached_seconds": self.uncached_seconds,
+            "hash_once_seconds": self.hash_once_seconds,
+            "cold_artifact_seconds": self.cold_artifact_seconds,
+            "warm_artifact_seconds": self.warm_artifact_seconds,
+            "warm_artifact_hits": self.warm_artifact_hits,
+            "hash_reuse_hits": self.hash_reuse_hits,
+            "selection_vector_rows": self.selection_vector_rows,
+            "hash_once_speedup": self.hash_once_speedup,
+            "warm_speedup": self.warm_speedup,
+        }
+
+
+#: Fact-side sizes swept by the transfer microbenchmark (the acceptance
+#: point is the 1M-row fact side).
+DEFAULT_TRANSFER_FACT_SIZES = (1 << 18, 1 << 20)
+
+
+def _transfer_database(fact_rows: int, dim_rows: int, num_dims: int, seed: int):
+    """A star-schema database + query exercising a full RPT transfer phase.
+
+    Dimension filters keep roughly half of each dimension, so every forward
+    step genuinely reduces the fact side and the backward pass has work to
+    do — the shape where per-pass hashing dominates the transfer phase.
+    """
+    from repro.engine.database import Database
+    from repro.expr import lt
+    from repro.query import JoinCondition, QuerySpec, RelationRef
+
+    rng = np.random.default_rng(seed)
+    db = Database()
+    fact: dict = {"v": np.arange(fact_rows, dtype=np.int64)}
+    relations = []
+    joins = []
+    for d in range(num_dims):
+        name = f"dim{d}"
+        db.register_dataframe(
+            name,
+            {
+                "id": np.arange(dim_rows, dtype=np.int64),
+                "attr": rng.integers(0, 100, size=dim_rows, dtype=np.int64),
+            },
+            primary_key=["id"],
+        )
+        fact[f"d{d}_id"] = rng.integers(0, dim_rows, size=fact_rows, dtype=np.int64)
+        relations.append(RelationRef(f"d{d}", name, lt("attr", 50)))
+        joins.append(JoinCondition("f", f"d{d}_id", f"d{d}", "id"))
+    db.register_dataframe("fact", fact)
+    query = QuerySpec(
+        name="transfer_microbench",
+        relations=tuple([RelationRef("f", "fact")] + relations),
+        joins=tuple(joins),
+    )
+    return db, query
+
+
+def run_transfer_microbench(
+    fact_sizes: Sequence[int] = DEFAULT_TRANSFER_FACT_SIZES,
+    dim_rows: Optional[int] = None,
+    num_dims: int = 2,
+    seed: int = 23,
+    repeats: int = 3,
+) -> List[TransferMicrobenchMeasurement]:
+    """Measure the transfer phase under the hash/selection/artifact configs.
+
+    For each fact size an RPT star query executes under the four caching
+    configurations of :class:`TransferMicrobenchMeasurement` (same data,
+    same plan; aggregates are asserted identical).  ``dim_rows`` defaults to
+    ``fact_rows // 2`` so the dimension-side Bloom builds the artifact cache
+    elides are a substantial share of the transfer work.  The reported
+    seconds are the best transfer-phase wall time over ``repeats`` runs
+    (warm-artifact runs all execute against the warmed cache).
+    """
+    from repro.engine.database import ExecutionOptions
+    from repro.engine.modes import ExecutionConfig, ExecutionMode
+    from repro.errors import BenchmarkError
+
+    def options(hash_cache: bool, selection_vectors: bool, artifact_cache: bool):
+        return ExecutionOptions(
+            execution=ExecutionConfig(
+                backend="serial",
+                hash_cache=hash_cache,
+                selection_vectors=selection_vectors,
+                artifact_cache=artifact_cache,
+            )
+        )
+
+    measurements: List[TransferMicrobenchMeasurement] = []
+    for fact_rows in fact_sizes:
+        dims = dim_rows if dim_rows is not None else fact_rows // 2
+        db, query = _transfer_database(fact_rows, dims, num_dims, seed)
+        plan = db.optimizer_plan(query)
+
+        def run(opts):
+            return db.execute(query, mode=ExecutionMode.RPT, plan=plan, options=opts)
+
+        def best_transfer(opts, runs):
+            best = None
+            seconds = float("inf")
+            for _ in range(max(runs, 1)):
+                result = run(opts)
+                if result.stats.timings.transfer < seconds:
+                    seconds = result.stats.timings.transfer
+                    best = result
+            return best, seconds
+
+        uncached, uncached_s = best_transfer(options(False, False, False), repeats)
+        hash_once, hash_once_s = best_transfer(options(True, True, False), repeats)
+        # First artifact run builds + freezes the artifacts (cold)...
+        cold = run(options(True, True, True))
+        cold_s = cold.stats.timings.transfer
+        # ...every later one replays them (warm).
+        warm, warm_s = best_transfer(options(True, True, True), repeats)
+
+        for result in (hash_once, cold, warm):
+            if result.aggregates != uncached.aggregates:
+                raise BenchmarkError(
+                    "cached transfer run diverged from the uncached baseline: "
+                    f"{result.aggregates} != {uncached.aggregates}"
+                )
+
+        measurements.append(
+            TransferMicrobenchMeasurement(
+                fact_rows=fact_rows,
+                dim_rows=dims,
+                num_dims=num_dims,
+                uncached_seconds=uncached_s,
+                hash_once_seconds=hash_once_s,
+                cold_artifact_seconds=cold_s,
+                warm_artifact_seconds=warm_s,
+                warm_artifact_hits=warm.stats.artifact_cache_hits,
+                hash_reuse_hits=warm.stats.hash_reuse_hits,
+                selection_vector_rows=warm.stats.selection_vector_rows,
+            )
+        )
+    return measurements
+
+
+def format_transfer_microbench(
+    measurements: Sequence[TransferMicrobenchMeasurement],
+) -> str:
+    """Render the transfer-phase caching sweep as a table."""
+    lines = [
+        "Transfer phase: hash-once + selection vectors + artifact cache vs uncached",
+        f"{'fact rows':>12} {'dim rows':>10} {'uncached (s)':>13} {'hash-once (s)':>14} "
+        f"{'warm art. (s)':>14} {'1q spdup':>9} {'warm spdup':>11}",
+    ]
+    for m in measurements:
+        lines.append(
+            f"{m.fact_rows:>12} {m.dim_rows:>10} {m.uncached_seconds:>13.4f} "
+            f"{m.hash_once_seconds:>14.4f} {m.warm_artifact_seconds:>14.4f} "
+            f"{m.hash_once_speedup:>8.2f}x {m.warm_speedup:>10.2f}x"
+        )
+    return "\n".join(lines)
+
+
 def _best_time(fn, repeats: int) -> float:
     best = float("inf")
     for _ in range(max(repeats, 1)):

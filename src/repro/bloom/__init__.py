@@ -5,6 +5,8 @@ from repro.bloom.bloom_filter import (
     DEFAULT_FPR,
     BloomFilter,
     BloomFilterStatistics,
+    hash_keys,
+    key_patterns,
     optimal_num_blocks,
 )
 from repro.bloom.registry import BloomFilterRegistry, FilterKey
@@ -16,5 +18,7 @@ __all__ = [
     "BloomFilterRegistry",
     "BloomFilterStatistics",
     "FilterKey",
+    "hash_keys",
+    "key_patterns",
     "optimal_num_blocks",
 ]

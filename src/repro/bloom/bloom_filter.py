@@ -47,6 +47,34 @@ def _splitmix64(keys: np.ndarray) -> np.ndarray:
     return z
 
 
+def hash_keys(keys: np.ndarray) -> np.ndarray:
+    """Splitmix64 hashes of a vector of integer keys.
+
+    This is the (only) hashing pass every Bloom insert and probe performs;
+    exposing it lets callers hash a key column once and replay the result
+    across many filters (:class:`~repro.exec.hashcache.HashCache`).  The
+    hashes depend solely on the key values, never on a filter's geometry.
+    """
+    return _splitmix64(np.asarray(keys, dtype=np.int64).view(np.uint64))
+
+
+def key_patterns(hashes: np.ndarray) -> np.ndarray:
+    """Per-key 64-bit block bit-patterns derived from splitmix64 hashes.
+
+    Like the hashes themselves, the :data:`BITS_PER_KEY` bit positions a key
+    sets within its block depend only on the key's hash — not on the filter —
+    so they too can be computed once per column and replayed across every
+    insert and probe (this derivation is the bulk of the per-pass hash work).
+    """
+    pattern = np.zeros(hashes.shape, dtype=np.uint64)
+    rotated = hashes
+    for i in range(BITS_PER_KEY):
+        rotated = rotated >> np.uint64(6)
+        bit_pos = (rotated ^ (hashes >> np.uint64(32 + 3 * i))) & np.uint64(63)
+        pattern |= np.uint64(1) << bit_pos
+    return pattern
+
+
 def optimal_num_blocks(num_keys: int, fpr: float) -> int:
     """Number of 64-bit blocks needed for ``num_keys`` at false-positive rate ``fpr``.
 
@@ -117,44 +145,82 @@ class BloomFilter:
     # ------------------------------------------------------------------
     # Hashing helpers
     # ------------------------------------------------------------------
-    def _block_and_bits(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Map keys to (block index, 64-bit bit-pattern within the block)."""
-        hashed = _splitmix64(np.asarray(keys, dtype=np.int64).view(np.uint64))
+    def _block_and_bits(
+        self,
+        keys: Optional[np.ndarray],
+        hashes: Optional[np.ndarray] = None,
+        patterns: Optional[np.ndarray] = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Map keys to (block index, 64-bit bit-pattern within the block).
+
+        ``hashes`` / ``patterns`` are optional precomputed splitmix64 hashes
+        and block bit-patterns (see :func:`hash_keys` / :func:`key_patterns`):
+        supplying them replays a cached hashing pass instead of re-hashing,
+        and is bit-identical to hashing ``keys`` directly.
+        """
+        if hashes is None:
+            assert keys is not None, "either keys or hashes must be supplied"
+            hashes = hash_keys(keys)
         if self._is_power_of_two:
-            block_idx = (hashed & self._block_mask).astype(np.int64)
+            block_idx = (hashes & self._block_mask).astype(np.int64)
         else:
-            block_idx = (hashed % np.uint64(self.num_blocks)).astype(np.int64)
-        # Derive BITS_PER_KEY bit positions from the upper hash bits.
-        pattern = np.zeros(hashed.shape, dtype=np.uint64)
-        rotated = hashed
-        for i in range(BITS_PER_KEY):
-            rotated = rotated >> np.uint64(6)
-            bit_pos = (rotated ^ (hashed >> np.uint64(32 + 3 * i))) & np.uint64(63)
-            pattern |= np.uint64(1) << bit_pos
-        return block_idx, pattern
+            block_idx = (hashes % np.uint64(self.num_blocks)).astype(np.int64)
+        if patterns is None:
+            patterns = key_patterns(hashes)
+        return block_idx, patterns
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
-    def insert(self, keys: np.ndarray) -> None:
-        """Insert a vector of integer keys."""
-        keys = np.asarray(keys)
-        if keys.size == 0:
+    def insert(
+        self,
+        keys: Optional[np.ndarray] = None,
+        hashes: Optional[np.ndarray] = None,
+        patterns: Optional[np.ndarray] = None,
+    ) -> None:
+        """Insert a vector of integer keys (or their precomputed hashes)."""
+        if keys is not None:
+            keys = np.asarray(keys)
+            count = int(keys.size)
+        elif hashes is not None:
+            count = int(np.asarray(hashes).size)
+        else:
+            raise ExecutionError("Bloom insert requires keys or precomputed hashes")
+        if count == 0:
             return
-        block_idx, pattern = self._block_and_bits(keys)
+        block_idx, pattern = self._block_and_bits(keys, hashes, patterns)
         np.bitwise_or.at(self._blocks, block_idx, pattern)
-        self.statistics.keys_inserted += int(keys.size)
+        with self._stats_lock:
+            self.statistics.keys_inserted += count
 
-    def probe(self, keys: np.ndarray) -> np.ndarray:
-        """Return a boolean array: True where the key *may* be present."""
-        keys = np.asarray(keys)
-        if keys.size == 0:
+    def probe(
+        self,
+        keys: Optional[np.ndarray] = None,
+        hashes: Optional[np.ndarray] = None,
+        patterns: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Return a boolean array: True where the key *may* be present.
+
+        Accepts either raw ``keys`` or a precomputed hashing pass
+        (``hashes`` and optionally ``patterns``); the results are
+        bit-identical.  Probes may run concurrently from morsel worker
+        threads — the block array is only read, and the statistics update
+        is serialized under the filter's lock.
+        """
+        if keys is not None:
+            keys = np.asarray(keys)
+            count = int(keys.size)
+        elif hashes is not None:
+            count = int(np.asarray(hashes).size)
+        else:
+            raise ExecutionError("Bloom probe requires keys or precomputed hashes")
+        if count == 0:
             return np.zeros(0, dtype=bool)
-        block_idx, pattern = self._block_and_bits(keys)
+        block_idx, pattern = self._block_and_bits(keys, hashes, patterns)
         hits = (self._blocks[block_idx] & pattern) == pattern
         passed = int(hits.sum())
         with self._stats_lock:
-            self.statistics.keys_probed += int(keys.size)
+            self.statistics.keys_probed += count
             self.statistics.probes_passed += passed
         return hits
 
@@ -182,7 +248,8 @@ class BloomFilter:
         if other.num_blocks != self.num_blocks:
             raise ExecutionError("cannot union Bloom filters of different sizes")
         self._blocks |= other._blocks
-        self.statistics.keys_inserted += other.statistics.keys_inserted
+        with self._stats_lock:
+            self.statistics.keys_inserted += other.statistics.keys_inserted
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

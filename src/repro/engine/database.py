@@ -24,6 +24,7 @@ Typical usage::
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Mapping, Optional, Sequence
 
@@ -42,12 +43,18 @@ from repro.core.transfer_schedule import (
 )
 from repro.engine.modes import ExecutionConfig, ExecutionMode
 from repro.errors import PlanError
+from repro.exec.hashcache import HashCache
 from repro.exec.join_phase import JoinPhaseOptions
 from repro.exec.pipeline import PipelineExecutor, PipelineOptions, make_backend
 from repro.exec.relation import BoundRelation
 from repro.exec.spill import SpillManager
 from repro.exec.statistics import ExecutionStats
 from repro.exec.transfer import TransferOptions
+from repro.storage.artifacts import (
+    DEFAULT_ARTIFACT_BUDGET_BYTES,
+    ArtifactCache,
+    mask_fingerprint,
+)
 from repro.storage.buffer import MemoryGovernor
 from repro.optimizer.cardinality import CardinalityEstimator, EstimationErrorModel
 from repro.optimizer.join_order import JoinOrderOptimizer, JoinOrderOptions
@@ -123,6 +130,30 @@ class Database:
 
     def __init__(self, catalog: Optional[Catalog] = None) -> None:
         self.catalog = catalog or Catalog()
+        # Cross-query artifact cache, created lazily on the first execution
+        # configured with ``artifact_cache=True`` and shared by every later
+        # one (that sharing *is* the repeated-traffic win).
+        self._artifact_cache: Optional[ArtifactCache] = None
+        self._artifact_cache_init_lock = threading.Lock()
+
+    @property
+    def artifact_cache(self) -> Optional[ArtifactCache]:
+        """The database's cross-query artifact cache (None until first used)."""
+        return self._artifact_cache
+
+    def _ensure_artifact_cache(self, config: ExecutionConfig) -> ArtifactCache:
+        with self._artifact_cache_init_lock:
+            if self._artifact_cache is None:
+                budget = config.artifact_cache_budget_bytes or DEFAULT_ARTIFACT_BUDGET_BYTES
+                self._artifact_cache = ArtifactCache(budget_bytes=budget)
+            elif (
+                config.artifact_cache_budget_bytes is not None
+                and config.artifact_cache_budget_bytes != self._artifact_cache.budget_bytes
+            ):
+                # An explicitly configured budget applies to the shared
+                # cache rather than being silently ignored.
+                self._artifact_cache.resize(config.artifact_cache_budget_bytes)
+            return self._artifact_cache
 
     # ------------------------------------------------------------------
     # Table registration
@@ -130,6 +161,10 @@ class Database:
     def register_table(self, table: Table, replace: bool = False) -> None:
         """Register a pre-built :class:`Table`."""
         self.catalog.register(table, replace=replace)
+        # Version-keyed lookups already make the replaced table's artifacts
+        # unreachable; dropping them eagerly returns their cache budget.
+        if self._artifact_cache is not None:
+            self._artifact_cache.invalidate_table(table.name)
 
     def register_dataframe(
         self,
@@ -148,7 +183,7 @@ class Database:
             primary_key=primary_key,
             foreign_keys=foreign_keys,
         )
-        self.catalog.register(table, replace=replace)
+        self.register_table(table, replace=replace)
         return table
 
     def table(self, name: str) -> Table:
@@ -288,6 +323,17 @@ class Database:
         spill = SpillManager()
         governor = MemoryGovernor(config.memory_budget_bytes, spill_handler=spill)
         backend = make_backend(config.backend, config.chunk_size, config.num_threads)
+        artifact_cache = None
+        fingerprints = None
+        table_versions = None
+        if config.artifact_cache:
+            artifact_cache = self._ensure_artifact_cache(config)
+            fingerprints = {
+                ref.alias: mask_fingerprint(masks.get(ref.alias)) for ref in query.relations
+            }
+            table_versions = {
+                ref.alias: self.catalog.version(ref.table) for ref in query.relations
+            }
         executor = PipelineExecutor(
             query,
             graph,
@@ -301,6 +347,11 @@ class Database:
             backend=backend,
             registry=BloomFilterRegistry(),
             governor=governor,
+            hash_cache=HashCache() if config.hash_cache else None,
+            selection_vectors=bool(config.selection_vectors),
+            artifact_cache=artifact_cache,
+            table_versions=table_versions,
+            fingerprints=fingerprints,
         )
         try:
             run = executor.run(physical, stats, masks=masks)

@@ -89,6 +89,18 @@ ENV_BACKEND = "REPRO_BACKEND"
 ENV_NUM_THREADS = "REPRO_NUM_THREADS"
 ENV_MEMORY_BUDGET = "REPRO_MEMORY_BUDGET"
 ENV_PARTITION_BITS = "REPRO_PARTITION_BITS"
+ENV_HASH_CACHE = "REPRO_HASH_CACHE"
+ENV_SELECTION_VECTORS = "REPRO_SELECTION_VECTORS"
+ENV_ARTIFACT_CACHE = "REPRO_ARTIFACT_CACHE"
+ENV_ARTIFACT_CACHE_BUDGET = "REPRO_ARTIFACT_CACHE_BUDGET"
+
+
+def _env_flag(name: str) -> Optional[bool]:
+    """Parse a boolean ``REPRO_*`` environment variable (None when unset)."""
+    value = os.environ.get(name)
+    if value is None or value == "":
+        return None
+    return value.strip().lower() not in ("0", "false", "no", "off")
 
 
 @dataclass(frozen=True)
@@ -110,6 +122,19 @@ class ExecutionConfig:
       budget; ``None`` means ungoverned (peak footprint still tracked).
     * ``partition_bits`` / ``partition_threshold`` — radix-partitioned hash
       join configuration; ``partition_threshold=None`` disables partitioning.
+    * ``hash_cache`` — the query-lifetime
+      :class:`~repro.exec.hashcache.HashCache`: hash each key column with
+      splitmix64 exactly once per query and replay the pass across every
+      Bloom insert/probe (default on; bit-identical either way).
+    * ``selection_vectors`` — late-materialized transfer: Bloom probes carry
+      row-id selection vectors over the immutable base columns and gather at
+      the probe itself rather than materializing filtered key arrays at every
+      step (default on; bit-identical either way).
+    * ``artifact_cache`` / ``artifact_cache_budget_bytes`` — the cross-query
+      :class:`~repro.storage.artifacts.ArtifactCache` memoizing built Bloom
+      filters and frozen hash indexes across ``Database.execute`` calls
+      (default off; keyed by table version + filter fingerprint, LRU within
+      the byte budget).
 
     Unset knobs (``backend=None`` etc.) resolve from ``REPRO_*`` environment
     variables, then defaults — see :meth:`resolved`.
@@ -121,6 +146,10 @@ class ExecutionConfig:
     memory_budget_bytes: Optional[int] = None
     partition_bits: Optional[int] = None
     partition_threshold: Optional[int] = DEFAULT_PARTITION_THRESHOLD
+    hash_cache: Optional[bool] = None
+    selection_vectors: Optional[bool] = None
+    artifact_cache: Optional[bool] = None
+    artifact_cache_budget_bytes: Optional[int] = None
 
     def resolved(self) -> "ExecutionConfig":
         """This config with unset knobs filled from the environment / defaults."""
@@ -136,6 +165,24 @@ class ExecutionConfig:
             partition_bits = int(os.environ[ENV_PARTITION_BITS])
         if partition_bits is None:
             partition_bits = DEFAULT_PARTITION_BITS
+        hash_cache = self.hash_cache
+        if hash_cache is None:
+            hash_cache = _env_flag(ENV_HASH_CACHE)
+        if hash_cache is None:
+            hash_cache = True
+        selection_vectors = self.selection_vectors
+        if selection_vectors is None:
+            selection_vectors = _env_flag(ENV_SELECTION_VECTORS)
+        if selection_vectors is None:
+            selection_vectors = True
+        artifact_cache = self.artifact_cache
+        if artifact_cache is None:
+            artifact_cache = _env_flag(ENV_ARTIFACT_CACHE)
+        if artifact_cache is None:
+            artifact_cache = False
+        artifact_budget = self.artifact_cache_budget_bytes
+        if artifact_budget is None and os.environ.get(ENV_ARTIFACT_CACHE_BUDGET):
+            artifact_budget = int(os.environ[ENV_ARTIFACT_CACHE_BUDGET])
         return ExecutionConfig(
             backend=backend,
             num_threads=num_threads,
@@ -143,4 +190,8 @@ class ExecutionConfig:
             memory_budget_bytes=memory_budget,
             partition_bits=partition_bits,
             partition_threshold=self.partition_threshold,
+            hash_cache=hash_cache,
+            selection_vectors=selection_vectors,
+            artifact_cache=artifact_cache,
+            artifact_cache_budget_bytes=artifact_budget,
         )

@@ -1,0 +1,177 @@
+"""Query-lifetime hash cache: hash every key column at most once per query.
+
+The predicate-transfer pipeline makes many Bloom build/probe passes over the
+*same* key columns: a relation inserts its join keys into a forward-pass
+filter, probes backward-pass filters over the same keys, and the join phase
+may hash them yet again.  Each pass historically paid a fresh splitmix64
+hash (plus the block bit-pattern derivation, the bulk of the per-key work)
+over a freshly gathered key array.
+
+:class:`HashCache` eliminates the redundancy with two granularities of
+memoized pass, both pure functions of the key values (so replaying them is
+bit-identical to hashing directly):
+
+* **Full-column passes** (:meth:`bloom_pass`) over *all* rows of an
+  immutable base column.  Computed only when some consumer touches the
+  column while its relation is unreduced — then the pass costs no gather at
+  all — and afterwards served to reduced consumers through one
+  ``hashes[row_indices]`` gather (:meth:`peek_bloom_pass`).
+* **Per-selection passes** (:meth:`selection_pass` /
+  :meth:`store_selection_pass`) keyed by the identity of a relation's
+  ``row_indices`` array: a transfer step's build and probe over the same
+  relation state, or two steps between which the relation was not reduced,
+  share one pass with zero re-gathering.
+
+The radix-partitioned join path is deliberately *not* cached here: its
+multiplicative hash is a single 64-bit multiply, cheaper than the gather a
+replay would need.  Kernel-level callers that do hold a precomputed pass
+can still feed it straight to :func:`~repro.exec.kernels.radix_partition`
+(``hashes=``) and :class:`~repro.exec.kernels.PartitionedHashIndex`.
+
+Entries are keyed by the identity of the underlying NumPy buffers (strong
+references are held, so ids stay stable), which makes self-joins — several
+aliases over one table — share a single pass per column.  The cache is
+populated and read only from the executor's coordinator thread (morsel
+worker threads receive already-gathered slices), so it needs no locking.
+
+``hits`` counts pass reuses (a whole hashing pass skipped), ``misses``
+fresh passes computed; they feed the per-op cache counters in
+``ExecutionStats.op_stats``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.bloom.bloom_filter import hash_keys, key_patterns
+from repro.errors import ExecutionError
+from repro.storage.table import Table
+
+#: A cached Bloom hashing pass: (splitmix64 hashes, block bit-patterns).
+BloomPass = Tuple[np.ndarray, np.ndarray]
+
+
+class HashCache:
+    """Memoized per-column / per-selection hashing passes for one query."""
+
+    #: Selection passes retained per column.  Relation states progress
+    #: monotonically, so reuse only ever targets a recent state; keeping two
+    #: covers interleaved self-join aliases while bounding memory.
+    SELECTION_PASSES_PER_COLUMN = 2
+
+    def __init__(self) -> None:
+        # id(column data) -> (data ref, hashes, patterns)
+        self._full: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        # id(column data) -> most-recent-first list of (data ref,
+        # row_indices ref, hashes, patterns); the refs keep both ids stable.
+        self._selection: Dict[
+            int, List[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]
+        ] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # Full-column passes
+    # ------------------------------------------------------------------
+    def bloom_pass(self, table: Table, column: str) -> BloomPass:
+        """The (hashes, patterns) pass over one full base column.
+
+        Computed on first request, replayed on every later one.
+        """
+        data = self._key_data(table, column)
+        entry = self._full.get(id(data))
+        if entry is not None and entry[0] is data:
+            self.hits += 1
+            return entry[1], entry[2]
+        self.misses += 1
+        hashes = hash_keys(data)
+        patterns = key_patterns(hashes)
+        self._full[id(data)] = (data, hashes, patterns)
+        return hashes, patterns
+
+    def peek_bloom_pass(self, table: Table, column: str) -> Optional[BloomPass]:
+        """An already-computed full-column pass, or None (never computes)."""
+        data = self._key_data(table, column)
+        entry = self._full.get(id(data))
+        if entry is not None and entry[0] is data:
+            return entry[1], entry[2]
+        return None
+
+    def adopt_full_pass(self, table: Table, column: str, bloom_pass: BloomPass) -> None:
+        """Seed the cache with a full-column pass computed elsewhere.
+
+        Used by the executor to replay a cross-query ``bloom_pass`` artifact
+        into this query's cache; counts neither a hit nor a miss (the
+        artifact cache's own counters record the reuse).
+        """
+        data = self._key_data(table, column)
+        self._full[id(data)] = (data, bloom_pass[0], bloom_pass[1])
+
+    # ------------------------------------------------------------------
+    # Per-selection passes
+    # ------------------------------------------------------------------
+    def selection_pass(
+        self, table: Table, column: str, row_indices: np.ndarray
+    ) -> Optional[BloomPass]:
+        """A cached pass over exactly this selection of the column, or None.
+
+        The selection is identified by the ``row_indices`` array *object* —
+        every in-place reduction replaces it, so a stale pass can never be
+        returned for a changed selection.
+        """
+        data = self._key_data(table, column)
+        for entry in self._selection.get(id(data), ()):
+            if entry[0] is data and entry[1] is row_indices:
+                self.hits += 1
+                return entry[2], entry[3]
+        return None
+
+    def store_selection_pass(
+        self,
+        table: Table,
+        column: str,
+        row_indices: np.ndarray,
+        bloom_pass: BloomPass,
+    ) -> None:
+        """Cache a pass over one selection.
+
+        Counts neither a hit nor a miss — the caller knows whether the pass
+        was freshly hashed (a miss) or derived from an already-counted
+        full-column reuse.  At most :data:`SELECTION_PASSES_PER_COLUMN`
+        recent passes are retained per column, so superseded relation
+        states do not pile up over a long transfer phase.
+        """
+        data = self._key_data(table, column)
+        entries = self._selection.setdefault(id(data), [])
+        entries[:] = [e for e in entries if e[1] is not row_indices]
+        entries.insert(0, (data, row_indices, bloom_pass[0], bloom_pass[1]))
+        del entries[self.SELECTION_PASSES_PER_COLUMN :]
+
+    # ------------------------------------------------------------------
+    # Internals / accounting
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _key_data(table: Table, column: str) -> np.ndarray:
+        col = table.column(column)
+        if not col.dtype.is_integer_backed:
+            raise ExecutionError(
+                f"column {column!r} of {table.name!r} is not integer-backed; "
+                "only integer-backed columns can be hashed as join keys"
+            )
+        return col.data
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the cached hash arrays (excluding the column data)."""
+        total = 0
+        for _, hashes, patterns in self._full.values():
+            total += int(hashes.nbytes) + int(patterns.nbytes)
+        for entries in self._selection.values():
+            for _, _, hashes, patterns in entries:
+                total += int(hashes.nbytes) + int(patterns.nbytes)
+        return total
+
+    def __len__(self) -> int:
+        return len(self._full) + sum(len(entries) for entries in self._selection.values())

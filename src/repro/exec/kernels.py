@@ -136,9 +136,12 @@ class HashIndex:
     #: Hard cap on the bitmap fast-path size (entries; 1 byte each).
     TABLE_MAX_ENTRIES = 1 << 26
 
-    def __init__(self, keys: np.ndarray) -> None:
+    def __init__(self, keys: np.ndarray, order: Optional[np.ndarray] = None) -> None:
+        """Index ``keys``; ``order`` is an optional precomputed stable
+        argsort of them (e.g. replayed from a cached artifact over the same
+        base column), which skips the build-side sort entirely."""
         self.keys = np.asarray(keys)
-        self._order: "np.ndarray | None" = None
+        self._order: "np.ndarray | None" = None if order is None else np.asarray(order)
         self._sorted_keys: "np.ndarray | None" = None
         self._table: "np.ndarray | None" = None
         self._table_lo = 0
@@ -225,6 +228,18 @@ class HashIndex:
         _ = self.sorted_keys
         _ = self.order
 
+    def index_bytes(self) -> int:
+        """Approximate bytes held by the index (keys + built structures).
+
+        Used by the cross-query artifact cache to charge a frozen index
+        against its byte budget.
+        """
+        total = int(self.keys.nbytes)
+        for attr in (self._order, self._sorted_keys, self._table):
+            if attr is not None:
+                total += int(attr.nbytes)
+        return total
+
     def contains(self, probe_keys: np.ndarray) -> np.ndarray:
         """Boolean membership mask of ``probe_keys`` against the indexed keys."""
         probe_keys = np.asarray(probe_keys)
@@ -303,7 +318,21 @@ DEFAULT_PARTITION_BITS = 6
 MAX_PARTITION_BITS = 16
 
 
-def radix_partition_ids(keys: np.ndarray, bits: int) -> np.ndarray:
+def radix_hash(keys: np.ndarray) -> np.ndarray:
+    """Full 64-bit multiplicative (Fibonacci) hash of a key vector.
+
+    The partition id of any radix width derives from these hashes by taking
+    the top ``bits`` bits, so one hashing pass per key column serves every
+    ``radix_partition`` call over it regardless of the partition count
+    (the cacheable pass of the radix-partitioned join path).
+    """
+    with np.errstate(over="ignore"):
+        return np.asarray(keys).astype(np.uint64, copy=False) * RADIX_HASH_MULTIPLIER
+
+
+def radix_partition_ids(
+    keys: np.ndarray, bits: int, hashes: Optional[np.ndarray] = None
+) -> np.ndarray:
     """Partition id of every key: the top ``bits`` of a multiplicative hash.
 
     The multiplicative (Fibonacci) hash spreads clustered key domains —
@@ -311,12 +340,14 @@ def radix_partition_ids(keys: np.ndarray, bits: int) -> np.ndarray:
     partitions; taking the *top* bits keeps the full 64-bit mix.  Both sides
     of a join use the same function, so equal keys always land in the same
     partition.  Returned as ``uint16`` so the partitioning sort below hits
-    NumPy's O(n) radix sort for small integer dtypes.
+    NumPy's O(n) radix sort for small integer dtypes.  ``hashes`` replays a
+    precomputed :func:`radix_hash` pass (bit-identical to hashing ``keys``).
     """
     if not 1 <= bits <= MAX_PARTITION_BITS:
         raise ExecutionError(f"partition bits must be in [1, {MAX_PARTITION_BITS}], got {bits}")
-    hashed = keys.astype(np.uint64, copy=False) * RADIX_HASH_MULTIPLIER
-    return (hashed >> np.uint64(64 - bits)).astype(np.uint16)
+    if hashes is None:
+        hashes = radix_hash(keys)
+    return (hashes >> np.uint64(64 - bits)).astype(np.uint16)
 
 
 @dataclass(frozen=True)
@@ -359,15 +390,21 @@ class KeyPartitions:
         return self.order[self.offsets[partition] : self.offsets[partition + 1]]
 
 
-def radix_partition(keys: np.ndarray, bits: int = DEFAULT_PARTITION_BITS) -> KeyPartitions:
+def radix_partition(
+    keys: np.ndarray,
+    bits: int = DEFAULT_PARTITION_BITS,
+    hashes: Optional[np.ndarray] = None,
+) -> KeyPartitions:
     """Radix-partition a key array into ``2**bits`` hash partitions.
 
     Runs in O(n): partition ids are one vectorized hash, the grouping
     permutation is NumPy's radix sort over the ``uint16`` ids, and the
-    offsets come from ``bincount``.
+    offsets come from ``bincount``.  ``hashes`` is an optional precomputed
+    :func:`radix_hash` pass over ``keys`` (the partitioning is then
+    bit-identical but skips the hash).
     """
     keys = np.asarray(keys)
-    pids = radix_partition_ids(keys, bits)
+    pids = radix_partition_ids(keys, bits, hashes=hashes)
     order = np.argsort(pids, kind="stable").astype(np.int64, copy=False)
     counts = np.bincount(pids, minlength=1 << bits)
     offsets = np.concatenate([np.zeros(1, dtype=np.int64), np.cumsum(counts, dtype=np.int64)])
@@ -402,8 +439,13 @@ class PartitionedHashIndex:
 
     __slots__ = ("partitions", "_indexes")
 
-    def __init__(self, keys: np.ndarray, bits: int = DEFAULT_PARTITION_BITS) -> None:
-        self.partitions = radix_partition(keys, bits)
+    def __init__(
+        self,
+        keys: np.ndarray,
+        bits: int = DEFAULT_PARTITION_BITS,
+        hashes: Optional[np.ndarray] = None,
+    ) -> None:
+        self.partitions = radix_partition(keys, bits, hashes=hashes)
         self._indexes: List[Optional[HashIndex]] = [None] * self.partitions.num_partitions
 
     @property
@@ -455,6 +497,7 @@ class PartitionedHashIndex:
         probe_keys: np.ndarray,
         run_tasks: Optional[TaskRunner] = None,
         on_partition: Optional[Callable[[int], None]] = None,
+        probe_hashes: Optional[np.ndarray] = None,
     ) -> JoinMatches:
         """All (probe, build) index pairs with equal keys, via per-partition matching.
 
@@ -466,13 +509,14 @@ class PartitionedHashIndex:
         work.  ``on_partition`` is called (serially, before the fan-out) for
         every partition the probe will actually visit — the memory governor's
         hook for charging reloads of exactly the spilled partitions the join
-        reads.
+        reads.  ``probe_hashes`` replays a precomputed :func:`radix_hash`
+        pass over the probe keys.
         """
         probe_keys = np.asarray(probe_keys)
         if probe_keys.size == 0 or self.num_keys == 0:
             empty = np.zeros(0, dtype=np.int64)
             return JoinMatches(probe_indices=empty, build_indices=empty)
-        probe_parts = radix_partition(probe_keys, self.bits)
+        probe_parts = radix_partition(probe_keys, self.bits, hashes=probe_hashes)
         active = [
             p for p in range(self.num_partitions)
             if probe_parts.partition_rows(p) > 0 and self.partitions.partition_rows(p) > 0

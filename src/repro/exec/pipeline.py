@@ -47,14 +47,14 @@ import os
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.bloom.bloom_filter import DEFAULT_FPR, BloomFilter
+from repro.bloom.bloom_filter import DEFAULT_FPR, BloomFilter, hash_keys, key_patterns
 from repro.bloom.registry import BloomFilterRegistry, FilterKey
 from repro.core.join_graph import JoinGraph
-from repro.errors import ExecutionError
+from repro.errors import CatalogError, ExecutionError
 from repro.exec.chunk import DEFAULT_CHUNK_SIZE
 from repro.exec.kernels import (
     HashIndex,
@@ -64,6 +64,7 @@ from repro.exec.kernels import (
     combine_key_columns_pair,
     hash_probe_cost,
 )
+from repro.exec.hashcache import HashCache
 from repro.exec.parallel import ParallelismModel
 from repro.exec.relation import BoundRelation, IntermediateResult
 from repro.exec.statistics import ExecutionStats, JoinStepStats, OpStats, TransferStepStats
@@ -84,6 +85,7 @@ from repro.plan.physical import (
     SemiJoinReduce,
 )
 from repro.query import PostJoinPredicate, QuerySpec
+from repro.storage.artifacts import ArtifactCache, ArtifactKey
 from repro.storage.buffer import MemoryGovernor
 
 #: Threads the parallel backend uses when not configured explicitly: one per
@@ -94,6 +96,31 @@ MAX_DEFAULT_THREADS = 32
 #: backend's simulation granularity: each morsel must carry enough work to
 #: amortize task dispatch in pure Python.
 DEFAULT_MORSEL_SIZE = 32_768
+
+
+#: A probe input: one key array, or a tuple of equal-length per-row arrays
+#: (e.g. a precomputed (hashes, patterns) pair).  Backends slice every
+#: component identically when cutting morsels, so a probe function receives
+#: aligned slices.
+ProbeInput = Union[np.ndarray, Tuple[np.ndarray, ...]]
+
+
+def _as_probe_input(keys: ProbeInput) -> ProbeInput:
+    if isinstance(keys, tuple):
+        return tuple(np.asarray(part) for part in keys)
+    return np.asarray(keys)
+
+
+def _probe_rows(keys: ProbeInput) -> int:
+    if isinstance(keys, tuple):
+        return int(keys[0].shape[0])
+    return int(keys.shape[0])
+
+
+def _slice_probe_input(keys: ProbeInput, lo: int, hi: int) -> ProbeInput:
+    if isinstance(keys, tuple):
+        return tuple(part[lo:hi] for part in keys)
+    return keys[lo:hi]
 
 
 # ---------------------------------------------------------------------------
@@ -112,11 +139,14 @@ class ExecutionBackend:
     def __init__(self) -> None:
         self.tasks_dispatched = 0
 
-    def probe_mask(self, keys: np.ndarray, probe_fn, prepare=None) -> np.ndarray:
-        """Evaluate ``probe_fn`` (keys -> boolean mask) over ``keys``.
+    def probe_mask(self, keys: ProbeInput, probe_fn, prepare=None) -> np.ndarray:
+        """Evaluate ``probe_fn`` (probe input -> boolean mask) over ``keys``.
 
-        ``prepare`` (optional thunk) freezes lazily-built probe structures for
-        concurrent read-only access; only fan-out backends invoke it.
+        ``keys`` is a key array or a tuple of aligned per-row arrays (a
+        precomputed hash/pattern pass); morsel backends slice every component
+        identically.  ``prepare`` (optional thunk) freezes lazily-built probe
+        structures for concurrent read-only access; only fan-out backends
+        invoke it.
         """
         raise NotImplementedError
 
@@ -143,7 +173,7 @@ class SerialBackend(ExecutionBackend):
 
     name = "serial"
 
-    def probe_mask(self, keys: np.ndarray, probe_fn, prepare=None) -> np.ndarray:
+    def probe_mask(self, keys: ProbeInput, probe_fn, prepare=None) -> np.ndarray:
         return probe_fn(keys)
 
     def match(self, probe_keys: np.ndarray, index: HashIndex) -> JoinMatches:
@@ -181,15 +211,16 @@ class ChunkedBackend(ExecutionBackend):
     def account_probe(self, probe_rows: int) -> None:
         self._account(probe_rows)
 
-    def probe_mask(self, keys: np.ndarray, probe_fn, prepare=None) -> np.ndarray:
-        keys = np.asarray(keys)
-        self._account(int(keys.shape[0]))
-        if keys.shape[0] <= self.chunk_size:
+    def probe_mask(self, keys: ProbeInput, probe_fn, prepare=None) -> np.ndarray:
+        keys = _as_probe_input(keys)
+        total = _probe_rows(keys)
+        self._account(total)
+        if total <= self.chunk_size:
             self.tasks_dispatched += 1
             return probe_fn(keys)
         parts = [
-            probe_fn(keys[start : start + self.chunk_size])
-            for start in range(0, keys.shape[0], self.chunk_size)
+            probe_fn(_slice_probe_input(keys, start, start + self.chunk_size))
+            for start in range(0, total, self.chunk_size)
         ]
         self.tasks_dispatched += len(parts)
         return np.concatenate(parts)
@@ -267,17 +298,18 @@ class ParallelBackend(ExecutionBackend):
             for start in range(0, total_rows, self.morsel_size)
         ]
 
-    def probe_mask(self, keys: np.ndarray, probe_fn, prepare=None) -> np.ndarray:
-        keys = np.asarray(keys)
-        if keys.shape[0] <= self.morsel_size:
+    def probe_mask(self, keys: ProbeInput, probe_fn, prepare=None) -> np.ndarray:
+        keys = _as_probe_input(keys)
+        total = _probe_rows(keys)
+        if total <= self.morsel_size:
             self.tasks_dispatched += 1
             return probe_fn(keys)
         if prepare is not None:
             prepare()
         parts = self.map_tasks(
             [
-                (lambda lo=lo, hi=hi: probe_fn(keys[lo:hi]))
-                for lo, hi in self._morsels(int(keys.shape[0]))
+                (lambda lo=lo, hi=hi: probe_fn(_slice_probe_input(keys, lo, hi)))
+                for lo, hi in self._morsels(total)
             ]
         )
         return np.concatenate(parts)
@@ -371,11 +403,21 @@ _PHASE_BY_KIND = {
 
 @dataclass
 class _TransferStage:
-    """Build-side state handed from a transfer ``BloomBuild`` to its ``BloomProbe``."""
+    """Build-side state handed from a transfer ``BloomBuild`` to its ``BloomProbe``.
+
+    Exactly one probe-side representation is populated: ``target_keys``
+    (an eagerly materialized key array — the historical path),
+    ``target_pass`` (an eagerly gathered precomputed hash/pattern pair), or
+    ``target_column`` (the selection-vector path: the probe op gathers that
+    column of ``op.target`` over the immutable base table by the relation's
+    current row ids, materializing nothing in between).
+    """
 
     bloom: BloomFilter
-    target_keys: np.ndarray
     build_rows: int
+    target_keys: Optional[np.ndarray] = None
+    target_pass: Optional[Tuple[np.ndarray, np.ndarray]] = None
+    target_column: Optional[str] = None
 
 
 @dataclass
@@ -385,6 +427,7 @@ class _JoinBloomStage:
     bloom: BloomFilter
     probe_keys: np.ndarray
     build_keys: np.ndarray
+    probe_pass: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
 
 @dataclass
@@ -414,6 +457,11 @@ class PipelineExecutor:
         backend: Optional[ExecutionBackend] = None,
         registry: Optional[BloomFilterRegistry] = None,
         governor: Optional[MemoryGovernor] = None,
+        hash_cache: Optional[HashCache] = None,
+        selection_vectors: bool = True,
+        artifact_cache: Optional[ArtifactCache] = None,
+        table_versions: Optional[Mapping[str, int]] = None,
+        fingerprints: Optional[Mapping[str, str]] = None,
     ) -> None:
         self.query = query
         self.graph = graph
@@ -422,6 +470,17 @@ class PipelineExecutor:
         self.backend = backend or SerialBackend()
         self.registry = registry or BloomFilterRegistry()
         self.governor = governor
+        #: Query-lifetime hash cache (None disables hash reuse).
+        self.hash_cache = hash_cache
+        #: Late-materialized transfer probes (bit-identical re-ordering of
+        #: the same gathers; off restores eager key materialization).
+        self.selection_vectors = selection_vectors
+        #: Cross-query artifact cache + the identity context needed to key
+        #: it (catalog table versions and base-filter fingerprints, both
+        #: supplied by the engine; fragments run without them).
+        self.artifact_cache = artifact_cache
+        self._table_versions = dict(table_versions or {})
+        self._fingerprints = dict(fingerprints or {})
         self._refs = {ref.alias: ref for ref in query.relations}
 
     # ------------------------------------------------------------------
@@ -460,8 +519,21 @@ class PipelineExecutor:
         self._pending_predicates: List[PostJoinPredicate] = list(self.query.post_join_predicates)
         self._aggregates: Optional[Dict[str, float]] = None
         self._final: Optional[IntermediateResult] = None
+        # Artifact eligibility: a relation's artifacts are keyed by its
+        # *base* state (scan + pushed-down filter, before any transfer
+        # reduction), identified by the version snapshot taken here and
+        # refreshed by Scan / FilterPush ops.
+        self._base_versions: Dict[str, int] = {
+            alias: relation.version for alias, relation in self._relations.items()
+        }
+        self._artifact_reserved: List[str] = []
+        self._artifact_hits = 0
+        self._artifact_misses = 0
+        self._selvec_rows = 0
 
         base_simulated = getattr(self.backend, "simulated_cost", 0.0)
+        base_hash_hits = self.hash_cache.hits if self.hash_cache is not None else 0
+        base_hash_misses = self.hash_cache.misses if self.hash_cache is not None else 0
         governor = self.governor
         if governor is not None:
             base_spill_events = governor.spill_events
@@ -473,10 +545,22 @@ class PipelineExecutor:
                 phase = "join"
             tasks_before = self.backend.tasks_dispatched
             spilled_before = governor.spilled_bytes if governor is not None else 0
+            hash_hits_before = self.hash_cache.hits if self.hash_cache is not None else 0
+            hash_misses_before = self.hash_cache.misses if self.hash_cache is not None else 0
+            selvec_before = self._selvec_rows
+            artifact_hits_before = self._artifact_hits
+            artifact_misses_before = self._artifact_misses
             start = time.perf_counter()
             rows_in, rows_out, skipped = self._dispatch(op, stats)
             elapsed = time.perf_counter() - start
             setattr(stats.timings, phase, getattr(stats.timings, phase) + elapsed)
+            if governor is not None and self.hash_cache is not None:
+                # The cached hash/pattern arrays are real memory; keep their
+                # reservation current — inside this op's spill-sampling
+                # window, so spills it forces are attributed to the op that
+                # grew the cache.  Non-evictable: the cache cannot be
+                # spilled, only released at the end of the run.
+                governor.reserve("hash_cache", self.hash_cache.nbytes, evictable=False)
             stats.op_stats.append(
                 OpStats(
                     index=index,
@@ -490,6 +574,19 @@ class PipelineExecutor:
                     spilled_bytes=(
                         governor.spilled_bytes - spilled_before if governor is not None else 0
                     ),
+                    hash_hits=(
+                        self.hash_cache.hits - hash_hits_before
+                        if self.hash_cache is not None
+                        else 0
+                    ),
+                    hash_misses=(
+                        self.hash_cache.misses - hash_misses_before
+                        if self.hash_cache is not None
+                        else 0
+                    ),
+                    selvec_rows=self._selvec_rows - selvec_before,
+                    artifact_hits=self._artifact_hits - artifact_hits_before,
+                    artifact_misses=self._artifact_misses - artifact_misses_before,
                 )
             )
 
@@ -508,6 +605,21 @@ class PipelineExecutor:
             stats.spill_events += governor.spill_events - base_spill_events
             stats.spilled_bytes += governor.spilled_bytes - base_spilled
             stats.reloaded_bytes += governor.reloaded_bytes - base_reloaded
+        if self.hash_cache is not None:
+            stats.hash_reuse_hits += self.hash_cache.hits - base_hash_hits
+            stats.hash_reuse_misses += self.hash_cache.misses - base_hash_misses
+        stats.selection_vector_rows += self._selvec_rows
+        stats.artifact_cache_hits += self._artifact_hits
+        stats.artifact_cache_misses += self._artifact_misses
+        # Artifact residency was charged for this run's accounting only; the
+        # artifacts themselves stay alive in the cross-query cache.  The
+        # query-lifetime hash cache dies with the executor, so its
+        # reservation is released the same way.
+        if governor is not None:
+            for reservation in self._artifact_reserved:
+                governor.release(reservation)
+            governor.release("hash_cache")
+        self._artifact_reserved.clear()
 
         return PipelineResult(
             relations=self._relations,
@@ -553,6 +665,7 @@ class PipelineExecutor:
             raise ExecutionError("pipeline plans with Scan ops require a catalog")
         table = self.catalog.table(op.table)
         self._relations[op.alias] = BoundRelation.from_table(op.alias, table)
+        self._base_versions[op.alias] = self._relations[op.alias].version
         stats.base_rows[op.alias] = table.num_rows
         stats.filtered_rows[op.alias] = table.num_rows
         return table.num_rows, table.num_rows, False
@@ -568,6 +681,7 @@ class PipelineExecutor:
                 return rows_in, rows_in, True
             mask = np.asarray(ref.filter.evaluate(relation.table), dtype=bool)
         relation.keep(mask)
+        self._base_versions[op.alias] = relation.version
         stats.filtered_rows[op.alias] = relation.num_rows
         return rows_in, relation.num_rows, False
 
@@ -578,19 +692,74 @@ class PipelineExecutor:
         if self._should_prune(op.prunable, op.source.alias):
             self._skip_transfer_step(op, target, stats)
             return source.num_rows, source.num_rows, True
-        source_keys, target_keys = self._step_keys(op, source, target)
-        bloom = BloomFilter(expected_keys=source.num_rows, fpr=self.options.transfer_fpr)
-        bloom.insert(source_keys)
+
+        if len(op.attributes) == 1:
+            attr_class = self.graph.attribute_classes[op.attributes[0]]
+            source_column = attr_class.column_of(op.source.alias)
+            target_column = attr_class.column_of(op.target.alias)
+            bloom = self._transfer_bloom(op, source, source_column)
+            if self.selection_vectors:
+                # Late materialization: the probe op gathers over the
+                # immutable base column by the target's row ids; nothing is
+                # staged for the probe side here.
+                stage = _TransferStage(
+                    bloom=bloom,
+                    build_rows=source.num_rows,
+                    target_column=target_column,
+                )
+            elif self.hash_cache is not None:
+                stage = _TransferStage(
+                    bloom=bloom,
+                    build_rows=source.num_rows,
+                    target_pass=self._bloom_pass_for_relation(target, target_column),
+                )
+            else:
+                stage = _TransferStage(
+                    bloom=bloom,
+                    build_rows=source.num_rows,
+                    target_keys=target.key_values(target_column),
+                )
+        else:
+            # Composite keys are densified jointly with the probe side, so
+            # neither hashing pass nor gather can be cached or deferred.
+            source_keys, target_keys = self._step_keys(op, source, target)
+            bloom = BloomFilter(expected_keys=source.num_rows, fpr=self.options.transfer_fpr)
+            bloom.insert(source_keys)
+            stage = _TransferStage(
+                bloom=bloom, build_rows=source.num_rows, target_keys=target_keys
+            )
+
         key = FilterKey(
             relation=op.source.alias,
             attribute="+".join(op.attributes),
             pass_id=op.pass_,
         )
         self.registry.publish(key, bloom, replace=True)
-        self._transfer_stages[op.step_id] = _TransferStage(
-            bloom=bloom, target_keys=target_keys, build_rows=source.num_rows
-        )
+        self._transfer_stages[op.step_id] = stage
         return source.num_rows, source.num_rows, False
+
+    def _transfer_bloom(self, op: BloomBuild, source: BoundRelation, column: str) -> BloomFilter:
+        """Build (or fetch from the artifact cache) one transfer-phase filter."""
+        artifact_key = self._artifact_key(
+            op.source.alias, column, kind="bloom", param=f"fpr={self.options.transfer_fpr}"
+        )
+        if artifact_key is not None:
+            cached = self.artifact_cache.get(artifact_key)
+            if cached is not None:
+                self._artifact_hits += 1
+                self._charge_artifact(artifact_key, cached.size_bytes)
+                return cached
+            self._artifact_misses += 1
+        bloom = BloomFilter(expected_keys=source.num_rows, fpr=self.options.transfer_fpr)
+        if self.hash_cache is not None:
+            hashes, patterns = self._bloom_pass_for_relation(source, column)
+            bloom.insert(hashes=hashes, patterns=patterns)
+        else:
+            bloom.insert(source.key_values(column))
+        if artifact_key is not None:
+            self.artifact_cache.put(artifact_key, bloom, bloom.size_bytes)
+            self._charge_artifact(artifact_key, bloom.size_bytes)
+        return bloom
 
     def _exec_transfer_bloom_probe(self, op: BloomProbe, stats: ExecutionStats) -> Tuple[int, int, bool]:
         target = self._relations[op.target.alias]
@@ -598,7 +767,26 @@ class PipelineExecutor:
             return target.num_rows, target.num_rows, True
         stage = self._transfer_stages.pop(op.step_id)
         rows_before = target.num_rows
-        mask = self.backend.probe_mask(stage.target_keys, stage.bloom.probe)
+        bloom = stage.bloom
+        if stage.target_keys is not None:
+            mask = self.backend.probe_mask(stage.target_keys, bloom.probe)
+        elif stage.target_pass is not None:
+            mask = self.backend.probe_mask(
+                stage.target_pass,
+                lambda hp: bloom.probe(hashes=hp[0], patterns=hp[1]),
+            )
+        elif self.hash_cache is not None:
+            self._selvec_rows += target.num_rows
+            probe_pass = self._bloom_pass_for_relation(target, stage.target_column)
+            mask = self.backend.probe_mask(
+                probe_pass,
+                lambda hp: bloom.probe(hashes=hp[0], patterns=hp[1]),
+            )
+        else:
+            self._selvec_rows += target.num_rows
+            mask = self.backend.probe_mask(
+                target.key_values(stage.target_column), bloom.probe
+            )
         target.keep(mask)
         self._record_transfer_step(
             op,
@@ -618,18 +806,20 @@ class PipelineExecutor:
             return target.num_rows, target.num_rows, True
         if len(op.attributes) == 1:
             # Single-attribute keys are side-independent: resolve the target
-            # side and check the index cache before gathering source keys —
-            # a cache hit (forward + backward pass probing the same source)
-            # skips the source-side gather entirely.
+            # side and check the index caches before gathering source keys —
+            # a hit (forward + backward pass probing the same source, or a
+            # prior query's frozen artifact) skips the source-side gather
+            # and sort entirely.
             attr_class = self.graph.attribute_classes[op.attributes[0]]
             target_keys = target.key_values(attr_class.column_of(op.target.alias))
-            cached = self._index_cache.get((op.source.alias, op.attributes))
-            if cached is not None and cached[0] == source.version:
-                index = cached[1]
-            else:
-                source_keys = source.key_values(attr_class.column_of(op.source.alias))
-                index = HashIndex(source_keys)
-                self._index_cache[(op.source.alias, op.attributes)] = (source.version, index)
+            source_column = attr_class.column_of(op.source.alias)
+            index = self._relation_index(
+                op.source.alias,
+                op.attributes,
+                source,
+                lambda: source.key_values(source_column),
+                expected_probe_rows=int(target_keys.shape[0]),
+            )
         else:
             source_keys, target_keys = self._step_keys(op, source, target)
             index = HashIndex(source_keys)
@@ -722,6 +912,157 @@ class PipelineExecutor:
             raise ExecutionError(f"transfer op {op.describe()} has no join attributes")
         return combine_key_columns_pair(source_columns, target_columns)
 
+    # -- hash reuse / artifact caching ----------------------------------
+    def _bloom_pass_for_relation(
+        self, relation: BoundRelation, column: str
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """The relation's surviving rows of a (cached) column hashing pass.
+
+        Strategy, cheapest first: an unreduced relation computes/reuses the
+        zero-gather full-column pass; a reduced one reuses the pass cached
+        for exactly its current selection (a build and probe over the same
+        relation state share one pass); failing that it gathers from an
+        already-paid full-column pass; and only as a last resort hashes its
+        gathered keys — caching the result for the next step over the same
+        state.  Every branch is bit-identical to hashing the gathered keys
+        directly.
+        """
+        cache = self.hash_cache
+        table = relation.table
+        if relation.num_rows == table.num_rows:
+            return self._full_bloom_pass(relation, column, compute=True)
+        cached = cache.selection_pass(table, column, relation.row_indices)
+        if cached is not None:
+            return cached
+        # With the cross-query artifact cache on, a selection covering a
+        # sizable fraction of the column promotes to the full-column pass:
+        # one-time extra hashing that every later query replays for free.
+        promote = (
+            self.artifact_cache is not None
+            and relation.alias in self._table_versions
+            and relation.num_rows * 4 >= table.num_rows
+        )
+        full = self._full_bloom_pass(relation, column, compute=promote)
+        if full is not None:
+            selection = relation.row_indices
+            result = (full[0][selection], full[1][selection])
+            cache.store_selection_pass(table, column, selection, result)
+            return result
+        cache.misses += 1
+        hashes = hash_keys(relation.key_values(column))
+        result = (hashes, key_patterns(hashes))
+        cache.store_selection_pass(table, column, relation.row_indices, result)
+        return result
+
+    def _full_bloom_pass(
+        self, relation: BoundRelation, column: str, compute: bool
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """A full-column hashing pass, through both the query and artifact caches.
+
+        The pass depends only on the immutable column data, so — unlike
+        Bloom filters and hash indexes — its artifact is keyed purely by
+        table version, never by a filter fingerprint.  With ``compute=False``
+        only already-paid passes (this query's or a prior query's artifact)
+        are returned.
+        """
+        cache = self.hash_cache
+        table = relation.table
+        existing = cache.peek_bloom_pass(table, column)
+        if existing is not None:
+            cache.hits += 1
+            return existing
+        artifact_key = None
+        table_version = (
+            self._snapshot_version(relation.alias, table.name)
+            if self.artifact_cache is not None
+            else None
+        )
+        if table_version is not None:
+            artifact_key = ArtifactKey(
+                table=table.name,
+                table_version=table_version,
+                column=column,
+                fingerprint="column",
+                kind="bloom_pass",
+            )
+            artifact = self.artifact_cache.get(artifact_key)
+            if artifact is not None:
+                self._artifact_hits += 1
+                self._charge_artifact(
+                    artifact_key, int(artifact[0].nbytes + artifact[1].nbytes)
+                )
+                cache.adopt_full_pass(table, column, artifact)
+                return artifact
+        if not compute:
+            return None
+        full = cache.bloom_pass(table, column)
+        if artifact_key is not None:
+            self._artifact_misses += 1
+            nbytes = int(full[0].nbytes + full[1].nbytes)
+            self.artifact_cache.put(artifact_key, full, nbytes)
+            self._charge_artifact(artifact_key, nbytes)
+        return full
+
+    def _artifact_key(
+        self, alias: str, column: str, kind: str, param: str = ""
+    ) -> Optional[ArtifactKey]:
+        """Cross-query cache key for an artifact over ``alias``'s base state.
+
+        ``None`` (no caching) unless the artifact cache is configured, the
+        engine supplied this alias's catalog version and filter fingerprint,
+        and the relation is still in its base (scan + pushed-down filter)
+        state — an artifact over a transfer-reduced relation would depend on
+        this query's other predicates and must not be shared.
+        """
+        if self.artifact_cache is None:
+            return None
+        relation = self._relations.get(alias)
+        fingerprint = self._fingerprints.get(alias)
+        if relation is None or fingerprint is None:
+            return None
+        table_version = self._snapshot_version(alias, relation.table.name)
+        if table_version is None:
+            return None
+        if relation.version != self._base_versions.get(alias, -1):
+            return None
+        return ArtifactKey(
+            table=relation.table.name,
+            table_version=table_version,
+            column=column,
+            fingerprint=fingerprint,
+            kind=kind,
+            param=param,
+        )
+
+    def _snapshot_version(self, alias: str, table_name: str) -> Optional[int]:
+        """The engine's table-version snapshot — only while it is still live.
+
+        Guards the race between the snapshot (taken at ``Database.execute``
+        start) and a concurrent table replace: once the live catalog version
+        moves past the snapshot, this execution may be reading the *new*
+        table's data, so caching anything under the snapshot key could
+        poison the cache.  Artifact use is simply disabled for that alias.
+        """
+        version = self._table_versions.get(alias)
+        if version is None:
+            return None
+        if self.catalog is not None:
+            try:
+                if self.catalog.version(table_name) != version:
+                    return None
+            except CatalogError:
+                return None
+        return version
+
+    def _charge_artifact(self, key: ArtifactKey, size_bytes: int) -> None:
+        """Account a touched artifact's residency against the run's governor."""
+        if self.governor is None:
+            return
+        reservation = f"artifact:{key.kind}:{key.table}:{key.column}:{key.fingerprint[:12]}"
+        if reservation not in self._artifact_reserved:
+            self.governor.reserve(reservation, size_bytes, evictable=False)
+            self._artifact_reserved.append(reservation)
+
     def _indexed_keys(
         self,
         alias: str,
@@ -739,11 +1080,50 @@ class PipelineExecutor:
         """
         if len(attributes) != 1:
             return HashIndex(keys)
+        return self._relation_index(alias, attributes, relation, lambda: keys)
+
+    def _relation_index(
+        self,
+        alias: str,
+        attributes: Tuple[str, ...],
+        relation: BoundRelation,
+        gather_keys: Callable[[], np.ndarray],
+        expected_probe_rows: int = 0,
+    ) -> HashIndex:
+        """The index over a relation's single-attribute keys, through both caches.
+
+        Lookup order: the query-lifetime index cache (keyed by relation
+        version — the forward/backward pass and join-phase reuse), then the
+        cross-query artifact cache (keyed by table version + filter
+        fingerprint; only consulted while the relation is in its base
+        state).  A freshly built index headed for the artifact cache is
+        frozen first so later queries — possibly on morsel worker threads —
+        only ever read it.
+        """
         cache_key = (alias, attributes)
         cached = self._index_cache.get(cache_key)
         if cached is not None and cached[0] == relation.version:
             return cached[1]
-        index = HashIndex(keys)
+        # Artifacts are keyed by the physical column, not the query-local
+        # attribute-class name, so different queries share them.
+        column = self.graph.attribute_classes[attributes[0]].column_of(alias)
+        artifact_key = self._artifact_key(alias, column, kind="hash_index")
+        index: Optional[HashIndex] = None
+        if artifact_key is not None:
+            artifact = self.artifact_cache.get(artifact_key)
+            if artifact is not None:
+                self._artifact_hits += 1
+                self._charge_artifact(artifact_key, artifact.index_bytes())
+                index = artifact
+            else:
+                self._artifact_misses += 1
+        if index is None:
+            index = HashIndex(gather_keys())
+            if artifact_key is not None:
+                index.prepare(expected_probe_rows or index.num_keys)
+                index.prepare_match()
+                self.artifact_cache.put(artifact_key, index, index.index_bytes())
+                self._charge_artifact(artifact_key, index.index_bytes())
         self._index_cache[cache_key] = (relation.version, index)
         return index
 
@@ -773,11 +1153,22 @@ class PipelineExecutor:
         probe = self._materialize(op.target)
         if build.num_rows == 0:
             return build.num_rows, build.num_rows, True
+        # The raw pair keys are needed either way — the upcoming hash join
+        # consumes them — but with a hash cache the SIP filter's insert and
+        # probe replay the cached column pass instead of re-hashing them.
         probe_keys, build_keys = self._pair_keys(op.attributes, probe, build)
         bloom = BloomFilter(expected_keys=build.num_rows, fpr=self.options.join_fpr)
-        bloom.insert(build_keys)
+        probe_pass = None
+        if self.hash_cache is not None and len(op.attributes) == 1:
+            build_hashes, build_patterns = self._result_bloom_pass(
+                op.attributes[0], build, build_keys
+            )
+            bloom.insert(hashes=build_hashes, patterns=build_patterns)
+            probe_pass = self._result_bloom_pass(op.attributes[0], probe, probe_keys)
+        else:
+            bloom.insert(build_keys)
         self._join_bloom_stages[op.step_id] = _JoinBloomStage(
-            bloom=bloom, probe_keys=probe_keys, build_keys=build_keys
+            bloom=bloom, probe_keys=probe_keys, build_keys=build_keys, probe_pass=probe_pass
         )
         return build.num_rows, build.num_rows, False
 
@@ -787,7 +1178,14 @@ class PipelineExecutor:
         if stage is None:
             return probe.num_rows, probe.num_rows, True
         rows_before = probe.num_rows
-        hits = self.backend.probe_mask(stage.probe_keys, stage.bloom.probe)
+        if stage.probe_pass is not None:
+            bloom = stage.bloom
+            hits = self.backend.probe_mask(
+                stage.probe_pass,
+                lambda hp: bloom.probe(hashes=hp[0], patterns=hp[1]),
+            )
+        else:
+            hits = self.backend.probe_mask(stage.probe_keys, stage.bloom.probe)
         keep = np.nonzero(hits)[0]
         reduced = probe.take(keep)
         self._set_operand(op.target, reduced)
@@ -811,10 +1209,19 @@ class PipelineExecutor:
             stage.result = build
         if stage.keys is None and len(op.attributes) == 1:
             # Single-attribute keys are side-independent: gather and sort now
-            # so the probe op only probes.  An index cached by the transfer
-            # phase over the same relation keys skips the gather entirely.
-            stage.index = self._cached_relation_index(op, build)
-            if stage.index is None:
+            # so the probe op only probes.  When the build side is the whole
+            # (un-reduced-since) relation, the lookup goes through both index
+            # caches — an index built by the transfer phase, or a prior
+            # query's frozen artifact, skips the gather and sort entirely
+            # (the gather thunk only runs on a full miss).
+            if op.input.is_relation and build.num_rows == self._relations[op.input.alias].num_rows:
+                stage.index = self._relation_index(
+                    op.input.alias,
+                    op.attributes,
+                    self._relations[op.input.alias],
+                    lambda: self._single_attribute_keys(op.attributes[0], build),
+                )
+            else:
                 stage.keys = self._single_attribute_keys(op.attributes[0], build)
                 stage.index = self._build_index(op, stage.keys)
         elif stage.keys is not None:
@@ -848,20 +1255,6 @@ class PipelineExecutor:
             for p in range(stage.partitioned.num_partitions):
                 self.governor.release(f"partition:{build_id}:{p}")
 
-    def _cached_relation_index(
-        self, op: HashBuild, build: IntermediateResult
-    ) -> Optional[HashIndex]:
-        """A still-valid cached index over the build relation's keys, if any."""
-        if not (op.input.is_relation and len(op.attributes) == 1):
-            return None
-        relation = self._relations[op.input.alias]
-        if build.num_rows != relation.num_rows:
-            return None
-        cached = self._index_cache.get((op.input.alias, op.attributes))
-        if cached is not None and cached[0] == relation.version:
-            return cached[1]
-        return None
-
     def _build_index(self, op: HashBuild, keys: np.ndarray) -> HashIndex:
         if op.input.is_relation and len(op.attributes) == 1:
             relation = self._relations[op.input.alias]
@@ -877,6 +1270,35 @@ class PipelineExecutor:
         alias = _representative_alias(attr_class, result.aliases)
         values = result.column_values(self._relations, alias, attr_class.column_of(alias))
         return np.asarray(values).astype(np.int64, copy=False)
+
+    def _result_bloom_pass(
+        self, attribute: str, result: IntermediateResult, keys: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """An intermediate result's rows of a (cached) column hashing pass.
+
+        When a full-column pass is available — some earlier step already
+        paid for it, or the backing relation is unreduced and the result
+        covers a sizable fraction of it (so the one-time full pass is near
+        the work a direct hash would do anyway, and later steps reuse it) —
+        the pass is gathered by the result's composed row ids instead of
+        re-hashing.  Otherwise the already-gathered ``keys`` are hashed
+        directly (no worse than the uncached path).
+        """
+        attr_class = self.graph.attribute_classes[attribute]
+        alias = _representative_alias(attr_class, result.aliases)
+        relation = self._relations[alias]
+        cache = self.hash_cache
+        column = attr_class.column_of(alias)
+        unreduced = relation.num_rows == relation.table.num_rows
+        compute = unreduced and result.num_rows * 4 >= relation.table.num_rows
+        full = self._full_bloom_pass(relation, column, compute=compute)
+        if full is not None:
+            positions = result.positions[alias]
+            row_ids = positions if unreduced else relation.row_indices[positions]
+            return full[0][row_ids], full[1][row_ids]
+        cache.misses += 1
+        hashes = hash_keys(keys)
+        return hashes, key_patterns(hashes)
 
     def _pair_keys(
         self,

@@ -68,6 +68,16 @@ class OpStats:
     morsels: int = 0
     #: Bytes the memory governor spilled while this op was reserving budget.
     spilled_bytes: int = 0
+    #: Hash-cache column passes this op reused / had to compute.
+    hash_hits: int = 0
+    hash_misses: int = 0
+    #: Rows this op carried through row-id selection vectors instead of a
+    #: materialized filtered key array.
+    selvec_rows: int = 0
+    #: Cross-query artifact-cache hits (prebuilt Bloom filter / hash index
+    #: reused) and misses this op observed.
+    artifact_hits: int = 0
+    artifact_misses: int = 0
 
     @property
     def rows_eliminated(self) -> int:
@@ -135,6 +145,14 @@ class ExecutionStats:
     spilled_bytes: int = 0
     #: Bytes re-read because a probed reservation had been spilled.
     reloaded_bytes: int = 0
+    #: Query-lifetime hash-cache column passes reused / computed.
+    hash_reuse_hits: int = 0
+    hash_reuse_misses: int = 0
+    #: Rows carried through selection vectors instead of materialized keys.
+    selection_vector_rows: int = 0
+    #: Cross-query artifact-cache hits / misses during this execution.
+    artifact_cache_hits: int = 0
+    artifact_cache_misses: int = 0
 
     # ------------------------------------------------------------------
     # Derived quantities
@@ -194,11 +212,34 @@ class ExecutionStats:
             marker = " [skipped]" if op.skipped else ""
             if op.spilled_bytes:
                 marker += f" [spilled {op.spilled_bytes}B]"
+            if op.hash_hits or op.hash_misses:
+                marker += f" [hash {op.hash_hits}h/{op.hash_misses}m]"
+            if op.selvec_rows:
+                marker += f" [selvec {op.selvec_rows}r]"
+            if op.artifact_hits:
+                marker += " [artifact hit]"
             lines.append(
                 f"{op.index:>3} {op.kind:<22} {op.rows_in:>10} {op.rows_out:>10} "
                 f"{op.seconds:>10.6f} {op.morsels:>8}  {op.detail}{marker}"
             )
         return "\n".join(lines)
+
+    def cache_summary(self) -> str:
+        """One-line summary of the hash / selection-vector / artifact caching.
+
+        Empty when the execution recorded no cache activity (caches off or
+        nothing cacheable), so callers can append it conditionally.
+        """
+        parts = []
+        if self.hash_reuse_hits or self.hash_reuse_misses:
+            parts.append(f"hash passes {self.hash_reuse_hits}h/{self.hash_reuse_misses}m")
+        if self.selection_vector_rows:
+            parts.append(f"selection-vector rows {self.selection_vector_rows}")
+        if self.artifact_cache_hits or self.artifact_cache_misses:
+            parts.append(
+                f"artifact cache {self.artifact_cache_hits}h/{self.artifact_cache_misses}m"
+            )
+        return "cache: " + ", ".join(parts) if parts else ""
 
     def cost(self, metric: str = "tuples") -> float:
         """Return the execution cost under the requested metric.

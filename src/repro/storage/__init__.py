@@ -1,5 +1,6 @@
 """Columnar storage substrate: datatypes, columns, tables, catalog, buffer manager."""
 
+from repro.storage.artifacts import ArtifactCache, ArtifactKey, mask_fingerprint
 from repro.storage.buffer import BufferManager, IoStatistics, MemoryGovernor
 from repro.storage.catalog import Catalog, TableStatistics
 from repro.storage.column import Column, concat_columns
@@ -7,6 +8,8 @@ from repro.storage.datatypes import DataType, infer_datatype
 from repro.storage.table import ForeignKey, Table
 
 __all__ = [
+    "ArtifactCache",
+    "ArtifactKey",
     "BufferManager",
     "Catalog",
     "Column",
@@ -18,4 +21,5 @@ __all__ = [
     "TableStatistics",
     "concat_columns",
     "infer_datatype",
+    "mask_fingerprint",
 ]

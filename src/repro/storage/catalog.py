@@ -33,6 +33,11 @@ class Catalog:
     def __init__(self) -> None:
         self._tables: Dict[str, Table] = {}
         self._stats: Dict[str, TableStatistics] = {}
+        # Monotonic per-name version counters.  A name's counter survives
+        # unregistration so a re-registered table can never reuse an old
+        # version — cached execution artifacts keyed by (name, version)
+        # therefore never alias stale data.
+        self._versions: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Registration
@@ -52,6 +57,7 @@ class Catalog:
             raise CatalogError(f"table {table.name!r} is already registered")
         self._tables[table.name] = table
         self._stats[table.name] = _compute_statistics(table)
+        self._versions[table.name] = self._versions.get(table.name, 0) + 1
 
     def unregister(self, name: str) -> None:
         """Remove a table from the catalog."""
@@ -69,6 +75,18 @@ class Catalog:
             return self._tables[name]
         except KeyError:
             raise CatalogError(f"table {name!r} is not registered") from None
+
+    def version(self, name: str) -> int:
+        """Monotonic version of the table registered under ``name``.
+
+        Bumped every time a table is (re-)registered under the name; never
+        reused, even across unregister/register cycles.  Execution-artifact
+        caches key on it so a table change invalidates every artifact built
+        over the old contents.
+        """
+        if name not in self._tables:
+            raise CatalogError(f"table {name!r} is not registered")
+        return self._versions[name]
 
     def statistics(self, name: str) -> TableStatistics:
         """Return the statistics for the table registered under ``name``."""

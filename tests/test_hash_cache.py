@@ -1,0 +1,556 @@
+"""Tests for the hash-once execution layer.
+
+Covers the query-lifetime :class:`~repro.exec.hashcache.HashCache`, the
+precomputed-hash kernel APIs (Bloom insert/probe, radix partitioning,
+``HashIndex`` with a precomputed order), the cross-query
+:class:`~repro.storage.artifacts.ArtifactCache` (including table-change and
+filter-change invalidation), bit-identity of every caching configuration
+against the uncached path across all five modes / five workloads / three
+backends, thread-safety of the Bloom filter statistics under concurrent
+probes, and the cache observability counters.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro import (
+    Database,
+    ExecutionConfig,
+    ExecutionMode,
+    ExecutionOptions,
+    JoinCondition,
+    QuerySpec,
+    RelationRef,
+)
+from repro.bloom.bloom_filter import BloomFilter, hash_keys, key_patterns
+from repro.errors import CatalogError
+from repro.exec.hashcache import HashCache
+from repro.exec.kernels import (
+    HashIndex,
+    PartitionedHashIndex,
+    radix_hash,
+    radix_partition,
+    radix_partition_ids,
+)
+from repro.expr import eq, lt
+from repro.storage.artifacts import ArtifactCache, ArtifactKey, mask_fingerprint
+from repro.workloads import dsb, job, synthetic, tpcds, tpch
+
+
+def _config(hash_cache: bool, selection_vectors: bool, artifact_cache: bool) -> ExecutionOptions:
+    return ExecutionOptions(
+        execution=ExecutionConfig(
+            hash_cache=hash_cache,
+            selection_vectors=selection_vectors,
+            artifact_cache=artifact_cache,
+        )
+    )
+
+
+UNCACHED = _config(False, False, False)
+#: Every caching configuration that must stay bit-identical to UNCACHED.
+CACHED_CONFIGS = {
+    "hash_only": _config(True, False, False),
+    "selvec_only": _config(False, True, False),
+    "hash+selvec": _config(True, True, False),
+    "all_on": _config(True, True, True),
+}
+
+
+def _signature(result):
+    return (
+        tuple(sorted(result.aggregates.items())),
+        result.output_rows,
+        tuple(sorted(result.stats.reduced_rows.items())),
+    )
+
+
+# ---------------------------------------------------------------------------
+# HashCache unit behavior
+# ---------------------------------------------------------------------------
+class TestHashCache:
+    def _table(self):
+        from repro.storage.table import Table
+
+        return Table.from_dict(
+            "t", {"id": np.arange(100, dtype=np.int64), "other": np.arange(100) * 3}
+        )
+
+    def test_bloom_pass_matches_direct_hashing(self):
+        table = self._table()
+        cache = HashCache()
+        hashes, patterns = cache.bloom_pass(table, "id")
+        expected = hash_keys(table.column("id").data)
+        np.testing.assert_array_equal(hashes, expected)
+        np.testing.assert_array_equal(patterns, key_patterns(expected))
+
+    def test_hit_and_miss_counters(self):
+        table = self._table()
+        cache = HashCache()
+        assert cache.misses == 0 and cache.hits == 0
+        cache.bloom_pass(table, "id")
+        assert (cache.hits, cache.misses) == (0, 1)
+        cache.bloom_pass(table, "id")
+        assert (cache.hits, cache.misses) == (1, 1)
+        cache.bloom_pass(table, "other")
+        assert (cache.hits, cache.misses) == (1, 2)
+
+    def test_selection_pass_is_keyed_by_row_index_identity(self):
+        table = self._table()
+        cache = HashCache()
+        selection = np.array([1, 5, 9], dtype=np.int64)
+        keys = table.column("id").data[selection]
+        hashes = hash_keys(keys)
+        cache.store_selection_pass(table, "id", selection, (hashes, key_patterns(hashes)))
+        hit = cache.selection_pass(table, "id", selection)
+        assert hit is not None
+        np.testing.assert_array_equal(hit[0], hashes)
+        # A different (even equal-valued) row-index array is a different state.
+        assert cache.selection_pass(table, "id", selection.copy()) is None
+
+    def test_size_accounting(self):
+        table = self._table()
+        cache = HashCache()
+        assert cache.nbytes == 0 and len(cache) == 0
+        cache.bloom_pass(table, "id")
+        assert cache.nbytes > 0 and len(cache) == 1
+
+    def test_selection_passes_bounded_per_column(self):
+        table = self._table()
+        cache = HashCache()
+        selections = [np.array([i], dtype=np.int64) for i in range(5)]
+        for selection in selections:
+            keys = table.column("id").data[selection]
+            hashes = hash_keys(keys)
+            cache.store_selection_pass(table, "id", selection, (hashes, key_patterns(hashes)))
+        assert len(cache) == HashCache.SELECTION_PASSES_PER_COLUMN
+        # Only the most recent states are retained.
+        assert cache.selection_pass(table, "id", selections[-1]) is not None
+        assert cache.selection_pass(table, "id", selections[0]) is None
+
+    def test_rejects_non_integer_columns(self):
+        from repro.errors import ExecutionError
+        from repro.storage.table import Table
+
+        table = Table.from_dict("t", {"x": np.array([1.5, 2.5])})
+        with pytest.raises(ExecutionError):
+            HashCache().bloom_pass(table, "x")
+
+
+# ---------------------------------------------------------------------------
+# Precomputed-hash kernel APIs
+# ---------------------------------------------------------------------------
+class TestPrecomputedHashKernels:
+    def test_bloom_probe_with_hashes_bit_matches_keys(self):
+        rng = np.random.default_rng(3)
+        build = rng.integers(0, 10_000, size=5_000, dtype=np.int64)
+        probe = rng.integers(0, 10_000, size=20_000, dtype=np.int64)
+        by_keys = BloomFilter(expected_keys=build.size)
+        by_keys.insert(build)
+        hashes = hash_keys(build)
+        by_hashes = BloomFilter(expected_keys=build.size)
+        by_hashes.insert(hashes=hashes, patterns=key_patterns(hashes))
+        probe_hashes = hash_keys(probe)
+        np.testing.assert_array_equal(
+            by_keys.probe(probe),
+            by_hashes.probe(hashes=probe_hashes, patterns=key_patterns(probe_hashes)),
+        )
+        # Hashes without patterns also match (patterns derived on the fly).
+        np.testing.assert_array_equal(
+            by_keys.probe(probe), by_hashes.probe(hashes=probe_hashes)
+        )
+
+    def test_bloom_requires_keys_or_hashes(self):
+        from repro.errors import ExecutionError
+
+        bloom = BloomFilter(expected_keys=10)
+        with pytest.raises(ExecutionError):
+            bloom.insert()
+        with pytest.raises(ExecutionError):
+            bloom.probe()
+
+    def test_radix_partition_with_hashes_bit_matches(self):
+        rng = np.random.default_rng(4)
+        keys = rng.integers(0, 2**62, size=10_000)
+        hashes = radix_hash(keys)
+        np.testing.assert_array_equal(
+            radix_partition_ids(keys, 6), radix_partition_ids(keys, 6, hashes=hashes)
+        )
+        direct = radix_partition(keys, 5)
+        replayed = radix_partition(keys, 5, hashes=hashes)
+        np.testing.assert_array_equal(direct.order, replayed.order)
+        np.testing.assert_array_equal(direct.partitioned_keys, replayed.partitioned_keys)
+
+    def test_partitioned_match_with_probe_hashes(self):
+        rng = np.random.default_rng(5)
+        build = rng.integers(0, 5_000, size=20_000, dtype=np.int64)
+        probe = rng.integers(0, 5_000, size=30_000, dtype=np.int64)
+        index = PartitionedHashIndex(build, bits=4, hashes=radix_hash(build))
+        direct = index.match(probe)
+        replayed = index.match(probe, probe_hashes=radix_hash(probe))
+        np.testing.assert_array_equal(direct.probe_indices, replayed.probe_indices)
+        np.testing.assert_array_equal(direct.build_indices, replayed.build_indices)
+
+    def test_hash_index_with_precomputed_order(self):
+        rng = np.random.default_rng(6)
+        keys = rng.integers(0, 1_000, size=5_000, dtype=np.int64)
+        probe = rng.integers(0, 1_000, size=5_000, dtype=np.int64)
+        order = np.argsort(keys, kind="stable")
+        fresh = HashIndex(keys)
+        replayed = HashIndex(keys, order=order)
+        assert replayed._order is not None  # the sort was skipped
+        np.testing.assert_array_equal(
+            fresh.match(probe).build_indices, replayed.match(probe).build_indices
+        )
+        np.testing.assert_array_equal(fresh.contains(probe), replayed.contains(probe))
+        assert replayed.index_bytes() >= keys.nbytes
+
+
+# ---------------------------------------------------------------------------
+# ArtifactCache unit behavior
+# ---------------------------------------------------------------------------
+class TestArtifactCache:
+    def _key(self, version=1, column="id", fingerprint="full", kind="bloom"):
+        return ArtifactKey(
+            table="t", table_version=version, column=column, fingerprint=fingerprint, kind=kind
+        )
+
+    def test_lru_eviction_within_budget(self):
+        cache = ArtifactCache(budget_bytes=100)
+        cache.put(self._key(column="a"), "A", 40)
+        cache.put(self._key(column="b"), "B", 40)
+        assert cache.get(self._key(column="a")) == "A"  # refresh a's LRU slot
+        cache.put(self._key(column="c"), "C", 40)  # evicts b, the LRU entry
+        assert cache.get(self._key(column="b")) is None
+        assert cache.get(self._key(column="a")) == "A"
+        assert cache.get(self._key(column="c")) == "C"
+        assert cache.evictions == 1
+        assert cache.current_bytes == 80
+
+    def test_oversized_artifact_not_admitted(self):
+        cache = ArtifactCache(budget_bytes=10)
+        cache.put(self._key(), "big", 11)
+        assert len(cache) == 0
+
+    def test_resize_evicts_even_a_lone_resident_artifact(self):
+        cache = ArtifactCache(budget_bytes=100)
+        cache.put(self._key(), "A", 80)
+        cache.resize(10)
+        assert len(cache) == 0 and cache.current_bytes == 0
+        assert cache.budget_bytes == 10
+
+    def test_invalidate_table(self):
+        cache = ArtifactCache(budget_bytes=1000)
+        cache.put(self._key(column="a"), "A", 10)
+        cache.put(self._key(column="b"), "B", 10)
+        assert cache.invalidate_table("t") == 2
+        assert len(cache) == 0 and cache.current_bytes == 0
+
+    def test_mask_fingerprint(self):
+        assert mask_fingerprint(None) == "full"
+        mask = np.array([True, False, True])
+        assert mask_fingerprint(mask) == mask_fingerprint(mask.copy())
+        assert mask_fingerprint(mask) != mask_fingerprint(np.array([True, False, False]))
+        # Same packed bits, different length -> different fingerprint.
+        assert mask_fingerprint(mask) != mask_fingerprint(np.array([True, False, True, False]))
+
+    def test_catalog_versions_are_monotonic(self):
+        db = Database()
+        db.register_dataframe("t", {"id": [1, 2, 3]})
+        assert db.catalog.version("t") == 1
+        db.register_dataframe("t", {"id": [4, 5, 6]}, replace=True)
+        assert db.catalog.version("t") == 2
+        db.catalog.unregister("t")
+        with pytest.raises(CatalogError):
+            db.catalog.version("t")
+        db.register_dataframe("t", {"id": [7]})
+        assert db.catalog.version("t") == 3  # never reused
+
+
+# ---------------------------------------------------------------------------
+# Bit-identity: cached configurations match the uncached path everywhere
+# ---------------------------------------------------------------------------
+class TestBitIdentityMatrix:
+    def _assert_matrix(self, db, query, plan=None):
+        if plan is None:
+            plan = db.optimizer_plan(query)
+        for mode in ExecutionMode:
+            baseline = _signature(db.execute(query, mode=mode, plan=plan, options=UNCACHED))
+            for name, options in CACHED_CONFIGS.items():
+                result = db.execute(query, mode=mode, plan=plan, options=options)
+                assert _signature(result) == baseline, (mode, name)
+            # A repeated run against the now warm artifact cache must also match.
+            warm = db.execute(query, mode=mode, plan=plan, options=CACHED_CONFIGS["all_on"])
+            assert _signature(warm) == baseline, (mode, "warm")
+
+    def test_synthetic(self):
+        instance = synthetic.figure2_instance(base_size=40)
+        self._assert_matrix(instance.database, instance.query)
+
+    def test_tpch(self, tpch_db):
+        self._assert_matrix(tpch_db, tpch.query(3))
+
+    def test_job(self, job_db):
+        self._assert_matrix(job_db, job.query(1))
+
+    def test_tpcds(self, tpcds_db):
+        self._assert_matrix(tpcds_db, tpcds.query(3))
+
+    def test_dsb(self, dsb_db):
+        self._assert_matrix(dsb_db, dsb.query(7))
+
+    @pytest.mark.parametrize("backend", ["serial", "chunked", "parallel"])
+    def test_backends(self, imdb_db, chain_query, backend):
+        baseline = _signature(
+            imdb_db.execute(chain_query, mode=ExecutionMode.RPT, options=UNCACHED)
+        )
+        options = ExecutionOptions(
+            execution=ExecutionConfig(
+                backend=backend,
+                chunk_size=256,
+                hash_cache=True,
+                selection_vectors=True,
+                artifact_cache=True,
+            )
+        )
+        for _ in range(2):  # cold, then warm artifact cache
+            result = imdb_db.execute(chain_query, mode=ExecutionMode.RPT, options=options)
+            assert _signature(result) == baseline, backend
+
+
+# ---------------------------------------------------------------------------
+# Artifact cache: reuse and invalidation
+# ---------------------------------------------------------------------------
+class TestArtifactReuseAndInvalidation:
+    def _db(self, dim_ids, fact_ids):
+        db = Database()
+        db.register_dataframe(
+            "dim",
+            {"id": np.asarray(dim_ids, dtype=np.int64),
+             "attr": (np.asarray(dim_ids, dtype=np.int64) % 7)},
+            primary_key=["id"],
+        )
+        db.register_dataframe("fact", {"dim_id": np.asarray(fact_ids, dtype=np.int64)})
+        return db
+
+    def _query(self, bound=5):
+        return QuerySpec(
+            name="artifact_q",
+            relations=(
+                RelationRef("d", "dim", lt("attr", bound)),
+                RelationRef("f", "fact"),
+            ),
+            joins=(JoinCondition("f", "dim_id", "d", "id"),),
+        )
+
+    def test_repeated_query_hits_the_cache(self):
+        rng = np.random.default_rng(11)
+        db = self._db(np.arange(50), rng.integers(0, 50, size=4_000))
+        query = self._query()
+        first = db.execute(query, mode=ExecutionMode.RPT, options=CACHED_CONFIGS["all_on"])
+        assert first.stats.artifact_cache_hits == 0
+        assert first.stats.artifact_cache_misses > 0
+        second = db.execute(query, mode=ExecutionMode.RPT, options=CACHED_CONFIGS["all_on"])
+        assert second.stats.artifact_cache_hits > 0
+        assert _signature(first) == _signature(second)
+        assert db.artifact_cache is not None and len(db.artifact_cache) > 0
+
+    def test_stale_filter_never_served_after_table_replace(self):
+        rng = np.random.default_rng(12)
+        fact_ids = rng.integers(0, 50, size=4_000)
+        db = self._db(np.arange(50), fact_ids)
+        query = self._query()
+        warmup = db.execute(query, mode=ExecutionMode.RPT, options=CACHED_CONFIGS["all_on"])
+        db.execute(query, mode=ExecutionMode.RPT, options=CACHED_CONFIGS["all_on"])
+
+        # Replace the dimension so different ids survive the filter.  A
+        # stale Bloom filter / hash index would silently keep the old rows.
+        new_dim_ids = np.arange(25, 75)
+        db.register_dataframe(
+            "dim",
+            {"id": new_dim_ids, "attr": new_dim_ids % 7},
+            primary_key=["id"],
+            replace=True,
+        )
+        # Re-registering reclaims the replaced table's artifacts eagerly.
+        assert all(key.table != "dim" for key in db.artifact_cache._entries)
+        changed = db.execute(query, mode=ExecutionMode.RPT, options=CACHED_CONFIGS["all_on"])
+
+        fresh = self._db(new_dim_ids, fact_ids)
+        expected = fresh.execute(query, mode=ExecutionMode.RPT, options=UNCACHED)
+        assert _signature(changed) == _signature(expected)
+        assert _signature(changed) != _signature(warmup)  # the change is visible
+
+    def test_different_filters_never_share_artifacts(self):
+        rng = np.random.default_rng(13)
+        fact_ids = rng.integers(0, 50, size=4_000)
+        db = self._db(np.arange(50), fact_ids)
+        db.execute(self._query(bound=5), mode=ExecutionMode.RPT, options=CACHED_CONFIGS["all_on"])
+        narrow = db.execute(
+            self._query(bound=2), mode=ExecutionMode.RPT, options=CACHED_CONFIGS["all_on"]
+        )
+        fresh = self._db(np.arange(50), fact_ids)
+        expected = fresh.execute(self._query(bound=2), mode=ExecutionMode.RPT, options=UNCACHED)
+        assert _signature(narrow) == _signature(expected)
+
+
+# ---------------------------------------------------------------------------
+# Thread safety of Bloom filter statistics (ParallelBackend regression)
+# ---------------------------------------------------------------------------
+class TestBloomStatisticsThreadSafety:
+    def test_concurrent_probes_count_exactly(self):
+        rng = np.random.default_rng(21)
+        bloom = BloomFilter(expected_keys=1_000)
+        bloom.insert(rng.integers(0, 10_000, size=1_000, dtype=np.int64))
+        probe = rng.integers(0, 10_000, size=10_000, dtype=np.int64)
+        expected_passed = int(bloom.probe(probe).sum())
+        base_probed = bloom.statistics.keys_probed
+        base_passed = bloom.statistics.probes_passed
+
+        rounds = 64
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(lambda _: bloom.probe(probe), range(rounds)))
+        # Lost updates under concurrent read-modify-write would undercount.
+        assert bloom.statistics.keys_probed == base_probed + rounds * probe.size
+        assert bloom.statistics.probes_passed == base_passed + rounds * expected_passed
+
+    def test_concurrent_hashed_probes_count_exactly(self):
+        rng = np.random.default_rng(22)
+        bloom = BloomFilter(expected_keys=500)
+        bloom.insert(rng.integers(0, 5_000, size=500, dtype=np.int64))
+        probe = rng.integers(0, 5_000, size=5_000, dtype=np.int64)
+        hashes = hash_keys(probe)
+        patterns = key_patterns(hashes)
+
+        rounds = 64
+        barrier = threading.Barrier(8)
+
+        def hammer(_):
+            barrier.wait()
+            for _ in range(rounds // 8):
+                bloom.probe(hashes=hashes, patterns=patterns)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(hammer, range(8)))
+        assert bloom.statistics.keys_probed == rounds * probe.size
+
+    def test_parallel_backend_execution_stats_match_serial(self, imdb_db, chain_query):
+        serial = imdb_db.execute(
+            chain_query,
+            mode=ExecutionMode.RPT,
+            options=ExecutionOptions(execution=ExecutionConfig(backend="serial")),
+        )
+        parallel = imdb_db.execute(
+            chain_query,
+            mode=ExecutionMode.RPT,
+            options=ExecutionOptions(
+                execution=ExecutionConfig(backend="parallel", chunk_size=128, num_threads=8)
+            ),
+        )
+        assert serial.aggregates == parallel.aggregates
+        # Per-step transfer statistics (fed by the probed filters) agree.
+        assert [
+            (s.source, s.target, s.rows_before, s.rows_after)
+            for s in serial.stats.transfer_steps
+        ] == [
+            (s.source, s.target, s.rows_before, s.rows_after)
+            for s in parallel.stats.transfer_steps
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Observability: cache counters surface in op stats and traces
+# ---------------------------------------------------------------------------
+class TestCacheObservability:
+    def test_counters_and_trace_markers(self, tpch_db):
+        query = tpch.query(3)
+        plan = tpch_db.optimizer_plan(query)
+        result = tpch_db.execute(
+            query, mode=ExecutionMode.RPT, plan=plan, options=CACHED_CONFIGS["hash+selvec"]
+        )
+        stats = result.stats
+        assert stats.hash_reuse_hits > 0
+        assert stats.hash_reuse_misses > 0
+        assert stats.selection_vector_rows > 0
+        assert any(op.hash_hits or op.hash_misses for op in stats.op_stats)
+        assert any(op.selvec_rows for op in stats.op_stats)
+        trace = stats.op_trace()
+        assert "[hash " in trace
+        assert "[selvec " in trace
+        assert stats.cache_summary().startswith("cache: ")
+
+    def test_artifact_hits_surface_in_trace(self, tpch_db):
+        query = tpch.query(5)
+        plan = tpch_db.optimizer_plan(query)
+        tpch_db.execute(query, mode=ExecutionMode.RPT, plan=plan, options=CACHED_CONFIGS["all_on"])
+        warm = tpch_db.execute(
+            query, mode=ExecutionMode.RPT, plan=plan, options=CACHED_CONFIGS["all_on"]
+        )
+        assert warm.stats.artifact_cache_hits > 0
+        assert any(op.artifact_hits for op in warm.stats.op_stats)
+        assert "[artifact hit]" in warm.stats.op_trace()
+        assert "artifact cache" in warm.stats.cache_summary()
+
+    def test_format_op_traces_appends_cache_summary(self, tpch_db):
+        from repro.bench import format_op_traces, run_uniform_trace
+
+        results = run_uniform_trace(
+            tpch_db, tpch.query(3), modes=(ExecutionMode.RPT,),
+            options=CACHED_CONFIGS["hash+selvec"],
+        )
+        assert "cache: " in format_op_traces(results)
+
+    def test_uncached_runs_record_no_cache_activity(self, tpch_db):
+        result = tpch_db.execute(tpch.query(3), mode=ExecutionMode.RPT, options=UNCACHED)
+        stats = result.stats
+        assert stats.hash_reuse_hits == 0 and stats.hash_reuse_misses == 0
+        assert stats.selection_vector_rows == 0
+        assert stats.artifact_cache_hits == 0 and stats.artifact_cache_misses == 0
+        assert stats.cache_summary() == ""
+
+
+# ---------------------------------------------------------------------------
+# Config plumbing
+# ---------------------------------------------------------------------------
+class TestConfigResolution:
+    def test_defaults(self, monkeypatch):
+        for var in ("REPRO_HASH_CACHE", "REPRO_SELECTION_VECTORS", "REPRO_ARTIFACT_CACHE"):
+            monkeypatch.delenv(var, raising=False)
+        resolved = ExecutionConfig().resolved()
+        assert resolved.hash_cache is True
+        assert resolved.selection_vectors is True
+        assert resolved.artifact_cache is False
+
+    def test_env_fallbacks(self, monkeypatch):
+        monkeypatch.setenv("REPRO_HASH_CACHE", "0")
+        monkeypatch.setenv("REPRO_SELECTION_VECTORS", "false")
+        monkeypatch.setenv("REPRO_ARTIFACT_CACHE", "1")
+        monkeypatch.setenv("REPRO_ARTIFACT_CACHE_BUDGET", "12345678")
+        resolved = ExecutionConfig().resolved()
+        assert resolved.hash_cache is False
+        assert resolved.selection_vectors is False
+        assert resolved.artifact_cache is True
+        assert resolved.artifact_cache_budget_bytes == 12345678
+
+    def test_explicit_knobs_beat_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_HASH_CACHE", "0")
+        monkeypatch.setenv("REPRO_ARTIFACT_CACHE", "0")
+        resolved = ExecutionConfig(hash_cache=True, artifact_cache=True).resolved()
+        assert resolved.hash_cache is True
+        assert resolved.artifact_cache is True
+
+    def test_transfer_microbench_runs_small(self):
+        from repro.bench import format_transfer_microbench, run_transfer_microbench
+
+        measurements = run_transfer_microbench(fact_sizes=(4_096,), dim_rows=2_048, repeats=1)
+        assert len(measurements) == 1
+        m = measurements[0]
+        assert m.warm_artifact_hits > 0
+        table = format_transfer_microbench(measurements)
+        assert "uncached" in table
+        assert m.as_dict()["fact_rows"] == 4_096
