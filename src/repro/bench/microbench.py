@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -491,12 +491,17 @@ def run_transfer_microbench(
     from repro.errors import BenchmarkError
 
     def options(hash_cache: bool, selection_vectors: bool, artifact_cache: bool):
+        # Adaptive transfer is pinned off: this sweep isolates the caching
+        # layers, and skipped or bitmap-downgraded passes would remove the
+        # hashing work being measured (the adaptive microbenchmark measures
+        # those features against their own static baseline).
         return ExecutionOptions(
             execution=ExecutionConfig(
                 backend="serial",
                 hash_cache=hash_cache,
                 selection_vectors=selection_vectors,
                 artifact_cache=artifact_cache,
+                adaptive_transfer=False,
             )
         )
 
@@ -549,6 +554,242 @@ def run_transfer_microbench(
             )
         )
     return measurements
+
+
+@dataclass(frozen=True)
+class AdaptiveMicrobenchMeasurement:
+    """Transfer-phase timings of one star query with adaptive execution on/off.
+
+    Four configurations run the *same* query over the same data and plan:
+
+    * ``static`` — adaptive transfer off (every compiled pass runs);
+    * ``skip`` — yield-driven pass skipping only (``adaptive_transfer``,
+      NDV sizing and the bitmap downgrade forced off);
+    * ``ndv`` — NDV-right-sized Bloom filters only (skipping and the
+      bitmap downgrade off), so the filter-byte comparison against
+      ``static`` isolates what NDV sizing alone removed — every pass
+      still runs and builds its filter;
+    * ``full`` — all three adaptive features (skipping + NDV sizing +
+      exact-bitmap downgrade), i.e. ``adaptive_transfer=True`` defaults.
+
+    All four produce identical aggregates (asserted by the runner); only
+    transfer-phase seconds, filter bytes, and the decision counters differ.
+    The interesting contrast is per workload: on the ``low_yield`` workload
+    (uncorrelated dimension filters that prune almost nothing) the
+    controller cancels nearly the whole transfer phase, while on the
+    ``high_yield`` workload (filters that genuinely reduce) it must stay
+    out of the way.
+    """
+
+    workload: str
+    fact_rows: int
+    dim_rows: int
+    num_dims: int
+    keep_fraction: float
+    static_seconds: float
+    skip_seconds: float
+    ndv_seconds: float
+    full_seconds: float
+    static_bloom_bytes: int
+    ndv_bloom_bytes: int
+    ndv_filter_bytes_saved: int
+    steps_skipped: int
+    exact_downgrades: int
+
+    @property
+    def skip_speedup(self) -> float:
+        """Transfer speedup from yield-driven skipping alone."""
+        if self.skip_seconds <= 0:
+            return float("inf")
+        return self.static_seconds / self.skip_seconds
+
+    @property
+    def full_speedup(self) -> float:
+        """Transfer speedup with every adaptive feature on."""
+        if self.full_seconds <= 0:
+            return float("inf")
+        return self.static_seconds / self.full_seconds
+
+    @property
+    def ndv_bytes_reduction(self) -> int:
+        """Bloom filter bytes NDV sizing alone removed from the transfer phase.
+
+        The ``ndv`` configuration runs every pass (no skipping, no
+        downgrades), so this difference is attributable purely to sizing.
+        """
+        return max(self.static_bloom_bytes - self.ndv_bloom_bytes, 0)
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation (the ``BENCH_adaptive.json`` record)."""
+        return {
+            "workload": self.workload,
+            "fact_rows": self.fact_rows,
+            "dim_rows": self.dim_rows,
+            "num_dims": self.num_dims,
+            "keep_fraction": self.keep_fraction,
+            "static_seconds": self.static_seconds,
+            "skip_seconds": self.skip_seconds,
+            "ndv_seconds": self.ndv_seconds,
+            "full_seconds": self.full_seconds,
+            "static_bloom_bytes": self.static_bloom_bytes,
+            "ndv_bloom_bytes": self.ndv_bloom_bytes,
+            "ndv_filter_bytes_saved": self.ndv_filter_bytes_saved,
+            "ndv_bytes_reduction": self.ndv_bytes_reduction,
+            "steps_skipped": self.steps_skipped,
+            "exact_downgrades": self.exact_downgrades,
+            "skip_speedup": self.skip_speedup,
+            "full_speedup": self.full_speedup,
+        }
+
+
+#: (workload label, fraction of each dimension its filter keeps).  Keeping
+#: ~99.9% of a dimension leaves its transfer passes pruning ~0.1% of the
+#: fact side — below the adaptive controller's default 1% yield floor — so
+#: the low-yield workload is where skipping must pay off; the high-yield
+#: workload (50% filters) is where adaptive execution must not regress.
+DEFAULT_ADAPTIVE_WORKLOADS = (("low_yield", 0.999), ("high_yield", 0.5))
+
+
+def _adaptive_database(
+    fact_rows: int, dim_rows: int, num_dims: int, keep_fraction: float, seed: int
+):
+    """A star-schema database whose dimension filters keep ``keep_fraction``.
+
+    Dimension attributes are uniform over [0, 1000) and *uncorrelated* with
+    the join keys, so a filter keeping fraction ``f`` of a dimension leaves
+    each forward transfer pass eliminating only ``1 - f`` of the fact side —
+    the knob that moves a workload between the high- and low-yield regimes.
+    """
+    from repro.engine.database import Database
+    from repro.expr import lt
+    from repro.query import JoinCondition, QuerySpec, RelationRef
+
+    rng = np.random.default_rng(seed)
+    db = Database()
+    fact: dict = {"v": np.arange(fact_rows, dtype=np.int64)}
+    relations = []
+    joins = []
+    bound = max(int(round(1000 * keep_fraction)), 1)
+    for d in range(num_dims):
+        name = f"dim{d}"
+        db.register_dataframe(
+            name,
+            {
+                "id": np.arange(dim_rows, dtype=np.int64),
+                "attr": rng.integers(0, 1000, size=dim_rows, dtype=np.int64),
+            },
+            primary_key=["id"],
+        )
+        fact[f"d{d}_id"] = rng.integers(0, dim_rows, size=fact_rows, dtype=np.int64)
+        relations.append(RelationRef(f"d{d}", name, lt("attr", bound)))
+        joins.append(JoinCondition("f", f"d{d}_id", f"d{d}", "id"))
+    db.register_dataframe("fact", fact)
+    query = QuerySpec(
+        name=f"adaptive_microbench_{keep_fraction}",
+        relations=tuple([RelationRef("f", "fact")] + relations),
+        joins=tuple(joins),
+    )
+    return db, query
+
+
+def run_adaptive_microbench(
+    fact_rows: int = 1 << 20,
+    dim_rows: Optional[int] = None,
+    num_dims: int = 3,
+    workloads: Sequence[Tuple[str, float]] = DEFAULT_ADAPTIVE_WORKLOADS,
+    seed: int = 29,
+    repeats: int = 3,
+) -> List["AdaptiveMicrobenchMeasurement"]:
+    """Measure the transfer phase with adaptive execution on vs off.
+
+    For each ``(workload, keep_fraction)`` an RPT star query executes under
+    the four configurations of :class:`AdaptiveMicrobenchMeasurement` (same
+    data, same plan; aggregates asserted identical).  ``dim_rows`` defaults
+    to ``fact_rows // 16`` — dimensions large enough that their passes cost
+    real time, small enough that the (reduced) fact side still carries many
+    duplicate keys per dimension id, which is exactly where NDV sizing
+    shrinks the backward-pass filters.  Reported seconds are the best
+    transfer-phase wall time over ``repeats`` runs.
+    """
+    from repro.engine.database import ExecutionOptions
+    from repro.engine.modes import ExecutionConfig, ExecutionMode
+    from repro.errors import BenchmarkError
+
+    def options(adaptive: bool, ndv: bool, bitmap: bool):
+        return ExecutionOptions(
+            execution=ExecutionConfig(
+                backend="serial",
+                adaptive_transfer=adaptive,
+                ndv_sizing=ndv,
+                bitmap_downgrade=bitmap,
+            )
+        )
+
+    measurements: List[AdaptiveMicrobenchMeasurement] = []
+    dims = dim_rows if dim_rows is not None else fact_rows // 16
+    for workload, keep_fraction in workloads:
+        db, query = _adaptive_database(fact_rows, dims, num_dims, keep_fraction, seed)
+        plan = db.optimizer_plan(query)
+
+        def best_transfer(opts):
+            best = None
+            seconds = float("inf")
+            for _ in range(max(repeats, 1)):
+                result = db.execute(query, mode=ExecutionMode.RPT, plan=plan, options=opts)
+                if result.stats.timings.transfer < seconds:
+                    seconds = result.stats.timings.transfer
+                    best = result
+            return best, seconds
+
+        static, static_s = best_transfer(options(False, False, False))
+        skip, skip_s = best_transfer(options(True, False, False))
+        ndv, ndv_s = best_transfer(options(False, True, False))
+        full, full_s = best_transfer(options(True, True, True))
+
+        for result in (skip, ndv, full):
+            if result.aggregates != static.aggregates:
+                raise BenchmarkError(
+                    "adaptive transfer run diverged from the static baseline: "
+                    f"{result.aggregates} != {static.aggregates}"
+                )
+
+        measurements.append(
+            AdaptiveMicrobenchMeasurement(
+                workload=workload,
+                fact_rows=fact_rows,
+                dim_rows=dims,
+                num_dims=num_dims,
+                keep_fraction=keep_fraction,
+                static_seconds=static_s,
+                skip_seconds=skip_s,
+                ndv_seconds=ndv_s,
+                full_seconds=full_s,
+                static_bloom_bytes=static.stats.bloom_bytes,
+                ndv_bloom_bytes=ndv.stats.bloom_bytes,
+                ndv_filter_bytes_saved=ndv.stats.adaptive_filter_bytes_saved,
+                steps_skipped=full.stats.adaptive_steps_skipped,
+                exact_downgrades=full.stats.adaptive_exact_downgrades,
+            )
+        )
+    return measurements
+
+
+def format_adaptive_microbench(
+    measurements: Sequence["AdaptiveMicrobenchMeasurement"],
+) -> str:
+    """Render the adaptive-transfer sweep as a table."""
+    lines = [
+        "Adaptive transfer: yield-driven skipping + NDV sizing + bitmap downgrade vs static",
+        f"{'workload':<12} {'fact rows':>10} {'static (s)':>11} {'skip (s)':>9} "
+        f"{'ndv (s)':>9} {'full (s)':>9} {'full spdup':>11} {'skipped':>8} {'ndv -B':>10}",
+    ]
+    for m in measurements:
+        lines.append(
+            f"{m.workload:<12} {m.fact_rows:>10} {m.static_seconds:>11.4f} "
+            f"{m.skip_seconds:>9.4f} {m.ndv_seconds:>9.4f} {m.full_seconds:>9.4f} "
+            f"{m.full_speedup:>10.2f}x {m.steps_skipped:>8} {m.ndv_bytes_reduction:>10}"
+        )
+    return "\n".join(lines)
 
 
 def format_transfer_microbench(

@@ -121,9 +121,9 @@ def format_op_traces(results: Mapping[ExecutionMode, "object"]) -> str:
     for mode, result in results.items():
         lines.append(f"== {mode.label} ==")
         lines.append(result.stats.op_trace())
-        cache_line = result.stats.cache_summary()
-        if cache_line:
-            lines.append(cache_line)
+        summary_line = result.stats.execution_summary()
+        if summary_line:
+            lines.append(summary_line)
         lines.append("")
     return "\n".join(lines).rstrip()
 

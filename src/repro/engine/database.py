@@ -352,6 +352,11 @@ class Database:
             artifact_cache=artifact_cache,
             table_versions=table_versions,
             fingerprints=fingerprints,
+            adaptive_transfer=bool(config.adaptive_transfer),
+            # ``config`` is resolved, so the knob is always filled in.
+            adaptive_min_yield=float(config.adaptive_min_yield),
+            ndv_sizing=bool(config.ndv_sizing),
+            bitmap_downgrade=bool(config.bitmap_downgrade),
         )
         try:
             run = executor.run(physical, stats, masks=masks)

@@ -33,6 +33,7 @@ import os
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.exec.adaptive import DEFAULT_MIN_YIELD as DEFAULT_ADAPTIVE_MIN_YIELD
 from repro.exec.kernels import DEFAULT_PARTITION_BITS
 
 
@@ -93,6 +94,10 @@ ENV_HASH_CACHE = "REPRO_HASH_CACHE"
 ENV_SELECTION_VECTORS = "REPRO_SELECTION_VECTORS"
 ENV_ARTIFACT_CACHE = "REPRO_ARTIFACT_CACHE"
 ENV_ARTIFACT_CACHE_BUDGET = "REPRO_ARTIFACT_CACHE_BUDGET"
+ENV_ADAPTIVE_TRANSFER = "REPRO_ADAPTIVE_TRANSFER"
+ENV_ADAPTIVE_MIN_YIELD = "REPRO_ADAPTIVE_MIN_YIELD"
+ENV_NDV_SIZING = "REPRO_NDV_SIZING"
+ENV_BITMAP_DOWNGRADE = "REPRO_BITMAP_DOWNGRADE"
 
 
 def _env_flag(name: str) -> Optional[bool]:
@@ -135,6 +140,22 @@ class ExecutionConfig:
       filters and frozen hash indexes across ``Database.execute`` calls
       (default off; keyed by table version + filter fingerprint, LRU within
       the byte budget).
+    * ``adaptive_transfer`` / ``adaptive_min_yield`` — the
+      :class:`~repro.exec.adaptive.AdaptiveTransferController`: observe each
+      transfer step's pruning yield at runtime and cancel a relation's
+      remaining passes (plus the builds that only feed them, plus the whole
+      backward pass when the forward pass reduced nothing) once the yield
+      falls below ``adaptive_min_yield`` (default off / 1%).  Purely
+      reductive passes mean skipping never changes final results — only
+      their speed.
+    * ``ndv_sizing`` — size each transfer Bloom filter from a KMV
+      distinct-count estimate of its build column instead of the build row
+      count, shrinking filter bytes on duplicate-heavy keys.  Defaults to
+      the resolved ``adaptive_transfer`` value.
+    * ``bitmap_downgrade`` — downgrade a Bloom step whose build-side key
+      domain is small/dense to an exact bitmap semi-join (no false
+      positives, cheaper probes).  Defaults to the resolved
+      ``adaptive_transfer`` value.
 
     Unset knobs (``backend=None`` etc.) resolve from ``REPRO_*`` environment
     variables, then defaults — see :meth:`resolved`.
@@ -150,6 +171,10 @@ class ExecutionConfig:
     selection_vectors: Optional[bool] = None
     artifact_cache: Optional[bool] = None
     artifact_cache_budget_bytes: Optional[int] = None
+    adaptive_transfer: Optional[bool] = None
+    adaptive_min_yield: Optional[float] = None
+    ndv_sizing: Optional[bool] = None
+    bitmap_downgrade: Optional[bool] = None
 
     def resolved(self) -> "ExecutionConfig":
         """This config with unset knobs filled from the environment / defaults."""
@@ -183,6 +208,28 @@ class ExecutionConfig:
         artifact_budget = self.artifact_cache_budget_bytes
         if artifact_budget is None and os.environ.get(ENV_ARTIFACT_CACHE_BUDGET):
             artifact_budget = int(os.environ[ENV_ARTIFACT_CACHE_BUDGET])
+        adaptive_transfer = self.adaptive_transfer
+        if adaptive_transfer is None:
+            adaptive_transfer = _env_flag(ENV_ADAPTIVE_TRANSFER)
+        if adaptive_transfer is None:
+            adaptive_transfer = False
+        adaptive_min_yield = self.adaptive_min_yield
+        if adaptive_min_yield is None and os.environ.get(ENV_ADAPTIVE_MIN_YIELD):
+            adaptive_min_yield = float(os.environ[ENV_ADAPTIVE_MIN_YIELD])
+        if adaptive_min_yield is None:
+            adaptive_min_yield = DEFAULT_ADAPTIVE_MIN_YIELD
+        # NDV sizing and the exact-bitmap downgrade ride along with the
+        # adaptive master switch unless configured individually.
+        ndv_sizing = self.ndv_sizing
+        if ndv_sizing is None:
+            ndv_sizing = _env_flag(ENV_NDV_SIZING)
+        if ndv_sizing is None:
+            ndv_sizing = adaptive_transfer
+        bitmap_downgrade = self.bitmap_downgrade
+        if bitmap_downgrade is None:
+            bitmap_downgrade = _env_flag(ENV_BITMAP_DOWNGRADE)
+        if bitmap_downgrade is None:
+            bitmap_downgrade = adaptive_transfer
         return ExecutionConfig(
             backend=backend,
             num_threads=num_threads,
@@ -194,4 +241,8 @@ class ExecutionConfig:
             selection_vectors=selection_vectors,
             artifact_cache=artifact_cache,
             artifact_cache_budget_bytes=artifact_budget,
+            adaptive_transfer=adaptive_transfer,
+            adaptive_min_yield=adaptive_min_yield,
+            ndv_sizing=ndv_sizing,
+            bitmap_downgrade=bitmap_downgrade,
         )

@@ -170,34 +170,49 @@ class HashIndex:
             self._sorted_keys = self.keys[self.order]
         return self._sorted_keys
 
+    def bitmap_worthwhile(self, extra_probe_rows: int = 0) -> bool:
+        """True when the bitmap economics accept this index's key domain.
+
+        The table is only worth building when its size (one byte per domain
+        entry) is proportional to the work it saves — the indexed keys plus
+        every probe row this index has served or is about to serve.  This is
+        the single authority on the decision: :meth:`_ensure_table` consults
+        it for lazily built tables, and the adaptive transfer layer consults
+        it (with the step's expected probe volume) before downgrading a
+        Bloom step to an exact bitmap semi-join.
+        """
+        if self._table is not None:
+            return True
+        if self.num_keys == 0 or not np.issubdtype(self.keys.dtype, np.integer):
+            return False
+        lo, hi = self.key_bounds()
+        key_range = hi - lo + 1
+        budget = max(
+            1 << 16, 8 * (self.num_keys + self._probe_rows_seen + extra_probe_rows)
+        )
+        return key_range <= min(budget, self.TABLE_MAX_ENTRIES)
+
     def _ensure_table(self, probe_rows: int) -> bool:
         """Build (or reuse) the bitmap membership table when it pays off.
 
         Integer keys over a bounded domain — the common case for ids and
         dictionary codes — admit an O(1)-per-probe bitmap lookup that needs
         no sort at all and beats a binary search per probe.  The table is
-        only built when its size is proportional to the work it saves —
-        measured over *all* probes this index has served, so chunk-at-a-time
-        probing (the morsel backend) amortizes toward the same decision a
-        single whole-column probe makes — and is cached for later probes.
+        only built when :meth:`bitmap_worthwhile` accepts it — measured over
+        *all* probes this index has served, so chunk-at-a-time probing (the
+        morsel backend) amortizes toward the same decision a single
+        whole-column probe makes — and is cached for later probes.
         """
         if self._table is not None:
             return True
         if not np.issubdtype(self.keys.dtype, np.integer):
             return False
         self._probe_rows_seen += probe_rows
-        if self._key_bounds is None:
-            if self._sorted_keys is not None:
-                self._key_bounds = (int(self._sorted_keys[0]), int(self._sorted_keys[-1]))
-            else:
-                self._key_bounds = (int(self.keys.min()), int(self.keys.max()))
-        lo, hi = self._key_bounds
-        key_range = hi - lo + 1
-        budget = max(1 << 16, 8 * (self.num_keys + self._probe_rows_seen))
-        if key_range > min(budget, self.TABLE_MAX_ENTRIES):
+        if not self.bitmap_worthwhile():
             return False
+        lo, hi = self.key_bounds()
         self._table_lo, self._table_hi = lo, hi
-        table = np.zeros(key_range, dtype=bool)
+        table = np.zeros(hi - lo + 1, dtype=bool)
         table[self.keys - lo] = True
         self._table = table
         return True
@@ -228,6 +243,25 @@ class HashIndex:
         _ = self.sorted_keys
         _ = self.order
 
+    @property
+    def has_bitmap(self) -> bool:
+        """True when the O(1)-per-probe bitmap membership table is built.
+
+        The adaptive transfer layer checks this after :meth:`prepare` to
+        decide whether a Bloom step can be downgraded to an exact bitmap
+        semi-join (dense key domain) or must keep its Bloom filter.
+        """
+        return self._table is not None
+
+    def key_bounds(self) -> "tuple[int, int]":
+        """(min, max) of the indexed integer keys (computed lazily, cached)."""
+        if self._key_bounds is None:
+            if self._sorted_keys is not None:
+                self._key_bounds = (int(self._sorted_keys[0]), int(self._sorted_keys[-1]))
+            else:
+                self._key_bounds = (int(self.keys.min()), int(self.keys.max()))
+        return self._key_bounds
+
     def index_bytes(self) -> int:
         """Approximate bytes held by the index (keys + built structures).
 
@@ -251,10 +285,14 @@ class HashIndex:
             self._table is not None
             or (not self._frozen and self._ensure_table(int(probe_keys.shape[0])))
         ):
-            in_range = (probe_keys >= self._table_lo) & (probe_keys <= self._table_hi)
-            clipped = np.clip(probe_keys, self._table_lo, self._table_hi)
+            # One subtraction + range test + clipped gather.  int64 offsets
+            # can wrap for extreme probe values, but a wrapped difference is
+            # always negative (the true difference lies in [2^63, 2^64)), so
+            # the in-range test still rejects it.
+            offsets = probe_keys - self._table_lo
+            in_range = (offsets >= 0) & (offsets <= self._table_hi - self._table_lo)
             assert self._table is not None
-            return in_range & self._table[clipped - self._table_lo]
+            return in_range & self._table.take(offsets, mode="clip")
         probe_rows = int(probe_keys.shape[0])
         if self._sorted_keys is None:
             # Unbounded domain.  NumPy's sort-based isin beats a from-scratch

@@ -43,6 +43,7 @@ and the sorted index is reused until the relation is reduced again.
 
 from __future__ import annotations
 
+import math
 import os
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -51,10 +52,17 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Uni
 
 import numpy as np
 
-from repro.bloom.bloom_filter import DEFAULT_FPR, BloomFilter, hash_keys, key_patterns
+from repro.bloom.bloom_filter import (
+    DEFAULT_FPR,
+    BloomFilter,
+    filter_bytes_for,
+    hash_keys,
+    key_patterns,
+)
 from repro.bloom.registry import BloomFilterRegistry, FilterKey
 from repro.core.join_graph import JoinGraph
 from repro.errors import CatalogError, ExecutionError
+from repro.exec.adaptive import DEFAULT_MIN_YIELD, AdaptiveTransferController
 from repro.exec.chunk import DEFAULT_CHUNK_SIZE
 from repro.exec.kernels import (
     HashIndex,
@@ -84,8 +92,17 @@ from repro.plan.physical import (
     Scan,
     SemiJoinReduce,
 )
+from repro.optimizer.cardinality import KMVSketch
 from repro.query import PostJoinPredicate, QuerySpec
-from repro.storage.artifacts import ArtifactCache, ArtifactKey
+from repro.storage.artifacts import (
+    FINGERPRINT_COLUMN,
+    KIND_BLOOM,
+    KIND_BLOOM_PASS,
+    KIND_HASH_INDEX,
+    KIND_NDV_SKETCH,
+    ArtifactCache,
+    ArtifactKey,
+)
 from repro.storage.buffer import MemoryGovernor
 
 #: Threads the parallel backend uses when not configured explicitly: one per
@@ -405,6 +422,11 @@ _PHASE_BY_KIND = {
 class _TransferStage:
     """Build-side state handed from a transfer ``BloomBuild`` to its ``BloomProbe``.
 
+    The build side is either a Bloom filter (``bloom``) or — when the
+    adaptive exact-bitmap downgrade fired — a prepared
+    :class:`~repro.exec.kernels.HashIndex` whose bitmap membership table
+    replaces the filter entirely (``exact_index``; no false positives).
+
     Exactly one probe-side representation is populated: ``target_keys``
     (an eagerly materialized key array — the historical path),
     ``target_pass`` (an eagerly gathered precomputed hash/pattern pair), or
@@ -413,8 +435,9 @@ class _TransferStage:
     current row ids, materializing nothing in between).
     """
 
-    bloom: BloomFilter
     build_rows: int
+    bloom: Optional[BloomFilter] = None
+    exact_index: Optional[HashIndex] = None
     target_keys: Optional[np.ndarray] = None
     target_pass: Optional[Tuple[np.ndarray, np.ndarray]] = None
     target_column: Optional[str] = None
@@ -462,6 +485,10 @@ class PipelineExecutor:
         artifact_cache: Optional[ArtifactCache] = None,
         table_versions: Optional[Mapping[str, int]] = None,
         fingerprints: Optional[Mapping[str, str]] = None,
+        adaptive_transfer: bool = False,
+        adaptive_min_yield: float = DEFAULT_MIN_YIELD,
+        ndv_sizing: bool = False,
+        bitmap_downgrade: bool = False,
     ) -> None:
         self.query = query
         self.graph = graph
@@ -481,6 +508,16 @@ class PipelineExecutor:
         self.artifact_cache = artifact_cache
         self._table_versions = dict(table_versions or {})
         self._fingerprints = dict(fingerprints or {})
+        #: Adaptive transfer execution: yield-driven pass skipping
+        #: (controller built per run from the compiled plan), KMV/NDV-based
+        #: Bloom sizing, and the exact-bitmap downgrade.
+        self.adaptive_transfer = adaptive_transfer
+        self.adaptive_min_yield = adaptive_min_yield
+        self.ndv_sizing = ndv_sizing
+        self.bitmap_downgrade = bitmap_downgrade
+        #: id(column data) -> KMVSketch, memoized for the executor lifetime
+        #: (the cross-query ArtifactCache persists sketches beyond it).
+        self._ndv_memo: Dict[int, Tuple[np.ndarray, KMVSketch]] = {}
         self._refs = {ref.alias: ref for ref in query.relations}
 
     # ------------------------------------------------------------------
@@ -530,6 +567,19 @@ class PipelineExecutor:
         self._artifact_hits = 0
         self._artifact_misses = 0
         self._selvec_rows = 0
+        # Adaptive transfer: one controller per run, built over this plan's
+        # op list.  Per-op decision fields are reset before each dispatch and
+        # folded into the op's stats entry after it.
+        self._adaptive: Optional[AdaptiveTransferController] = (
+            AdaptiveTransferController(plan, self.adaptive_min_yield)
+            if self.adaptive_transfer
+            else None
+        )
+        self._adaptive_skipped_steps: set[int] = set()
+        self._op_index = -1
+        self._op_adaptive_skip = False
+        self._op_bytes_saved = 0
+        self._op_downgraded = False
 
         base_simulated = getattr(self.backend, "simulated_cost", 0.0)
         base_hash_hits = self.hash_cache.hits if self.hash_cache is not None else 0
@@ -550,6 +600,10 @@ class PipelineExecutor:
             selvec_before = self._selvec_rows
             artifact_hits_before = self._artifact_hits
             artifact_misses_before = self._artifact_misses
+            self._op_index = index
+            self._op_adaptive_skip = False
+            self._op_bytes_saved = 0
+            self._op_downgraded = False
             start = time.perf_counter()
             rows_in, rows_out, skipped = self._dispatch(op, stats)
             elapsed = time.perf_counter() - start
@@ -587,8 +641,13 @@ class PipelineExecutor:
                     selvec_rows=self._selvec_rows - selvec_before,
                     artifact_hits=self._artifact_hits - artifact_hits_before,
                     artifact_misses=self._artifact_misses - artifact_misses_before,
+                    adaptive_skipped=self._op_adaptive_skip,
+                    filter_bytes_saved=self._op_bytes_saved,
+                    downgraded_exact=self._op_downgraded,
                 )
             )
+            if self._op_bytes_saved:
+                stats.adaptive_filter_bytes_saved += self._op_bytes_saved
 
         if finalize_root is not None and self._final is None:
             with stats.time_phase("join"):
@@ -692,22 +751,35 @@ class PipelineExecutor:
         if self._should_prune(op.prunable, op.source.alias):
             self._skip_transfer_step(op, target, stats)
             return source.num_rows, source.num_rows, True
+        if self._adaptive is not None and self._adaptive.should_skip(self._op_index, op):
+            self._skip_transfer_step(op, target, stats, adaptive=True)
+            self._op_adaptive_skip = True
+            return source.num_rows, source.num_rows, True
 
+        bloom: Optional[BloomFilter] = None
         if len(op.attributes) == 1:
             attr_class = self.graph.attribute_classes[op.attributes[0]]
             source_column = attr_class.column_of(op.source.alias)
             target_column = attr_class.column_of(op.target.alias)
-            bloom = self._transfer_bloom(op, source, source_column)
-            if self.selection_vectors:
+            exact_index = None
+            if self.bitmap_downgrade:
+                exact_index = self._bitmap_downgrade_index(op, source, source_column, target)
+            if exact_index is None:
+                bloom = self._transfer_bloom(op, source, source_column)
+            else:
+                self._op_downgraded = True
+            if self.selection_vectors or (exact_index is not None and self.hash_cache is not None):
                 # Late materialization: the probe op gathers over the
                 # immutable base column by the target's row ids; nothing is
-                # staged for the probe side here.
+                # staged for the probe side here.  (Exact probes consume raw
+                # keys, so a downgraded step never stages a hash pass.)
                 stage = _TransferStage(
                     bloom=bloom,
+                    exact_index=exact_index,
                     build_rows=source.num_rows,
                     target_column=target_column,
                 )
-            elif self.hash_cache is not None:
+            elif bloom is not None and self.hash_cache is not None:
                 stage = _TransferStage(
                     bloom=bloom,
                     build_rows=source.num_rows,
@@ -716,6 +788,7 @@ class PipelineExecutor:
             else:
                 stage = _TransferStage(
                     bloom=bloom,
+                    exact_index=exact_index,
                     build_rows=source.num_rows,
                     target_keys=target.key_values(target_column),
                 )
@@ -729,20 +802,24 @@ class PipelineExecutor:
                 bloom=bloom, build_rows=source.num_rows, target_keys=target_keys
             )
 
-        key = FilterKey(
-            relation=op.source.alias,
-            attribute="+".join(op.attributes),
-            pass_id=op.pass_,
-        )
-        self.registry.publish(key, bloom, replace=True)
+        if bloom is not None:
+            key = FilterKey(
+                relation=op.source.alias,
+                attribute="+".join(op.attributes),
+                pass_id=op.pass_,
+            )
+            self.registry.publish(key, bloom, replace=True)
         self._transfer_stages[op.step_id] = stage
         return source.num_rows, source.num_rows, False
 
     def _transfer_bloom(self, op: BloomBuild, source: BoundRelation, column: str) -> BloomFilter:
         """Build (or fetch from the artifact cache) one transfer-phase filter."""
-        artifact_key = self._artifact_key(
-            op.source.alias, column, kind="bloom", param=f"fpr={self.options.transfer_fpr}"
-        )
+        param = f"fpr={self.options.transfer_fpr}"
+        if self.ndv_sizing:
+            # NDV-sized filters differ in geometry from row-count-sized
+            # ones, so they must never share an artifact slot.
+            param += ",ndv"
+        artifact_key = self._artifact_key(op.source.alias, column, kind=KIND_BLOOM, param=param)
         if artifact_key is not None:
             cached = self.artifact_cache.get(artifact_key)
             if cached is not None:
@@ -750,7 +827,14 @@ class PipelineExecutor:
                 self._charge_artifact(artifact_key, cached.size_bytes)
                 return cached
             self._artifact_misses += 1
-        bloom = BloomFilter(expected_keys=source.num_rows, fpr=self.options.transfer_fpr)
+        expected = self._bloom_expected_keys(source, column)
+        bloom = BloomFilter(expected_keys=expected, fpr=self.options.transfer_fpr)
+        if expected < source.num_rows:
+            self._op_bytes_saved += max(
+                filter_bytes_for(source.num_rows, self.options.transfer_fpr)
+                - bloom.size_bytes,
+                0,
+            )
         if self.hash_cache is not None:
             hashes, patterns = self._bloom_pass_for_relation(source, column)
             bloom.insert(hashes=hashes, patterns=patterns)
@@ -761,20 +845,151 @@ class PipelineExecutor:
             self._charge_artifact(artifact_key, bloom.size_bytes)
         return bloom
 
+    def _bloom_expected_keys(self, source: BoundRelation, column: str) -> int:
+        """Keys to size a transfer filter for: rows, tightened by NDV sizing.
+
+        The build side's distinct-key count can never exceed either its
+        surviving row count or the full column's distinct count, so with
+        ``ndv_sizing`` the filter is sized by the smaller of the two — a
+        KMV-sketch estimate per ``(table version, column)``, memoized for
+        the query and persisted in the cross-query artifact cache.  An
+        undersized filter only raises the false-positive rate (never false
+        negatives), so results are unchanged — the join phase eliminates
+        whatever extra rows slip through.
+        """
+        expected = source.num_rows
+        if not self.ndv_sizing or expected == 0:
+            return expected
+        sketch = self._column_ndv_sketch(source, column)
+        if sketch is None:
+            return expected
+        # The estimator's ~1/sqrt(k) relative error cuts both ways; a small
+        # headroom factor keeps the realized FPR near the configured one.
+        estimate = int(math.ceil(sketch.estimate * 1.1))
+        return max(min(expected, estimate), 1)
+
+    def _column_ndv_sketch(self, relation: BoundRelation, column: str) -> Optional[KMVSketch]:
+        """The KMV distinct-count sketch of one full base column.
+
+        Lookup order: the executor-lifetime memo, then the cross-query
+        artifact cache (keyed by table version only — like full-column hash
+        passes, the sketch depends solely on the immutable column data), and
+        finally one vectorized build whose result feeds both caches.
+        """
+        table = relation.table
+        col = table.column(column)
+        if not col.dtype.is_integer_backed:
+            return None
+        data = col.data
+        memo = self._ndv_memo.get(id(data))
+        if memo is not None and memo[0] is data:
+            return memo[1]
+        artifact_key = None
+        if self.artifact_cache is not None:
+            table_version = self._snapshot_version(relation.alias, table.name)
+            if table_version is not None:
+                artifact_key = ArtifactKey(
+                    table=table.name,
+                    table_version=table_version,
+                    column=column,
+                    fingerprint=FINGERPRINT_COLUMN,
+                    kind=KIND_NDV_SKETCH,
+                )
+                artifact = self.artifact_cache.get(artifact_key)
+                if artifact is not None:
+                    self._artifact_hits += 1
+                    self._ndv_memo[id(data)] = (data, artifact)
+                    return artifact
+                self._artifact_misses += 1
+        # A cached full-column hashing pass (computed for the Bloom inserts
+        # anyway) lets the sketch skip its own hashing pass entirely.
+        cached_pass = (
+            self.hash_cache.peek_bloom_pass(table, column)
+            if self.hash_cache is not None
+            else None
+        )
+        if cached_pass is not None:
+            sketch = KMVSketch.from_hashes(cached_pass[0])
+        else:
+            sketch = KMVSketch.from_values(data)
+        self._ndv_memo[id(data)] = (data, sketch)
+        if artifact_key is not None:
+            self.artifact_cache.put(artifact_key, sketch, sketch.nbytes)
+        return sketch
+
+    def _bitmap_downgrade_index(
+        self,
+        op: BloomBuild,
+        source: BoundRelation,
+        column: str,
+        target: BoundRelation,
+    ) -> Optional[HashIndex]:
+        """Exact-bitmap downgrade: a prepared bitmap index, or None to keep Bloom.
+
+        When the build side's observed key domain is dense enough that a
+        boolean membership table costs no more than the probe work it saves
+        (the same economics as :meth:`HashIndex._ensure_table`), the step is
+        executed as an exact bitmap semi-join: probes become one in-range
+        test plus one table gather, and — unlike a Bloom filter — zero false
+        positives survive into the downstream passes and the join phase.
+        """
+        if source.num_rows == 0:
+            return None
+        probe_rows = target.num_rows
+        index = self._relation_index(
+            op.source.alias,
+            op.attributes,
+            source,
+            lambda: source.key_values(column),
+            expected_probe_rows=probe_rows,
+        )
+        if not index.bitmap_worthwhile(probe_rows):
+            return None
+        index.prepare(probe_rows)
+        return index if index.has_bitmap else None
+
     def _exec_transfer_bloom_probe(self, op: BloomProbe, stats: ExecutionStats) -> Tuple[int, int, bool]:
         target = self._relations[op.target.alias]
+        if self._adaptive is not None and self._adaptive.should_skip(self._op_index, op):
+            # Cancelled after its build already ran (or alongside it);
+            # discard any staged state and record the skip once per step.
+            self._transfer_stages.pop(op.step_id, None)
+            self._skip_transfer_step(op, target, stats, adaptive=True)
+            self._op_adaptive_skip = True
+            return target.num_rows, target.num_rows, True
         if op.step_id in self._skipped_steps:
+            if op.step_id in self._adaptive_skipped_steps:
+                self._op_adaptive_skip = True
             return target.num_rows, target.num_rows, True
         stage = self._transfer_stages.pop(op.step_id)
         rows_before = target.num_rows
         bloom = stage.bloom
-        if stage.target_keys is not None:
+        if stage.exact_index is not None:
+            # Adaptive exact-bitmap downgrade: one in-range test + table
+            # gather per probe key, and no false positives downstream.
+            index = stage.exact_index
+            self._op_downgraded = True
+            if stage.target_keys is not None:
+                probe_keys = stage.target_keys
+            else:
+                if self.selection_vectors:
+                    self._selvec_rows += target.num_rows
+                probe_keys = target.key_values(stage.target_column)
+            mask = self.backend.probe_mask(
+                probe_keys,
+                index.contains,
+                prepare=lambda: index.prepare(int(np.asarray(probe_keys).shape[0])),
+            )
+            filter_bytes = index.index_bytes()
+        elif stage.target_keys is not None:
             mask = self.backend.probe_mask(stage.target_keys, bloom.probe)
+            filter_bytes = bloom.size_bytes
         elif stage.target_pass is not None:
             mask = self.backend.probe_mask(
                 stage.target_pass,
                 lambda hp: bloom.probe(hashes=hp[0], patterns=hp[1]),
             )
+            filter_bytes = bloom.size_bytes
         elif self.hash_cache is not None:
             self._selvec_rows += target.num_rows
             probe_pass = self._bloom_pass_for_relation(target, stage.target_column)
@@ -782,20 +997,25 @@ class PipelineExecutor:
                 probe_pass,
                 lambda hp: bloom.probe(hashes=hp[0], patterns=hp[1]),
             )
+            filter_bytes = bloom.size_bytes
         else:
             self._selvec_rows += target.num_rows
             mask = self.backend.probe_mask(
                 target.key_values(stage.target_column), bloom.probe
             )
+            filter_bytes = bloom.size_bytes
         target.keep(mask)
         self._record_transfer_step(
             op,
             rows_before=rows_before,
             rows_after=target.num_rows,
-            filter_bytes=stage.bloom.size_bytes,
+            filter_bytes=filter_bytes,
             build_rows=stage.build_rows,
             stats=stats,
+            downgraded_exact=stage.exact_index is not None,
         )
+        if self._adaptive is not None:
+            self._adaptive.observe(self._op_index, op, rows_before, target.num_rows)
         return rows_before, target.num_rows, False
 
     def _exec_semi_join_reduce(self, op: SemiJoinReduce, stats: ExecutionStats) -> Tuple[int, int, bool]:
@@ -803,6 +1023,10 @@ class PipelineExecutor:
         target = self._relations[op.target.alias]
         if self._should_prune(op.prunable, op.source.alias):
             self._skip_transfer_step(op, target, stats)
+            return target.num_rows, target.num_rows, True
+        if self._adaptive is not None and self._adaptive.should_skip(self._op_index, op):
+            self._skip_transfer_step(op, target, stats, adaptive=True)
+            self._op_adaptive_skip = True
             return target.num_rows, target.num_rows, True
         if len(op.attributes) == 1:
             # Single-attribute keys are side-independent: resolve the target
@@ -838,6 +1062,8 @@ class PipelineExecutor:
             build_rows=source.num_rows,
             stats=stats,
         )
+        if self._adaptive is not None:
+            self._adaptive.observe(self._op_index, op, rows_before, target.num_rows)
         return rows_before, target.num_rows, False
 
     def _should_prune(self, prunable: bool, source_alias: str) -> bool:
@@ -858,10 +1084,15 @@ class PipelineExecutor:
                 filtered.add(ref.alias)
         return filtered
 
-    def _skip_transfer_step(self, op, target: BoundRelation, stats: ExecutionStats) -> None:
+    def _skip_transfer_step(
+        self, op, target: BoundRelation, stats: ExecutionStats, adaptive: bool = False
+    ) -> None:
         if op.step_id in self._skipped_steps:
             return
         self._skipped_steps.add(op.step_id)
+        if adaptive:
+            self._adaptive_skipped_steps.add(op.step_id)
+            stats.adaptive_steps_skipped += 1
         stats.transfer_steps.append(
             TransferStepStats(
                 source=op.source.alias,
@@ -870,6 +1101,7 @@ class PipelineExecutor:
                 rows_before=target.num_rows,
                 rows_after=target.num_rows,
                 skipped=True,
+                adaptive_skipped=adaptive,
             )
         )
 
@@ -881,7 +1113,10 @@ class PipelineExecutor:
         filter_bytes: int,
         build_rows: int,
         stats: ExecutionStats,
+        downgraded_exact: bool = False,
     ) -> None:
+        if downgraded_exact:
+            stats.adaptive_exact_downgrades += 1
         stats.transfer_steps.append(
             TransferStepStats(
                 source=op.source.alias,
@@ -891,6 +1126,7 @@ class PipelineExecutor:
                 rows_after=rows_after,
                 filter_bytes=filter_bytes,
                 build_rows=build_rows,
+                downgraded_exact=downgraded_exact,
             )
         )
         stats.bloom_bytes += filter_bytes
@@ -982,8 +1218,8 @@ class PipelineExecutor:
                 table=table.name,
                 table_version=table_version,
                 column=column,
-                fingerprint="column",
-                kind="bloom_pass",
+                fingerprint=FINGERPRINT_COLUMN,
+                kind=KIND_BLOOM_PASS,
             )
             artifact = self.artifact_cache.get(artifact_key)
             if artifact is not None:
@@ -1107,7 +1343,7 @@ class PipelineExecutor:
         # Artifacts are keyed by the physical column, not the query-local
         # attribute-class name, so different queries share them.
         column = self.graph.attribute_classes[attributes[0]].column_of(alias)
-        artifact_key = self._artifact_key(alias, column, kind="hash_index")
+        artifact_key = self._artifact_key(alias, column, kind=KIND_HASH_INDEX)
         index: Optional[HashIndex] = None
         if artifact_key is not None:
             artifact = self.artifact_cache.get(artifact_key)
@@ -1157,7 +1393,18 @@ class PipelineExecutor:
         # consumes them — but with a hash cache the SIP filter's insert and
         # probe replay the cached column pass instead of re-hashing them.
         probe_keys, build_keys = self._pair_keys(op.attributes, probe, build)
-        bloom = BloomFilter(expected_keys=build.num_rows, fpr=self.options.join_fpr)
+        expected = build.num_rows
+        if self.ndv_sizing and len(op.attributes) == 1:
+            attr_class = self.graph.attribute_classes[op.attributes[0]]
+            alias = _representative_alias(attr_class, build.aliases)
+            sketch = self._column_ndv_sketch(self._relations[alias], attr_class.column_of(alias))
+            if sketch is not None:
+                expected = max(min(expected, int(math.ceil(sketch.estimate * 1.1))), 1)
+        bloom = BloomFilter(expected_keys=expected, fpr=self.options.join_fpr)
+        if expected < build.num_rows:
+            self._op_bytes_saved += max(
+                filter_bytes_for(build.num_rows, self.options.join_fpr) - bloom.size_bytes, 0
+            )
         probe_pass = None
         if self.hash_cache is not None and len(op.attributes) == 1:
             build_hashes, build_patterns = self._result_bloom_pass(

@@ -32,6 +32,12 @@ class TransferStepStats:
     filter_bytes: int = 0
     build_rows: int = 0
     skipped: bool = False
+    #: True when the skip was an adaptive-controller decision (as opposed to
+    #: the static §4.3 PK-FK triviality pruning).
+    adaptive_skipped: bool = False
+    #: True when the step ran as an exact bitmap semi-join instead of a
+    #: Bloom filter (the adaptive exact-bitmap downgrade).
+    downgraded_exact: bool = False
 
     @property
     def rows_eliminated(self) -> int:
@@ -78,6 +84,14 @@ class OpStats:
     #: reused) and misses this op observed.
     artifact_hits: int = 0
     artifact_misses: int = 0
+    #: True when the adaptive transfer controller cancelled this op (yield
+    #: below threshold, dead build, or wholesale backward-pass skip).
+    adaptive_skipped: bool = False
+    #: Filter bytes NDV-based sizing saved against row-count sizing.
+    filter_bytes_saved: int = 0
+    #: True when this step ran as an exact bitmap semi-join instead of a
+    #: Bloom build/probe (the adaptive exact-bitmap downgrade).
+    downgraded_exact: bool = False
 
     @property
     def rows_eliminated(self) -> int:
@@ -153,6 +167,12 @@ class ExecutionStats:
     #: Cross-query artifact-cache hits / misses during this execution.
     artifact_cache_hits: int = 0
     artifact_cache_misses: int = 0
+    #: Transfer steps the adaptive controller cancelled this execution.
+    adaptive_steps_skipped: int = 0
+    #: Filter bytes NDV-based sizing saved against row-count sizing.
+    adaptive_filter_bytes_saved: int = 0
+    #: Transfer steps downgraded to exact bitmap semi-joins.
+    adaptive_exact_downgrades: int = 0
 
     # ------------------------------------------------------------------
     # Derived quantities
@@ -209,7 +229,12 @@ class ExecutionStats:
             f"{'morsels':>8}  detail"
         ]
         for op in self.op_stats:
-            marker = " [skipped]" if op.skipped else ""
+            if op.adaptive_skipped:
+                marker = " [adaptive skip]"
+            elif op.skipped:
+                marker = " [skipped]"
+            else:
+                marker = ""
             if op.spilled_bytes:
                 marker += f" [spilled {op.spilled_bytes}B]"
             if op.hash_hits or op.hash_misses:
@@ -218,6 +243,10 @@ class ExecutionStats:
                 marker += f" [selvec {op.selvec_rows}r]"
             if op.artifact_hits:
                 marker += " [artifact hit]"
+            if op.downgraded_exact:
+                marker += " [exact bitmap]"
+            if op.filter_bytes_saved:
+                marker += f" [saved {op.filter_bytes_saved}B]"
             lines.append(
                 f"{op.index:>3} {op.kind:<22} {op.rows_in:>10} {op.rows_out:>10} "
                 f"{op.seconds:>10.6f} {op.morsels:>8}  {op.detail}{marker}"
@@ -240,6 +269,30 @@ class ExecutionStats:
                 f"artifact cache {self.artifact_cache_hits}h/{self.artifact_cache_misses}m"
             )
         return "cache: " + ", ".join(parts) if parts else ""
+
+    def adaptive_summary(self) -> str:
+        """One-line summary of the adaptive transfer controller's decisions.
+
+        Empty when adaptive execution was off or made no decision, so
+        callers can append it conditionally.
+        """
+        parts = []
+        if self.adaptive_steps_skipped:
+            parts.append(f"skipped {self.adaptive_steps_skipped} step(s)")
+        if self.adaptive_exact_downgrades:
+            parts.append(f"{self.adaptive_exact_downgrades} exact-bitmap downgrade(s)")
+        if self.adaptive_filter_bytes_saved:
+            parts.append(f"saved {self.adaptive_filter_bytes_saved} filter bytes")
+        return "adaptive: " + ", ".join(parts) if parts else ""
+
+    def execution_summary(self) -> str:
+        """Combined one-line cache + adaptive summary (empty when both are).
+
+        This is what :func:`repro.bench.reporting.format_op_traces` appends
+        under each mode's per-op trace.
+        """
+        parts = [part for part in (self.cache_summary(), self.adaptive_summary()) if part]
+        return " | ".join(parts)
 
     def cost(self, metric: str = "tuples") -> float:
         """Return the execution cost under the requested metric.

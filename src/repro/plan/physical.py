@@ -87,6 +87,10 @@ class Operand:
         """Short printable form (``alias`` or ``$slot``)."""
         return self.alias if self.is_relation else f"${self.slot}"
 
+    def token(self) -> str:
+        """Dependency token of this operand (see ``PhysicalOp.provides``)."""
+        return f"rel:{self.alias}" if self.is_relation else f"slot:{self.slot}"
+
 
 @dataclass(frozen=True)
 class PhysicalOp:
@@ -97,6 +101,25 @@ class PhysicalOp:
     def describe(self) -> str:
         """One-line human-readable rendering of the op."""
         return self.kind
+
+    # ------------------------------------------------------------------
+    # Dependency metadata
+    # ------------------------------------------------------------------
+    # Each op declares the dependency tokens it consumes (``requires``) and
+    # the tokens it makes available to later ops (``provides``).  Tokens are
+    # plain strings: ``rel:<alias>`` (a bound relation's current state),
+    # ``slot:<n>`` (an intermediate result), ``stage:<step_id>`` (the filter
+    # handed from a transfer build to its probe), and ``build:<id>`` (a
+    # staged hash-join build side).  The metadata is *static* — derived from
+    # the op fields alone — and is what the adaptive transfer controller
+    # walks to cancel builds whose only consumers have been cancelled.
+    def provides(self) -> Tuple[str, ...]:
+        """Dependency tokens this op produces for downstream ops."""
+        return ()
+
+    def requires(self) -> Tuple[str, ...]:
+        """Dependency tokens this op consumes from upstream ops."""
+        return ()
 
 
 @dataclass(frozen=True)
@@ -110,6 +133,9 @@ class Scan(PhysicalOp):
     def describe(self) -> str:
         return f"scan {self.alias} ({self.table})"
 
+    def provides(self) -> Tuple[str, ...]:
+        return (f"rel:{self.alias}",)
+
 
 @dataclass(frozen=True)
 class FilterPush(PhysicalOp):
@@ -120,6 +146,12 @@ class FilterPush(PhysicalOp):
 
     def describe(self) -> str:
         return f"filter {self.alias}"
+
+    def provides(self) -> Tuple[str, ...]:
+        return (f"rel:{self.alias}",)
+
+    def requires(self) -> Tuple[str, ...]:
+        return (f"rel:{self.alias}",)
 
 
 @dataclass(frozen=True)
@@ -146,6 +178,16 @@ class BloomBuild(PhysicalOp):
     def describe(self) -> str:
         return f"bloom_build {self.source.describe()} [{','.join(self.attributes)}] ({self.pass_})"
 
+    def provides(self) -> Tuple[str, ...]:
+        return (f"stage:{self.step_id}",)
+
+    def requires(self) -> Tuple[str, ...]:
+        # Composite keys are densified jointly with the probe side, so the
+        # build of a multi-attribute step reads the target too.
+        if len(self.attributes) > 1:
+            return (self.source.token(), self.target.token())
+        return (self.source.token(),)
+
 
 @dataclass(frozen=True)
 class BloomProbe(PhysicalOp):
@@ -165,6 +207,12 @@ class BloomProbe(PhysicalOp):
             f"[{','.join(self.attributes)}] ({self.pass_})"
         )
 
+    def provides(self) -> Tuple[str, ...]:
+        return (self.target.token(),)
+
+    def requires(self) -> Tuple[str, ...]:
+        return (f"stage:{self.step_id}", self.target.token())
+
 
 @dataclass(frozen=True)
 class SemiJoinReduce(PhysicalOp):
@@ -183,6 +231,12 @@ class SemiJoinReduce(PhysicalOp):
             f"semi_join {self.target.describe()} ⋉ {self.source.describe()} "
             f"[{','.join(self.attributes)}] ({self.pass_})"
         )
+
+    def provides(self) -> Tuple[str, ...]:
+        return (self.target.token(),)
+
+    def requires(self) -> Tuple[str, ...]:
+        return (self.source.token(), self.target.token())
 
 
 @dataclass(frozen=True)
@@ -210,6 +264,12 @@ class Partition(PhysicalOp):
             f"[{','.join(self.attributes)}] into 2^{self.bits}"
         )
 
+    def provides(self) -> Tuple[str, ...]:
+        return (f"build:{self.build_id}",)
+
+    def requires(self) -> Tuple[str, ...]:
+        return (self.input.token(),)
+
 
 @dataclass(frozen=True)
 class PartitionedHashBuild(PhysicalOp):
@@ -230,6 +290,12 @@ class PartitionedHashBuild(PhysicalOp):
             f"partitioned_hash_build #{self.build_id} {self.input.describe()} "
             f"[{','.join(self.attributes)}]"
         )
+
+    def provides(self) -> Tuple[str, ...]:
+        return (f"build:{self.build_id}",)
+
+    def requires(self) -> Tuple[str, ...]:
+        return (f"build:{self.build_id}", self.input.token())
 
 
 @dataclass(frozen=True)
@@ -254,6 +320,12 @@ class PartitionedHashProbe(PhysicalOp):
             f"[{','.join(self.attributes)}] -> ${self.output_slot}"
         )
 
+    def provides(self) -> Tuple[str, ...]:
+        return (f"slot:{self.output_slot}",)
+
+    def requires(self) -> Tuple[str, ...]:
+        return (f"build:{self.build_id}", self.probe.token())
+
 
 @dataclass(frozen=True)
 class HashBuild(PhysicalOp):
@@ -273,6 +345,12 @@ class HashBuild(PhysicalOp):
 
     def describe(self) -> str:
         return f"hash_build #{self.build_id} {self.input.describe()} [{','.join(self.attributes)}]"
+
+    def provides(self) -> Tuple[str, ...]:
+        return (f"build:{self.build_id}",)
+
+    def requires(self) -> Tuple[str, ...]:
+        return (self.input.token(),)
 
 
 @dataclass(frozen=True)
@@ -294,6 +372,12 @@ class HashProbe(PhysicalOp):
         keys = ",".join(self.attributes) if self.attributes else "⨯"
         return f"hash_probe #{self.build_id} {self.probe.describe()} [{keys}] -> ${self.output_slot}"
 
+    def provides(self) -> Tuple[str, ...]:
+        return (f"slot:{self.output_slot}",)
+
+    def requires(self) -> Tuple[str, ...]:
+        return (f"build:{self.build_id}", self.probe.token())
+
 
 @dataclass(frozen=True)
 class Aggregate(PhysicalOp):
@@ -304,6 +388,9 @@ class Aggregate(PhysicalOp):
 
     def describe(self) -> str:
         return f"aggregate {self.input.describe()}"
+
+    def requires(self) -> Tuple[str, ...]:
+        return (self.input.token(),)
 
 
 @dataclass(frozen=True)

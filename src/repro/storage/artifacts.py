@@ -19,8 +19,14 @@ An artifact is addressed by an :class:`ArtifactKey`:
   whose pushed-down predicates selected the same rows.  Artifacts are
   **never** cached over relations already reduced by earlier transfer steps
   of the same query (the executor enforces this via relation versions).
-* ``kind`` / ``param`` — ``"bloom"`` (param encodes the FPR) or
-  ``"hash_index"``.
+* ``kind`` / ``param`` — ``"bloom"`` (param encodes the FPR and whether the
+  filter was NDV-sized), ``"hash_index"``, ``"bloom_pass"`` (a full-column
+  hashing pass), or ``"ndv_sketch"`` (a
+  :class:`~repro.optimizer.cardinality.KMVSketch` distinct-count sketch the
+  adaptive transfer layer uses to right-size Bloom filters).  Column-pure
+  artifacts (``bloom_pass``, ``ndv_sketch``) use the fingerprint
+  ``"column"`` — they depend only on the immutable column data, never on a
+  query's pushed-down predicate.
 
 Residency is bounded by a byte budget with LRU eviction; the pipeline
 executor additionally charges resident artifacts it touches against the
@@ -45,6 +51,16 @@ import numpy as np
 
 #: Default byte budget of a database's artifact cache (64 MiB).
 DEFAULT_ARTIFACT_BUDGET_BYTES = 64 << 20
+
+#: Canonical artifact kinds (free-form strings; these are the ones the
+#: pipeline executor produces).
+KIND_BLOOM = "bloom"
+KIND_HASH_INDEX = "hash_index"
+KIND_BLOOM_PASS = "bloom_pass"
+KIND_NDV_SKETCH = "ndv_sketch"
+
+#: Fingerprint of column-pure artifacts (independent of any base filter).
+FINGERPRINT_COLUMN = "column"
 
 
 @dataclass(frozen=True)
