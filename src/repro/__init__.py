@@ -17,8 +17,9 @@ Quickstart::
     print(result.aggregates, result.stats.summary())
 """
 
-from repro.engine.database import Database, ExecutionOptions, QueryResult
+from repro.engine.database import Database, ExecutionOptions, ExplainResult, QueryResult
 from repro.engine.modes import ExecutionConfig, ExecutionMode
+from repro.errors import SqlError
 from repro.plan.physical import PhysicalPlan
 from repro.query import (
     AggregateSpec,
@@ -38,6 +39,7 @@ __all__ = [
     "ExecutionConfig",
     "ExecutionMode",
     "ExecutionOptions",
+    "ExplainResult",
     "JoinCondition",
     "PhysicalPlan",
     "PostJoinPredicate",
@@ -45,6 +47,7 @@ __all__ = [
     "QueryResult",
     "QuerySpec",
     "RelationRef",
+    "SqlError",
     "count_star",
     "__version__",
 ]

@@ -1,6 +1,6 @@
 """Engine façade: the Database entry point and execution modes."""
 
-from repro.engine.database import Database, ExecutionOptions, QueryResult
+from repro.engine.database import Database, ExecutionOptions, ExplainResult, QueryResult
 from repro.engine.modes import ExecutionMode
 
-__all__ = ["Database", "ExecutionMode", "ExecutionOptions", "QueryResult"]
+__all__ = ["Database", "ExecutionMode", "ExecutionOptions", "ExplainResult", "QueryResult"]

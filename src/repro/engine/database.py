@@ -48,7 +48,7 @@ from repro.exec.join_phase import JoinPhaseOptions
 from repro.exec.pipeline import PipelineExecutor, PipelineOptions, make_backend
 from repro.exec.relation import BoundRelation
 from repro.exec.spill import SpillManager
-from repro.exec.statistics import ExecutionStats
+from repro.exec.statistics import ExecutionStats, OpStats
 from repro.exec.transfer import TransferOptions
 from repro.storage.artifacts import (
     DEFAULT_ARTIFACT_BUDGET_BYTES,
@@ -61,6 +61,7 @@ from repro.optimizer.join_order import JoinOrderOptimizer, JoinOrderOptions
 from repro.plan.join_plan import JoinPlan, validate_plan_for_query
 from repro.plan.physical import PhysicalPlan, compile_execution
 from repro.query import QuerySpec
+from repro.sql import compile_statement
 from repro.storage.catalog import Catalog
 from repro.storage.datatypes import DataType
 from repro.storage.table import ForeignKey, Table
@@ -92,6 +93,58 @@ class QueryResult:
     def op_stats(self):
         """Per-op statistics of the compiled plan (uniform across all modes)."""
         return self.stats.op_stats
+
+
+@dataclass
+class ExplainResult:
+    """The outcome of planning a query *without* executing it.
+
+    Produced by :meth:`Database.explain` / :meth:`Database.explain_sql` and
+    by ``EXPLAIN SELECT`` statements through :meth:`Database.sql`.  The
+    ``stats`` carry one zero-cost :class:`~repro.exec.statistics.OpStats`
+    entry per compiled op, so :func:`repro.bench.reporting.format_op_traces`
+    renders an EXPLAIN the same way it renders an executed trace.
+    """
+
+    query: QuerySpec
+    mode: ExecutionMode
+    plan: JoinPlan
+    physical_plan: PhysicalPlan
+    stats: ExecutionStats
+    join_tree: Optional[JoinTree] = None
+    schedule: Optional[TransferSchedule] = None
+    execution_config: Optional[ExecutionConfig] = None
+
+    @property
+    def op_stats(self):
+        """Static per-op entries of the compiled plan (zero rows/seconds)."""
+        return self.stats.op_stats
+
+    def describe(self) -> str:
+        """The compiled physical plan, one op per line."""
+        return self.physical_plan.describe()
+
+    def render(self) -> str:
+        """The formatted op trace (what ``EXPLAIN`` prints)."""
+        # Imported lazily: reporting is a leaf module, but the bench package
+        # initializer pulls in the harness (which imports this module).
+        from repro.bench.reporting import format_op_traces
+
+        return format_op_traces({self.mode: self})
+
+
+@dataclass
+class _PreparedExecution:
+    """Everything :meth:`Database.execute` and :meth:`Database.explain` share:
+    the planned, compiled — but not yet executed — query."""
+
+    plan: JoinPlan
+    graph: JoinGraph
+    join_tree: Optional[JoinTree]
+    schedule: Optional[TransferSchedule]
+    masks: Dict[str, np.ndarray]
+    physical: PhysicalPlan
+    config: ExecutionConfig
 
 
 @dataclass(frozen=True)
@@ -279,47 +332,10 @@ class Database:
             Tuning knobs; defaults follow the paper (2% FPR, pruning on).
         """
         options = options or ExecutionOptions()
-        if not query.is_connected() and len(query.relations) > 1:
-            raise PlanError(
-                f"query {query.name!r} has a disconnected join graph; "
-                "connect it or execute each component separately"
-            )
-
         stats = ExecutionStats(query_name=query.name, mode=mode.value)
-        with stats.time_phase("scan_filter"):
-            masks = self.filter_masks(query)
-        graph = self.join_graph(query, masks=masks)
-
-        join_tree: Optional[JoinTree] = None
-        schedule: Optional[TransferSchedule] = None
-        if mode.uses_transfer_phase:
-            join_tree, schedule = self._build_schedule(mode, graph, options)
-
-        if plan is None:
-            plan = self.optimizer_plan(query, options, graph)
-        validate_plan_for_query(plan, query.aliases)
-
-        if options.verify_safe_join_order and plan.is_left_deep() and is_alpha_acyclic(graph):
-            if not is_safe_join_order(graph, plan.left_deep_order()):
-                raise PlanError(
-                    f"join order {plan.left_deep_order()} contains an unsafe subjoin "
-                    f"for query {query.name!r}"
-                )
-
-        if schedule is not None and options.skip_backward_if_aligned and self._order_aligned(plan, join_tree):
-            schedule = schedule.without_backward_pass()
-
-        config = options.resolved_execution()
-        physical = compile_execution(
-            query,
-            mode,
-            plan,
-            graph,
-            tables={ref.alias: self.catalog.table(ref.table) for ref in query.relations},
-            schedule=schedule,
-            partition_threshold=config.partition_threshold,
-            partition_bits=config.partition_bits or 0,
-        )
+        prep = self._prepare(query, mode, plan, options, stats)
+        plan, graph, schedule = prep.plan, prep.graph, prep.schedule
+        join_tree, masks, physical, config = prep.join_tree, prep.masks, prep.physical, prep.config
         spill = SpillManager()
         governor = MemoryGovernor(config.memory_budget_bytes, spill_handler=spill)
         backend = make_backend(config.backend, config.chunk_size, config.num_threads)
@@ -383,8 +399,137 @@ class Database:
         )
 
     # ------------------------------------------------------------------
+    # EXPLAIN and the SQL front end
+    # ------------------------------------------------------------------
+    def explain(
+        self,
+        query: QuerySpec,
+        mode: ExecutionMode = ExecutionMode.RPT,
+        plan: Optional[JoinPlan] = None,
+        options: Optional[ExecutionOptions] = None,
+    ) -> ExplainResult:
+        """Plan and compile ``query`` without executing it.
+
+        Runs the exact planning path of :meth:`execute` — base-filter masks,
+        join graph, transfer schedule, join plan, physical-plan compilation —
+        and returns an :class:`ExplainResult` whose stats carry one zero-cost
+        entry per compiled op, so the usual trace renderers work on it.
+        """
+        options = options or ExecutionOptions()
+        stats = ExecutionStats(query_name=query.name, mode=mode.value)
+        prep = self._prepare(query, mode, plan, options, stats)
+        for index, op in enumerate(prep.physical.ops):
+            stats.op_stats.append(OpStats(index=index, kind=op.kind, detail=op.describe()))
+        return ExplainResult(
+            query=query,
+            mode=mode,
+            plan=prep.plan,
+            physical_plan=prep.physical,
+            stats=stats,
+            join_tree=prep.join_tree,
+            schedule=prep.schedule,
+            execution_config=prep.config,
+        )
+
+    def sql(
+        self,
+        text: str,
+        mode: ExecutionMode = ExecutionMode.RPT,
+        plan: Optional[JoinPlan] = None,
+        options: Optional[ExecutionOptions] = None,
+        name: Optional[str] = None,
+    ):
+        """Compile and run one SQL statement.
+
+        The statement is parsed, bound against this database's catalog, and
+        lowered to a :class:`~repro.query.QuerySpec` (front-end failures
+        raise :class:`~repro.errors.SqlError` with caret diagnostics), then
+        executed exactly like :meth:`execute` — returning a
+        :class:`QueryResult`.  An ``EXPLAIN SELECT ...`` statement is
+        planned but not executed, returning an :class:`ExplainResult`.
+
+        ``name`` overrides the query name; otherwise a ``-- name:`` comment
+        directive in the text is used.
+        """
+        compiled = compile_statement(text, self.catalog, name=name)
+        if compiled.explain:
+            return self.explain(compiled.query, mode=mode, plan=plan, options=options)
+        return self.execute(compiled.query, mode=mode, plan=plan, options=options)
+
+    def explain_sql(
+        self,
+        text: str,
+        mode: ExecutionMode = ExecutionMode.RPT,
+        plan: Optional[JoinPlan] = None,
+        options: Optional[ExecutionOptions] = None,
+        name: Optional[str] = None,
+    ) -> ExplainResult:
+        """EXPLAIN one SQL statement (with or without a leading ``EXPLAIN``)."""
+        compiled = compile_statement(text, self.catalog, name=name)
+        return self.explain(compiled.query, mode=mode, plan=plan, options=options)
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _prepare(
+        self,
+        query: QuerySpec,
+        mode: ExecutionMode,
+        plan: Optional[JoinPlan],
+        options: ExecutionOptions,
+        stats: ExecutionStats,
+    ) -> _PreparedExecution:
+        """The shared planning front half of :meth:`execute` / :meth:`explain`."""
+        if not query.is_connected() and len(query.relations) > 1:
+            raise PlanError(
+                f"query {query.name!r} has a disconnected join graph; "
+                "connect it or execute each component separately"
+            )
+
+        with stats.time_phase("scan_filter"):
+            masks = self.filter_masks(query)
+        graph = self.join_graph(query, masks=masks)
+
+        join_tree: Optional[JoinTree] = None
+        schedule: Optional[TransferSchedule] = None
+        if mode.uses_transfer_phase:
+            join_tree, schedule = self._build_schedule(mode, graph, options)
+
+        if plan is None:
+            plan = self.optimizer_plan(query, options, graph)
+        validate_plan_for_query(plan, query.aliases)
+
+        if options.verify_safe_join_order and plan.is_left_deep() and is_alpha_acyclic(graph):
+            if not is_safe_join_order(graph, plan.left_deep_order()):
+                raise PlanError(
+                    f"join order {plan.left_deep_order()} contains an unsafe subjoin "
+                    f"for query {query.name!r}"
+                )
+
+        if schedule is not None and options.skip_backward_if_aligned and self._order_aligned(plan, join_tree):
+            schedule = schedule.without_backward_pass()
+
+        config = options.resolved_execution()
+        physical = compile_execution(
+            query,
+            mode,
+            plan,
+            graph,
+            tables={ref.alias: self.catalog.table(ref.table) for ref in query.relations},
+            schedule=schedule,
+            partition_threshold=config.partition_threshold,
+            partition_bits=config.partition_bits or 0,
+        )
+        return _PreparedExecution(
+            plan=plan,
+            graph=graph,
+            join_tree=join_tree,
+            schedule=schedule,
+            masks=masks,
+            physical=physical,
+            config=config,
+        )
+
     def _build_schedule(
         self,
         mode: ExecutionMode,

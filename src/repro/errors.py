@@ -36,6 +36,56 @@ class AcyclicityError(ReproError):
     """An operation that requires an acyclic query was invoked on a cyclic one."""
 
 
+class SqlError(ReproError):
+    """A SQL front-end failure: lexing, parsing, binding, or lowering.
+
+    Carries the source text and the character offset of the offending
+    position; ``str()`` renders the message with a ``line:column`` location
+    and a caret (``^``) under the source position::
+
+        unknown column 'prod_year' of table 'title' (line 2, column 18)
+          WHERE t.prod_year > 1990
+                  ^
+    """
+
+    def __init__(self, message: str, source: "str | None" = None, pos: "int | None" = None) -> None:
+        self.message = message
+        self.source = source
+        self.pos = pos
+        super().__init__(self.render())
+
+    @property
+    def line(self) -> "int | None":
+        """1-based line number of the error position (None without source)."""
+        if self.source is None or self.pos is None:
+            return None
+        return self.source.count("\n", 0, self.pos) + 1
+
+    @property
+    def column(self) -> "int | None":
+        """1-based column number of the error position (None without source)."""
+        if self.source is None or self.pos is None:
+            return None
+        return self.pos - self.source.rfind("\n", 0, self.pos)
+
+    def render(self) -> str:
+        """The full diagnostic: message, location, source line, and caret."""
+        if self.source is None or self.pos is None:
+            return self.message
+        pos = min(max(self.pos, 0), len(self.source))
+        line_start = self.source.rfind("\n", 0, pos) + 1
+        line_end = self.source.find("\n", line_start)
+        if line_end == -1:
+            line_end = len(self.source)
+        source_line = self.source[line_start:line_end]
+        caret_indent = " " * (pos - line_start)
+        return (
+            f"{self.message} (line {self.line}, column {self.column})\n"
+            f"  {source_line}\n"
+            f"  {caret_indent}^"
+        )
+
+
 class WorkloadError(ReproError):
     """A workload generator or query-set definition is invalid."""
 

@@ -215,6 +215,33 @@ class StringPredicate(Expression):
 
 
 @dataclass(frozen=True)
+class IsNull(Expression):
+    """``column IS [NOT] NULL``.
+
+    The columnar storage has no NULL representation (every generator fills
+    every column), so ``IS NULL`` is uniformly false and ``IS NOT NULL``
+    uniformly true.  The node exists so SQL queries carrying the standard
+    NULL guards (JOB is full of ``note IS NOT NULL``) execute — and
+    round-trip through the formatter — unchanged.
+    """
+
+    column: str
+    negated: bool = False
+
+    def evaluate(self, table: Table) -> np.ndarray:
+        table.column(self.column)  # existence check: raise on unknown column
+        if self.negated:
+            return np.ones(table.num_rows, dtype=bool)
+        return np.zeros(table.num_rows, dtype=bool)
+
+    def referenced_columns(self) -> frozenset[str]:
+        return frozenset({self.column})
+
+    def __repr__(self) -> str:
+        return f"({self.column} IS {'NOT ' if self.negated else ''}NULL)"
+
+
+@dataclass(frozen=True)
 class And(Expression):
     """Logical conjunction of predicates."""
 
@@ -338,6 +365,16 @@ def ends_with(column: str, suffix: str) -> StringPredicate:
 def contains(column: str, pattern: str) -> StringPredicate:
     """``column LIKE '%pattern%'``."""
     return StringPredicate(column, "contains", pattern)
+
+
+def is_null(column: str) -> IsNull:
+    """``column IS NULL``."""
+    return IsNull(column)
+
+
+def is_not_null(column: str) -> IsNull:
+    """``column IS NOT NULL``."""
+    return IsNull(column, negated=True)
 
 
 def and_(*operands: Expression) -> And:

@@ -21,6 +21,7 @@ from repro.expr.expressions import (
     Comparison,
     Expression,
     InList,
+    IsNull,
     Not,
     Or,
     StringPredicate,
@@ -75,6 +76,9 @@ def _estimate(expression: Expression, statistics: Optional[TableStatistics]) -> 
         return min(1.0, per_value * len(expression.values))
     if isinstance(expression, StringPredicate):
         return DEFAULT_STRING_SELECTIVITY
+    if isinstance(expression, IsNull):
+        # The storage layer has no NULLs: IS NULL never matches, IS NOT NULL always.
+        return 1.0 if expression.negated else 0.0
     if isinstance(expression, And):
         result = 1.0
         for operand in expression.operands:

@@ -45,7 +45,10 @@ class RelationRef:
 
     def __post_init__(self) -> None:
         if not self.alias or not self.table:
-            raise PlanError("relation alias and table name must be non-empty")
+            raise PlanError(
+                "relation alias and table name must be non-empty "
+                f"(got alias={self.alias!r}, table={self.table!r})"
+            )
 
 
 @dataclass(frozen=True)
@@ -128,9 +131,15 @@ class AggregateSpec:
 
     def __post_init__(self) -> None:
         if self.function not in ("count", "sum", "min", "max", "avg"):
-            raise PlanError(f"unsupported aggregate function {self.function!r}")
+            raise PlanError(
+                f"unsupported aggregate function {self.function!r} "
+                "(expected count, sum, min, max, or avg)"
+            )
         if self.function != "count" and (self.alias is None or self.column is None):
-            raise PlanError(f"aggregate {self.function!r} requires an input column")
+            raise PlanError(
+                f"aggregate {self.function!r} requires an input column "
+                f"(got alias={self.alias!r}, column={self.column!r})"
+            )
 
 
 @dataclass(frozen=True)
@@ -164,19 +173,24 @@ class QuerySpec:
     def __post_init__(self) -> None:
         aliases = [r.alias for r in self.relations]
         if len(set(aliases)) != len(aliases):
-            raise PlanError(f"query {self.name!r} has duplicate relation aliases")
+            duplicated = sorted({a for a in aliases if aliases.count(a) > 1})
+            raise PlanError(
+                f"query {self.name!r} has duplicate relation aliases: {duplicated}"
+            )
         known = set(aliases)
         for join in self.joins:
             for alias in (join.left_alias, join.right_alias):
                 if alias not in known:
                     raise PlanError(
-                        f"query {self.name!r}: join condition references unknown alias {alias!r}"
+                        f"query {self.name!r}: join condition {join!r} references "
+                        f"unknown alias {alias!r} (declared: {sorted(known)})"
                     )
         for predicate in self.post_join_predicates:
             missing = predicate.required_aliases() - known
             if missing:
                 raise PlanError(
-                    f"query {self.name!r}: post-join predicate references unknown aliases {sorted(missing)}"
+                    f"query {self.name!r}: post-join predicate references unknown "
+                    f"aliases {sorted(missing)} (declared: {sorted(known)})"
                 )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,88 @@
+"""SQL front end: lexer → parser → binder → :class:`~repro.query.QuerySpec` lowering.
+
+The engine's execution stack — optimizer, transfer phase, physical-plan
+compiler, backends — consumes :class:`~repro.query.QuerySpec` objects.  This
+package turns SQL text into those objects, so every ``.sql`` file anyone can
+write becomes a workload for all five execution modes::
+
+    from repro import Database, ExecutionMode
+    result = db.sql("SELECT COUNT(*) FROM orders o, lineitem l "
+                    "WHERE l.l_orderkey = o.o_orderkey")
+
+Pipeline stages (each usable on its own):
+
+* :func:`repro.sql.lexer.tokenize` — text → tokens with source offsets;
+* :func:`repro.sql.parser.parse_statement` — tokens → typed AST;
+* :func:`repro.sql.binder.bind_select` — AST + catalog → name-resolved
+  :class:`~repro.sql.binder.BoundSelect` (caret diagnostics on unknown /
+  ambiguous names);
+* :func:`repro.sql.lower.lower_select` — bound AST → ``QuerySpec`` (WHERE
+  conjuncts classified into base filters, equi-joins, post-join predicates);
+* :func:`repro.sql.format.to_sql` — the inverse: ``QuerySpec`` → SQL text
+  with the round-trip guarantee ``compile(to_sql(spec)) == spec``.
+
+Every front-end failure raises :class:`~repro.errors.SqlError` carrying the
+source text and character offset; ``str(error)`` renders a caret under the
+offending position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.query import QuerySpec
+from repro.sql.ast import SelectStatement
+from repro.sql.binder import BoundSelect, bind_select
+from repro.sql.format import format_expression, format_value, to_sql
+from repro.sql.lexer import Token, default_name, tokenize
+from repro.sql.lower import lower_select
+from repro.sql.parser import parse_statement, split_statements
+from repro.storage.catalog import Catalog
+
+
+@dataclass(frozen=True)
+class CompiledStatement:
+    """The result of compiling one SQL statement against a catalog."""
+
+    #: The lowered query, ready for ``Database.execute``.
+    query: QuerySpec
+    #: True when the statement was ``EXPLAIN SELECT ...``.
+    explain: bool
+    #: The parsed (pre-binding) AST, for tooling and tests.
+    statement: SelectStatement
+
+
+def compile_statement(
+    source: str,
+    catalog: Catalog,
+    name: Optional[str] = None,
+) -> CompiledStatement:
+    """Compile SQL text into a :class:`CompiledStatement`.
+
+    ``name`` overrides the query name; otherwise a ``-- name:`` directive in
+    the source is used, falling back to ``"sql_query"``.  Raises
+    :class:`~repro.errors.SqlError` on any lex/parse/bind/lowering failure.
+    """
+    statement = parse_statement(source)
+    bound = bind_select(statement, catalog, source, name=name)
+    query = lower_select(bound, source)
+    return CompiledStatement(query=query, explain=bound.explain, statement=statement)
+
+
+__all__ = [
+    "BoundSelect",
+    "CompiledStatement",
+    "SelectStatement",
+    "Token",
+    "bind_select",
+    "compile_statement",
+    "default_name",
+    "format_expression",
+    "format_value",
+    "lower_select",
+    "parse_statement",
+    "split_statements",
+    "to_sql",
+    "tokenize",
+]

@@ -1,0 +1,174 @@
+"""Typed AST produced by the SQL parser.
+
+The AST is deliberately small: it covers exactly the declarative surface a
+:class:`~repro.query.QuerySpec` can express — an aggregate-only select list,
+a flat ``FROM`` list with aliases, and a ``WHERE`` tree of comparisons,
+``BETWEEN`` / ``IN`` / ``LIKE`` / ``IS NULL`` predicates combined with
+``AND`` / ``OR`` / ``NOT``.  Every node carries the character offset of its
+head token (``pos``) so the binder and lowering pass can attach
+caret-position diagnostics to any node they reject.
+
+Nodes are frozen dataclasses; the binder rewrites them functionally with
+:func:`dataclasses.replace` (e.g. filling in resolved column qualifiers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+
+class SqlNode:
+    """Base class for all AST nodes (every node carries a source ``pos``)."""
+
+    __slots__ = ()
+
+
+class SqlExpr(SqlNode):
+    """Base class for WHERE-clause expression nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class ColumnName(SqlExpr):
+    """A possibly-qualified column reference (``t.production_year`` / ``id``).
+
+    After binding, ``qualifier`` is always the resolved relation alias.
+    """
+
+    name: str
+    qualifier: Optional[str] = None
+    pos: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
+
+
+@dataclass(frozen=True)
+class LiteralValue(SqlExpr):
+    """A number or string literal (``value`` holds the Python value)."""
+
+    value: Union[int, float, str]
+    pos: int = 0
+
+
+#: Either side of a comparison.
+Operand = Union[ColumnName, LiteralValue]
+
+
+@dataclass(frozen=True)
+class ComparisonExpr(SqlExpr):
+    """``left <op> right`` with op one of ``= <> != < <= > >=``."""
+
+    left: Operand
+    op: str
+    right: Operand
+    pos: int = 0
+
+
+@dataclass(frozen=True)
+class BetweenExpr(SqlExpr):
+    """``column [NOT] BETWEEN low AND high``."""
+
+    column: ColumnName
+    low: LiteralValue
+    high: LiteralValue
+    negated: bool = False
+    pos: int = 0
+
+
+@dataclass(frozen=True)
+class InExpr(SqlExpr):
+    """``column [NOT] IN (v1, v2, ...)``."""
+
+    column: ColumnName
+    values: Tuple[LiteralValue, ...] = ()
+    negated: bool = False
+    pos: int = 0
+
+
+@dataclass(frozen=True)
+class LikeExpr(SqlExpr):
+    """``column [NOT] LIKE 'pattern'`` (prefix / suffix / contains patterns)."""
+
+    column: ColumnName
+    pattern: str
+    negated: bool = False
+    pos: int = 0
+
+
+@dataclass(frozen=True)
+class IsNullExpr(SqlExpr):
+    """``column IS [NOT] NULL``."""
+
+    column: ColumnName
+    negated: bool = False
+    pos: int = 0
+
+
+@dataclass(frozen=True)
+class AndExpr(SqlExpr):
+    """Conjunction of two or more operands at one syntactic level.
+
+    Parenthesized sub-conjunctions stay nested (they are *not* flattened
+    into the enclosing level), so expression grouping survives a
+    format → parse round trip structurally unchanged.
+    """
+
+    operands: Tuple[SqlExpr, ...]
+    pos: int = 0
+
+
+@dataclass(frozen=True)
+class OrExpr(SqlExpr):
+    """Disjunction of two or more operands at one syntactic level."""
+
+    operands: Tuple[SqlExpr, ...]
+    pos: int = 0
+
+
+@dataclass(frozen=True)
+class NotExpr(SqlExpr):
+    """``NOT operand``."""
+
+    operand: SqlExpr
+    pos: int = 0
+
+
+@dataclass(frozen=True)
+class SelectItem(SqlNode):
+    """One aggregate of the select list, e.g. ``SUM(l.l_extendedprice) AS revenue``.
+
+    ``function`` is lower-cased (``count`` / ``sum`` / ``min`` / ``max`` /
+    ``avg``); ``star`` is True for ``COUNT(*)``, in which case ``column`` is
+    None.
+    """
+
+    function: str
+    star: bool = False
+    column: Optional[ColumnName] = None
+    output_name: Optional[str] = None
+    pos: int = 0
+
+
+@dataclass(frozen=True)
+class TableRef(SqlNode):
+    """One ``FROM``-list entry: ``table [AS] alias`` (alias defaults to table)."""
+
+    table: str
+    alias: str
+    pos: int = 0
+    alias_pos: int = 0
+
+
+@dataclass(frozen=True)
+class SelectStatement(SqlNode):
+    """A parsed ``[EXPLAIN] SELECT`` statement."""
+
+    items: Tuple[SelectItem, ...]
+    tables: Tuple[TableRef, ...]
+    where: Optional[SqlExpr] = None
+    explain: bool = False
+    #: Query name from a leading ``-- name: <name>`` comment directive, if any.
+    name: Optional[str] = None

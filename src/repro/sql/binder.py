@@ -1,0 +1,260 @@
+"""Name resolution: bind a parsed AST against a :class:`~repro.storage.catalog.Catalog`.
+
+The binder checks that every ``FROM`` table exists, that aliases are unique,
+and resolves every column reference to its owning relation alias:
+
+* ``t.production_year`` — the qualifier must be a declared alias and the
+  column must exist in that alias's table;
+* ``production_year`` — exactly one declared alias's table may contain the
+  column; zero matches is "unknown column", two or more is "ambiguous".
+
+Every failure raises :class:`~repro.errors.SqlError` with the query name,
+the offending alias/column, and the caret position of the token that caused
+it.  The output is a :class:`BoundSelect` whose expression tree is the input
+AST with every :class:`~repro.sql.ast.ColumnName` qualifier filled in, plus
+the already-lowered aggregate list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
+
+from repro.errors import SqlError
+from repro.query import AggregateSpec
+from repro.sql.ast import (
+    AndExpr,
+    BetweenExpr,
+    ColumnName,
+    ComparisonExpr,
+    InExpr,
+    IsNullExpr,
+    LikeExpr,
+    LiteralValue,
+    NotExpr,
+    OrExpr,
+    SelectStatement,
+    SqlExpr,
+)
+from repro.storage.catalog import Catalog
+from repro.storage.datatypes import DataType
+from repro.storage.table import Table
+
+
+@dataclass(frozen=True)
+class BoundSelect:
+    """A name-resolved select: every column reference carries its alias."""
+
+    name: str
+    #: (alias, table-name) pairs in FROM order.
+    relations: Tuple[Tuple[str, str], ...]
+    aggregates: Tuple[AggregateSpec, ...]
+    where: Optional[SqlExpr]
+    explain: bool = False
+
+
+def bind_select(
+    statement: SelectStatement,
+    catalog: Catalog,
+    source: str,
+    name: Optional[str] = None,
+) -> BoundSelect:
+    """Resolve ``statement`` against ``catalog``; raises :class:`SqlError`."""
+    query_name = name or statement.name or "sql_query"
+    binder = _Binder(catalog, source, query_name)
+    return binder.bind(statement)
+
+
+class _Binder:
+    def __init__(self, catalog: Catalog, source: str, query_name: str) -> None:
+        self.catalog = catalog
+        self.source = source
+        self.query_name = query_name
+        self.tables: Dict[str, Table] = {}
+
+    def error(self, message: str, pos: int) -> SqlError:
+        return SqlError(f"query {self.query_name!r}: {message}", self.source, pos)
+
+    def bind(self, statement: SelectStatement) -> BoundSelect:
+        relations = []
+        for ref in statement.tables:
+            if not self.catalog.has_table(ref.table):
+                known = ", ".join(sorted(self.catalog.table_names())) or "(none)"
+                raise self.error(
+                    f"unknown table {ref.table!r} (registered tables: {known})", ref.pos
+                )
+            if ref.alias in self.tables:
+                raise self.error(f"duplicate relation alias {ref.alias!r}", ref.alias_pos)
+            self.tables[ref.alias] = self.catalog.table(ref.table)
+            relations.append((ref.alias, ref.table))
+        aggregates = tuple(self._bind_select_item(item) for item in statement.items)
+        where = self._bind_expr(statement.where) if statement.where is not None else None
+        return BoundSelect(
+            name=self.query_name,
+            relations=tuple(relations),
+            aggregates=aggregates,
+            where=where,
+            explain=statement.explain,
+        )
+
+    # ------------------------------------------------------------------
+    # Select list
+    # ------------------------------------------------------------------
+    def _bind_select_item(self, item) -> AggregateSpec:
+        if item.star:
+            # No default output name: ``COUNT(*)`` must bind to exactly what
+            # a hand-built AggregateSpec without one looks like, or the
+            # ``compile(to_sql(spec)) == spec`` round trip breaks.
+            return AggregateSpec(function="count", output_name=item.output_name)
+        column = self._resolve_column(item.column)
+        if (
+            item.function != "count"
+            and self._column_of(column).dtype is DataType.STRING
+        ):
+            raise self.error(
+                f"{item.function.upper()}({column}) is not supported: {column} is a "
+                "string column (aggregating dictionary codes would be meaningless)",
+                column.pos,
+            )
+        return AggregateSpec(
+            function=item.function,
+            alias=column.qualifier,
+            column=column.name,
+            output_name=item.output_name,
+        )
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def _bind_expr(self, expr: SqlExpr) -> SqlExpr:
+        if isinstance(expr, AndExpr):
+            return replace(expr, operands=tuple(self._bind_expr(o) for o in expr.operands))
+        if isinstance(expr, OrExpr):
+            return replace(expr, operands=tuple(self._bind_expr(o) for o in expr.operands))
+        if isinstance(expr, NotExpr):
+            return replace(expr, operand=self._bind_expr(expr.operand))
+        if isinstance(expr, ComparisonExpr):
+            left = self._bind_operand(expr.left)
+            right = self._bind_operand(expr.right)
+            if isinstance(left, ColumnName) and isinstance(right, LiteralValue):
+                self._check_literal_type(left, right)
+            elif isinstance(left, LiteralValue) and isinstance(right, ColumnName):
+                self._check_literal_type(right, left)
+            elif isinstance(left, ColumnName) and isinstance(right, ColumnName):
+                self._check_join_types(left, right, expr.pos)
+            return replace(expr, left=left, right=right)
+        if isinstance(expr, BetweenExpr):
+            column = self._resolve_column(expr.column)
+            self._check_literal_type(column, expr.low)
+            self._check_literal_type(column, expr.high)
+            return replace(expr, column=column)
+        if isinstance(expr, InExpr):
+            column = self._resolve_column(expr.column)
+            for value in expr.values:
+                self._check_literal_type(column, value)
+            return replace(expr, column=column)
+        if isinstance(expr, LikeExpr):
+            column = self._resolve_column(expr.column)
+            if self._column_of(column).dtype is not DataType.STRING:
+                raise self.error(
+                    f"LIKE requires a string column, but {column} is numeric",
+                    column.pos,
+                )
+            return replace(expr, column=column)
+        if isinstance(expr, IsNullExpr):
+            return replace(expr, column=self._resolve_column(expr.column))
+        raise self.error(f"unsupported expression node {type(expr).__name__}", getattr(expr, "pos", 0))
+
+    def _bind_operand(self, operand):
+        if isinstance(operand, ColumnName):
+            return self._resolve_column(operand)
+        assert isinstance(operand, LiteralValue)
+        return operand
+
+    def _column_of(self, column: ColumnName):
+        """The storage column of an already-resolved reference."""
+        return self.tables[column.qualifier].column(column.name)
+
+    def _check_literal_type(self, column: ColumnName, literal: LiteralValue) -> None:
+        """Reject string-vs-numeric mismatches at bind time.
+
+        Without this, the mismatch escapes the front end and surfaces as a
+        raw NumPy ufunc error mid-execution — with no caret diagnostic.
+        """
+        is_string_column = self._column_of(column).dtype is DataType.STRING
+        if is_string_column and not isinstance(literal.value, str):
+            raise self.error(
+                f"{column} is a string column; comparison with the numeric "
+                f"literal {literal.value!r} is not supported",
+                literal.pos,
+            )
+        if not is_string_column and isinstance(literal.value, str):
+            raise self.error(
+                f"{column} is a numeric column; comparison with the string "
+                f"literal {literal.value!r} is not supported",
+                literal.pos,
+            )
+
+    def _check_join_types(self, left: ColumnName, right: ColumnName, pos: int) -> None:
+        """Reject column-to-column comparisons the join kernels cannot evaluate.
+
+        String columns are dictionary-encoded *per column*: the engine joins
+        raw codes, so a string-column join is only meaningful between two
+        occurrences of the same table column (a self-join sharing one
+        dictionary).  Anything else would silently match unrelated codes.
+        """
+        left_is_string = self._column_of(left).dtype is DataType.STRING
+        right_is_string = self._column_of(right).dtype is DataType.STRING
+        if left_is_string != right_is_string:
+            string_side, numeric_side = (
+                (left, right) if left_is_string else (right, left)
+            )
+            raise self.error(
+                f"cannot compare string column {string_side} with numeric "
+                f"column {numeric_side}",
+                pos,
+            )
+        if left_is_string and right_is_string:
+            same_dictionary = (
+                self.tables[left.qualifier].name == self.tables[right.qualifier].name
+                and left.name == right.name
+            )
+            if not same_dictionary:
+                raise self.error(
+                    f"joins on string columns are only supported between two "
+                    f"occurrences of the same table column (got {left} and "
+                    f"{right}, whose dictionaries differ)",
+                    pos,
+                )
+
+    def _resolve_column(self, column: ColumnName) -> ColumnName:
+        if column.qualifier is not None:
+            table = self.tables.get(column.qualifier)
+            if table is None:
+                known = ", ".join(sorted(self.tables)) or "(none)"
+                raise self.error(
+                    f"unknown relation alias {column.qualifier!r} "
+                    f"(declared aliases: {known})",
+                    column.pos,
+                )
+            if not table.has_column(column.name):
+                raise self.error(
+                    f"unknown column {column.name!r} of alias {column.qualifier!r} "
+                    f"(table {table.name!r} has: {', '.join(table.column_names)})",
+                    column.pos,
+                )
+            return column
+        candidates = [alias for alias, table in self.tables.items() if table.has_column(column.name)]
+        if not candidates:
+            raise self.error(
+                f"unknown column {column.name!r} (no relation in the FROM clause has it)",
+                column.pos,
+            )
+        if len(candidates) > 1:
+            raise self.error(
+                f"ambiguous column {column.name!r} (could be "
+                + " or ".join(f"{a}.{column.name}" for a in sorted(candidates))
+                + "); qualify it with an alias",
+                column.pos,
+            )
+        return replace(column, qualifier=candidates[0])

@@ -1,0 +1,71 @@
+"""Malformed-input corpus for the SQL front end.
+
+Every entry must raise :class:`~repro.errors.SqlError` — with a usable
+line/column position, never a bare ``IndexError``/``KeyError``/crash — when
+compiled against *any* catalog.  The corpus is shared by the unit tests and
+the CI parser-smoke step, so adding a newly found crasher here covers both.
+
+Entries marked ``needs_catalog`` only fail at bind time and are compiled
+against a catalog containing a single table ``t(a, b)`` by the smoke
+harness; the rest fail during lexing/parsing regardless of the catalog.
+"""
+
+from __future__ import annotations
+
+#: Inputs that must fail before binding (lex or parse errors).
+MALFORMED_SYNTAX = (
+    "",
+    "   \n\t  ",
+    "SELECT",
+    "SELECT COUNT(*)",
+    "SELECT COUNT(* FROM t",
+    "SELECT COUNT(*) FROM",
+    "SELECT COUNT(*) FROM t WHERE",
+    "SELECT COUNT(*) FROM t WHERE a =",
+    "SELECT COUNT(*) FROM t WHERE a = 1 AND",
+    "SELECT COUNT(*) FROM t WHERE (a = 1",
+    "SELECT COUNT(*) FROM t WHERE a BETWEEN 1",
+    "SELECT COUNT(*) FROM t WHERE a BETWEEN 1 AND",
+    "SELECT COUNT(*) FROM t WHERE a IN",
+    "SELECT COUNT(*) FROM t WHERE a IN ()",
+    "SELECT COUNT(*) FROM t WHERE a IN (1,",
+    "SELECT COUNT(*) FROM t WHERE a LIKE 5",
+    "SELECT COUNT(*) FROM t WHERE a IS",
+    "SELECT COUNT(*) FROM t WHERE a IS NOT",
+    "SELECT COUNT(*) FROM t WHERE a NOT 5",
+    "SELECT COUNT(*) FROM t WHERE NOT",
+    "SELECT a FROM t",
+    "SELECT SUM(*) FROM t",
+    "SELECT COUNT(*) FROM t WHERE a = 'unterminated",
+    "SELECT COUNT(*) FROM t /* unterminated",
+    "SELECT COUNT(*) FROM t WHERE a = 1 garbage garbage",
+    "SELECT COUNT(*) FROM t; SELECT COUNT(*) FROM t",
+    "SELECT COUNT(*) FROM t WHERE a ? 1",
+    "EXPLAIN",
+    "EXPLAIN EXPLAIN SELECT COUNT(*) FROM t",
+    "WHERE a = 1",
+)
+
+#: Inputs that lex/parse but must fail binding or lowering against ``t(a, b)``.
+MALFORMED_SEMANTIC = (
+    "SELECT COUNT(*) FROM missing_table",
+    "SELECT COUNT(*) FROM t, t",
+    "SELECT COUNT(*) FROM t AS x, t AS x",
+    "SELECT COUNT(*) FROM t WHERE missing_column = 1",
+    "SELECT COUNT(*) FROM t WHERE x.a = 1",
+    "SELECT COUNT(*) FROM t AS x, t AS y WHERE a = 1",
+    "SELECT SUM(missing_column) FROM t",
+    "SELECT COUNT(*) FROM t WHERE a = b",
+    "SELECT COUNT(*) FROM t AS x, t AS y WHERE x.a < y.a",
+    "SELECT COUNT(*) FROM t WHERE 1 = 2",
+    "SELECT COUNT(*) FROM t WHERE a LIKE 'no_wildcard'",
+    "SELECT COUNT(*) FROM t WHERE a LIKE '%a%b%'",
+    "SELECT COUNT(*) FROM t AS x, t AS y WHERE x.a BETWEEN 1 AND 2 OR y.b = 1",
+    "SELECT COUNT(*) FROM t WHERE a < 'not_a_number'",
+    "SELECT COUNT(*) FROM t WHERE a BETWEEN 'lo' AND 'hi'",
+    "SELECT COUNT(*) FROM t WHERE a IN (1, 'mixed')",
+    "SELECT COUNT(*) FROM t WHERE a LIKE 'numeric%'",
+)
+
+#: The full corpus (syntax + semantic), for harnesses that bind everything.
+MALFORMED_CORPUS = MALFORMED_SYNTAX + MALFORMED_SEMANTIC

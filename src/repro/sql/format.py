@@ -1,0 +1,216 @@
+"""``QuerySpec → SQL`` formatter: the inverse of the parse/bind/lower pipeline.
+
+:func:`to_sql` renders a :class:`~repro.query.QuerySpec` as SQL text that
+the front end parses back into a *structurally identical* spec::
+
+    parse(to_sql(spec)) == spec
+
+for every query the engine can represent (the round-trip property the test
+suite asserts over all registered workload queries).  The invariants that
+make the round trip exact:
+
+* the query name is embedded as a leading ``-- name:`` directive;
+* aggregates render explicitly (``COUNT(*) AS count_star`` for the default);
+* each relation's filter renders as *one* parenthesized WHERE conjunct with
+  every column qualified by the relation alias, so lowering reassembles
+  exactly one filter expression per relation;
+* nested AND/OR groups are always parenthesized, so the parser rebuilds the
+  same tree shape instead of flattening chains.
+
+The checked-in workload ``.sql`` files under ``repro/workloads/sql/`` are
+generated with this formatter (see ``repro.workloads.sqlfiles``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, List
+
+from repro.errors import PlanError
+from repro.sql.lexer import KEYWORDS, NAME_DIRECTIVE_RE
+from repro.expr.expressions import (
+    And,
+    Between,
+    Comparison,
+    Expression,
+    InList,
+    IsNull,
+    Not,
+    Or,
+    StringPredicate,
+)
+from repro.query import PostJoinPredicate, QualifiedComparison, QuerySpec
+
+#: Engine operator → SQL comparison symbol.
+ENGINE_TO_SQL_OP = {"==": "=", "!=": "<>", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*\Z")
+
+
+def _ident(name: str, what: str, allow_keyword: bool = False) -> str:
+    """Validate that ``name`` re-parses as the identifier the formatter emits.
+
+    Column names may collide with keywords (the formatter always emits them
+    dot-qualified, where the parser accepts keywords); tables, aliases, and
+    output names may not.
+    """
+    if not isinstance(name, str) or not _IDENT_RE.match(name):
+        raise PlanError(f"{what} {name!r} cannot be rendered as a SQL identifier")
+    if not allow_keyword and name.upper() in KEYWORDS:
+        raise PlanError(
+            f"{what} {name!r} collides with a SQL keyword and cannot be rendered"
+        )
+    return name
+
+
+def to_sql(spec: QuerySpec, include_name: bool = True) -> str:
+    """Render ``spec`` as SQL text that parses back to an equal spec.
+
+    Raises :class:`~repro.errors.PlanError` for the few spec shapes SQL
+    cannot express unambiguously (e.g. a LIKE pattern containing ``%``, or a
+    post-join predicate referencing a single relation).
+    """
+    lines: List[str] = []
+    if include_name:
+        if NAME_DIRECTIVE_RE.fullmatch(f"-- name: {spec.name}") is None:
+            raise PlanError(
+                f"query name {spec.name!r} cannot be rendered as a "
+                "'-- name:' directive (it would truncate on re-parse)"
+            )
+        lines.append(f"-- name: {spec.name}")
+    lines.append("SELECT " + ",\n       ".join(_format_aggregate(a) for a in spec.aggregates))
+    lines.append(
+        "FROM "
+        + ",\n     ".join(
+            f"{_ident(ref.table, 'table name')} AS {_ident(ref.alias, 'relation alias')}"
+            for ref in spec.relations
+        )
+    )
+    conjuncts: List[str] = []
+    for join in spec.joins:
+        conjuncts.append(
+            f"{_ident(join.left_alias, 'relation alias')}"
+            f".{_ident(join.left_column, 'column name', allow_keyword=True)}"
+            f" = {_ident(join.right_alias, 'relation alias')}"
+            f".{_ident(join.right_column, 'column name', allow_keyword=True)}"
+        )
+    for ref in spec.relations:
+        if ref.filter is not None:
+            conjuncts.append(format_expression(ref.filter, ref.alias))
+    for predicate in spec.post_join_predicates:
+        conjuncts.append(_format_post_join(spec, predicate))
+    if conjuncts:
+        lines.append("WHERE " + "\n  AND ".join(conjuncts))
+    return "\n".join(lines) + ";\n"
+
+
+def _format_aggregate(agg) -> str:
+    if agg.column is None:
+        rendered = f"{agg.function.upper()}(*)"
+    else:
+        rendered = f"{agg.function.upper()}({_qualified(agg.alias, agg.column)})"
+    if agg.output_name is not None:
+        rendered += f" AS {_ident(agg.output_name, 'output name')}"
+    return rendered
+
+
+def _qualified(alias: str, column: str) -> str:
+    """``alias.column`` with both identifiers validated for re-parseability."""
+    return (
+        f"{_ident(alias, 'relation alias')}"
+        f".{_ident(column, 'column name', allow_keyword=True)}"
+    )
+
+
+def format_expression(expression: Expression, alias: str) -> str:
+    """Render a base-table filter with every column qualified by ``alias``.
+
+    Composite expressions (AND/OR/NOT) are parenthesized so the whole filter
+    stays one WHERE conjunct and nested grouping survives re-parsing.
+    """
+    if isinstance(expression, Comparison):
+        return (
+            f"{_qualified(alias, expression.column)} {ENGINE_TO_SQL_OP[expression.op]} "
+            f"{format_value(expression.value)}"
+        )
+    if isinstance(expression, Between):
+        return (
+            f"{_qualified(alias, expression.column)} BETWEEN {format_value(expression.low)} "
+            f"AND {format_value(expression.high)}"
+        )
+    if isinstance(expression, InList):
+        if not expression.values:
+            raise PlanError(
+                f"cannot format empty IN-list on column {expression.column!r} as SQL"
+            )
+        values = ", ".join(format_value(v) for v in expression.values)
+        return f"{_qualified(alias, expression.column)} IN ({values})"
+    if isinstance(expression, StringPredicate):
+        return f"{_qualified(alias, expression.column)} LIKE {_format_like_pattern(expression)}"
+    if isinstance(expression, IsNull):
+        return f"{_qualified(alias, expression.column)} IS {'NOT ' if expression.negated else ''}NULL"
+    if isinstance(expression, And):
+        return "(" + " AND ".join(format_expression(o, alias) for o in expression.operands) + ")"
+    if isinstance(expression, Or):
+        return "(" + " OR ".join(format_expression(o, alias) for o in expression.operands) + ")"
+    if isinstance(expression, Not):
+        return f"(NOT {format_expression(expression.operand, alias)})"
+    raise PlanError(
+        f"expression {expression!r} has no SQL rendering "
+        "(only predicate expressions are supported)"
+    )
+
+
+def _format_like_pattern(predicate: StringPredicate) -> str:
+    if "%" in predicate.pattern or "_" in predicate.pattern:
+        raise PlanError(
+            f"LIKE pattern {predicate.pattern!r} contains SQL wildcards and "
+            "cannot be formatted unambiguously"
+        )
+    body = predicate.pattern.replace("'", "''")
+    if predicate.mode == "prefix":
+        return f"'{body}%'"
+    if predicate.mode == "suffix":
+        return f"'%{body}'"
+    return f"'%{body}%'"
+
+
+def format_value(value: Any) -> str:
+    """Render a literal: numbers bare (floats keep their point), strings quoted."""
+    if isinstance(value, bool):
+        raise PlanError(f"boolean literal {value!r} has no SQL rendering")
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    # NumPy scalars first: np.float64 subclasses float but its repr() is not
+    # SQL (``np.float64(2.5)`` under NumPy >= 2), so unwrap before the
+    # plain-number branches.
+    if hasattr(value, "item") and type(value) is not type(value.item()):
+        return format_value(value.item())
+    if isinstance(value, float):
+        rendered = repr(value)
+        if "inf" in rendered or "nan" in rendered:
+            raise PlanError(f"non-finite literal {value!r} has no SQL rendering")
+        return rendered
+    if isinstance(value, int):
+        return str(value)
+    raise PlanError(f"literal {value!r} has no SQL rendering")
+
+
+def _format_post_join(spec: QuerySpec, predicate: PostJoinPredicate) -> str:
+    if len(predicate.required_aliases()) < 2:
+        raise PlanError(
+            f"query {spec.name!r}: post-join predicate referencing "
+            f"{sorted(predicate.required_aliases())} cannot be formatted — lowering "
+            "would reclassify a single-relation conjunct as a base filter"
+        )
+    rendered_disjuncts = []
+    for disjunct in predicate.disjuncts:
+        terms = " AND ".join(_format_qualified(term) for term in disjunct)
+        rendered_disjuncts.append(f"({terms})" if len(disjunct) > 1 else terms)
+    if len(rendered_disjuncts) == 1:
+        return rendered_disjuncts[0]
+    return "(" + " OR ".join(rendered_disjuncts) + ")"
+
+
+def _format_qualified(term: QualifiedComparison) -> str:
+    return f"{_qualified(term.alias, term.column)} {ENGINE_TO_SQL_OP[term.op]} {format_value(term.value)}"

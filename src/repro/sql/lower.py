@@ -1,0 +1,269 @@
+"""Lowering: classify a bound WHERE clause and emit a :class:`~repro.query.QuerySpec`.
+
+The engine's declarative query language separates what SQL merges into one
+WHERE clause, so lowering walks the *top-level conjuncts* of the bound
+expression tree and classifies each one:
+
+* ``a.x = b.y`` (two column sides, two aliases)  → an equi-:class:`JoinCondition`;
+* a conjunct whose columns all belong to one alias → that relation's base
+  filter, translated into the engine's :class:`~repro.expr.expressions.Expression`
+  language (with qualifiers stripped — filters evaluate against their own
+  table);
+* a conjunct spanning two or more aliases → a :class:`PostJoinPredicate`,
+  which the engine applies once all referenced relations are joined.  Only
+  the OR-of-ANDs comparison shape the engine evaluates is accepted (the
+  paper's TPC-DS Q13/Q48 form).
+
+Anything outside those shapes — non-equality column-to-column comparisons,
+predicates referencing no column, ``BETWEEN`` across relations — raises
+:class:`~repro.errors.SqlError` at the offending position rather than
+silently producing a different query.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import SqlError
+from repro.expr.expressions import (
+    And,
+    Between,
+    Comparison,
+    Expression,
+    InList,
+    IsNull,
+    Not,
+    Or,
+    StringPredicate,
+)
+from repro.query import (
+    JoinCondition,
+    PostJoinPredicate,
+    QualifiedComparison,
+    QuerySpec,
+    RelationRef,
+)
+from repro.sql.ast import (
+    AndExpr,
+    BetweenExpr,
+    ColumnName,
+    ComparisonExpr,
+    InExpr,
+    IsNullExpr,
+    LikeExpr,
+    LiteralValue,
+    NotExpr,
+    OrExpr,
+    SqlExpr,
+)
+from repro.sql.binder import BoundSelect
+
+#: SQL comparison symbol → engine operator.
+SQL_TO_ENGINE_OP = {"=": "==", "<>": "!=", "!=": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+
+#: Mirror of each operator for ``literal <op> column`` normalization.
+_FLIPPED_OP = {"==": "==", "!=": "!=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+def lower_select(bound: BoundSelect, source: str) -> QuerySpec:
+    """Lower a bound select into the engine's :class:`QuerySpec`."""
+    return _Lowering(bound, source).lower()
+
+
+class _Lowering:
+    def __init__(self, bound: BoundSelect, source: str) -> None:
+        self.bound = bound
+        self.source = source
+
+    def error(self, message: str, pos: int) -> SqlError:
+        return SqlError(f"query {self.bound.name!r}: {message}", self.source, pos)
+
+    def lower(self) -> QuerySpec:
+        joins: List[JoinCondition] = []
+        filters: Dict[str, List[Expression]] = {}
+        post_joins: List[PostJoinPredicate] = []
+        for conjunct in self._conjuncts():
+            join = self._as_join(conjunct)
+            if join is not None:
+                joins.append(join)
+                continue
+            aliases = sorted(self._referenced_aliases(conjunct))
+            if not aliases:
+                raise self.error(
+                    "predicate references no column; constant predicates are not supported",
+                    _pos(conjunct),
+                )
+            if len(aliases) == 1:
+                filters.setdefault(aliases[0], []).append(self._to_expression(conjunct))
+            else:
+                post_joins.append(self._to_post_join(conjunct))
+        relations = []
+        for alias, table in self.bound.relations:
+            alias_filters = filters.get(alias)
+            if not alias_filters:
+                relations.append(RelationRef(alias, table))
+            elif len(alias_filters) == 1:
+                relations.append(RelationRef(alias, table, alias_filters[0]))
+            else:
+                relations.append(RelationRef(alias, table, And(tuple(alias_filters))))
+        return QuerySpec(
+            name=self.bound.name,
+            relations=tuple(relations),
+            joins=tuple(joins),
+            aggregates=self.bound.aggregates,
+            post_join_predicates=tuple(post_joins),
+        )
+
+    # ------------------------------------------------------------------
+    # Conjunct classification
+    # ------------------------------------------------------------------
+    def _conjuncts(self) -> Tuple[SqlExpr, ...]:
+        where = self.bound.where
+        if where is None:
+            return ()
+        if isinstance(where, AndExpr):
+            return where.operands
+        return (where,)
+
+    def _as_join(self, conjunct: SqlExpr):
+        """A top-level ``a.x = b.y`` conjunct becomes a JoinCondition."""
+        if not isinstance(conjunct, ComparisonExpr):
+            return None
+        left, right = conjunct.left, conjunct.right
+        if not (isinstance(left, ColumnName) and isinstance(right, ColumnName)):
+            return None
+        if left.qualifier == right.qualifier:
+            raise self.error(
+                f"comparison between two columns of {left.qualifier!r} is not supported",
+                conjunct.pos,
+            )
+        if conjunct.op != "=":
+            raise self.error(
+                f"only equality joins are supported, got {left} {conjunct.op} {right}",
+                conjunct.pos,
+            )
+        return JoinCondition(left.qualifier, left.name, right.qualifier, right.name)
+
+    def _referenced_aliases(self, expr: SqlExpr) -> frozenset:
+        if isinstance(expr, ColumnName):
+            return frozenset({expr.qualifier})
+        if isinstance(expr, LiteralValue):
+            return frozenset()
+        if isinstance(expr, ComparisonExpr):
+            return self._referenced_aliases(expr.left) | self._referenced_aliases(expr.right)
+        if isinstance(expr, (BetweenExpr, InExpr, LikeExpr, IsNullExpr)):
+            return frozenset({expr.column.qualifier})
+        if isinstance(expr, (AndExpr, OrExpr)):
+            result = frozenset()
+            for operand in expr.operands:
+                result |= self._referenced_aliases(operand)
+            return result
+        if isinstance(expr, NotExpr):
+            return self._referenced_aliases(expr.operand)
+        raise self.error(f"unsupported expression node {type(expr).__name__}", _pos(expr))
+
+    # ------------------------------------------------------------------
+    # Single-relation filters → Expression language
+    # ------------------------------------------------------------------
+    def _to_expression(self, expr: SqlExpr) -> Expression:
+        if isinstance(expr, ComparisonExpr):
+            return self._comparison_to_expression(expr)
+        if isinstance(expr, BetweenExpr):
+            between = Between(expr.column.name, expr.low.value, expr.high.value)
+            return Not(between) if expr.negated else between
+        if isinstance(expr, InExpr):
+            in_list = InList(expr.column.name, tuple(v.value for v in expr.values))
+            return Not(in_list) if expr.negated else in_list
+        if isinstance(expr, LikeExpr):
+            predicate = _like_to_predicate(expr, self.error)
+            return Not(predicate) if expr.negated else predicate
+        if isinstance(expr, IsNullExpr):
+            return IsNull(expr.column.name, negated=expr.negated)
+        if isinstance(expr, AndExpr):
+            return And(tuple(self._to_expression(o) for o in expr.operands))
+        if isinstance(expr, OrExpr):
+            return Or(tuple(self._to_expression(o) for o in expr.operands))
+        if isinstance(expr, NotExpr):
+            return Not(self._to_expression(expr.operand))
+        raise self.error(
+            f"expression {type(expr).__name__} cannot be used as a filter predicate",
+            _pos(expr),
+        )
+
+    def _comparison_to_expression(self, expr: ComparisonExpr) -> Comparison:
+        left, right = expr.left, expr.right
+        if isinstance(left, ColumnName) and isinstance(right, LiteralValue):
+            return Comparison(left.name, SQL_TO_ENGINE_OP[expr.op], right.value)
+        if isinstance(left, LiteralValue) and isinstance(right, ColumnName):
+            op = _FLIPPED_OP[SQL_TO_ENGINE_OP[expr.op]]
+            return Comparison(right.name, op, left.value)
+        if isinstance(left, ColumnName) and isinstance(right, ColumnName):
+            raise self.error(
+                "join conditions must be top-level AND conjuncts of the WHERE clause",
+                expr.pos,
+            )
+        raise self.error("comparison between two literals is not supported", expr.pos)
+
+    # ------------------------------------------------------------------
+    # Multi-relation conjuncts → PostJoinPredicate (OR of ANDs)
+    # ------------------------------------------------------------------
+    def _to_post_join(self, conjunct: SqlExpr) -> PostJoinPredicate:
+        if isinstance(conjunct, OrExpr):
+            disjuncts = tuple(self._post_join_conjunct(d) for d in conjunct.operands)
+        else:
+            disjuncts = (self._post_join_conjunct(conjunct),)
+        return PostJoinPredicate(disjuncts=disjuncts)
+
+    def _post_join_conjunct(self, expr: SqlExpr) -> Tuple[QualifiedComparison, ...]:
+        if isinstance(expr, AndExpr):
+            return tuple(self._post_join_term(t) for t in expr.operands)
+        return (self._post_join_term(expr),)
+
+    def _post_join_term(self, expr: SqlExpr) -> QualifiedComparison:
+        if not isinstance(expr, ComparisonExpr):
+            raise self.error(
+                "predicates spanning multiple relations must be OR/AND combinations "
+                f"of simple comparisons, got {type(expr).__name__}",
+                _pos(expr),
+            )
+        left, right = expr.left, expr.right
+        if isinstance(left, ColumnName) and isinstance(right, LiteralValue):
+            return QualifiedComparison(
+                left.qualifier, left.name, SQL_TO_ENGINE_OP[expr.op], right.value
+            )
+        if isinstance(left, LiteralValue) and isinstance(right, ColumnName):
+            op = _FLIPPED_OP[SQL_TO_ENGINE_OP[expr.op]]
+            return QualifiedComparison(right.qualifier, right.name, op, left.value)
+        raise self.error(
+            "each term of a multi-relation predicate must compare a column with a literal",
+            expr.pos,
+        )
+
+
+def _like_to_predicate(expr: LikeExpr, error) -> StringPredicate:
+    """Map a LIKE pattern onto the engine's prefix/suffix/contains predicates."""
+    pattern = expr.pattern
+    starts = pattern.startswith("%")
+    ends = pattern.endswith("%")
+    body = pattern[1 if starts else 0 : len(pattern) - 1 if ends else len(pattern)]
+    if not body or "%" in body or "_" in body:
+        raise error(
+            f"unsupported LIKE pattern {pattern!r}; only 'x%', '%x', and '%x%' "
+            "shapes are supported",
+            expr.pos,
+        )
+    if starts and ends:
+        return StringPredicate(expr.column.name, "contains", body)
+    if ends:
+        return StringPredicate(expr.column.name, "prefix", body)
+    if starts:
+        return StringPredicate(expr.column.name, "suffix", body)
+    raise error(
+        f"unsupported LIKE pattern {pattern!r}: exact match should use '=' "
+        "(wildcard-free LIKE is not supported)",
+        expr.pos,
+    )
+
+
+def _pos(expr: SqlExpr) -> int:
+    return getattr(expr, "pos", 0)

@@ -1,0 +1,346 @@
+"""Recursive-descent SQL parser producing the typed AST of :mod:`repro.sql.ast`.
+
+Grammar (the declarative subset a :class:`~repro.query.QuerySpec` expresses)::
+
+    statement   := EXPLAIN? select ';'? EOF
+    select      := SELECT select_item (',' select_item)*
+                   FROM table_ref (',' table_ref)*
+                   (WHERE expr)?
+    select_item := func '(' ( '*' | column ) ')' (AS? ident)?
+    func        := COUNT | SUM | MIN | MAX | AVG
+    table_ref   := ident (AS? ident)?
+    expr        := and_chain (OR and_chain)*
+    and_chain   := unary (AND unary)*
+    unary       := NOT unary | predicate
+    predicate   := '(' expr ')'
+                 | operand (=|<>|!=|<|<=|>|>=) operand
+                 | column NOT? BETWEEN literal AND literal
+                 | column NOT? IN '(' literal (',' literal)* ')'
+                 | column NOT? LIKE string
+                 | column IS NOT? NULL
+    operand     := column | literal
+    column      := ident ('.' ident)?
+    literal     := number | string | '-' number
+
+AND/OR chains collect the operands of *one* syntactic level; parenthesized
+sub-expressions stay nested, so expression grouping survives a
+format → parse round trip structurally.
+
+Every parse error raises :class:`~repro.errors.SqlError` carrying the source
+text and offending offset, rendering a caret diagnostic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import SqlError
+from repro.sql.ast import (
+    AndExpr,
+    BetweenExpr,
+    ColumnName,
+    ComparisonExpr,
+    InExpr,
+    IsNullExpr,
+    LikeExpr,
+    LiteralValue,
+    NotExpr,
+    Operand,
+    OrExpr,
+    SelectItem,
+    SelectStatement,
+    SqlExpr,
+    TableRef,
+)
+from repro.sql.lexer import (
+    AGGREGATE_KEYWORDS,
+    EOF,
+    IDENT,
+    KEYWORD,
+    NUMBER,
+    STRING,
+    Token,
+    default_name,
+    tokenize,
+)
+
+_COMPARISON_SYMBOLS = ("=", "<>", "!=", "<=", ">=", "<", ">")
+
+
+def parse_statement(source: str) -> SelectStatement:
+    """Parse one ``[EXPLAIN] SELECT`` statement from ``source``."""
+    return _Parser(source).parse_statement()
+
+
+class _Parser:
+    """Token-stream cursor with :class:`SqlError`-raising expectation helpers."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.tokens = tokenize(source)
+        self.index = 0
+
+    # ------------------------------------------------------------------
+    # Cursor helpers
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind != EOF:
+            self.index += 1
+        return token
+
+    def error(self, message: str, token: Optional[Token] = None) -> SqlError:
+        token = token or self.current
+        return SqlError(message, self.source, token.pos)
+
+    def accept_keyword(self, *names: str) -> Optional[Token]:
+        if self.current.is_keyword(*names):
+            return self.advance()
+        return None
+
+    def expect_keyword(self, *names: str) -> Token:
+        if not self.current.is_keyword(*names):
+            raise self.error(f"expected {' or '.join(names)}")
+        return self.advance()
+
+    def accept_symbol(self, *symbols: str) -> Optional[Token]:
+        if self.current.is_symbol(*symbols):
+            return self.advance()
+        return None
+
+    def expect_symbol(self, *symbols: str) -> Token:
+        if not self.current.is_symbol(*symbols):
+            raise self.error(f"expected {' or '.join(repr(s) for s in symbols)}")
+        return self.advance()
+
+    def expect_ident(self, what: str) -> Token:
+        if self.current.kind != IDENT:
+            raise self.error(f"expected {what}")
+        return self.advance()
+
+    # ------------------------------------------------------------------
+    # Statement / clauses
+    # ------------------------------------------------------------------
+    def parse_statement(self) -> SelectStatement:
+        explain = self.accept_keyword("EXPLAIN") is not None
+        self.expect_keyword("SELECT")
+        items = self._parse_select_list()
+        self.expect_keyword("FROM")
+        tables = self._parse_table_list()
+        where: Optional[SqlExpr] = None
+        if self.accept_keyword("WHERE"):
+            where = self._parse_expr()
+        self.accept_symbol(";")
+        if self.current.kind != EOF:
+            raise self.error("unexpected input after end of statement")
+        return SelectStatement(
+            items=items,
+            tables=tables,
+            where=where,
+            explain=explain,
+            name=default_name(self.source),
+        )
+
+    def _parse_select_list(self) -> Tuple[SelectItem, ...]:
+        items = [self._parse_select_item()]
+        while self.accept_symbol(","):
+            items.append(self._parse_select_item())
+        return tuple(items)
+
+    def _parse_select_item(self) -> SelectItem:
+        token = self.current
+        if not token.is_keyword(*AGGREGATE_KEYWORDS):
+            raise self.error(
+                "expected an aggregate (COUNT/SUM/MIN/MAX/AVG); "
+                "plain column projections are not supported"
+            )
+        self.advance()
+        function = token.text.lower()
+        self.expect_symbol("(")
+        star = False
+        column: Optional[ColumnName] = None
+        if self.current.is_symbol("*"):
+            if function != "count":
+                raise self.error(f"{token.text}(*) is not supported; only COUNT(*)")
+            self.advance()
+            star = True
+        else:
+            column = self._parse_column("aggregate input column")
+        self.expect_symbol(")")
+        output_name = self._parse_optional_alias()
+        return SelectItem(
+            function=function, star=star, column=column, output_name=output_name, pos=token.pos
+        )
+
+    def _parse_table_list(self) -> Tuple[TableRef, ...]:
+        tables = [self._parse_table_ref()]
+        while self.accept_symbol(","):
+            tables.append(self._parse_table_ref())
+        return tuple(tables)
+
+    def _parse_table_ref(self) -> TableRef:
+        table = self.expect_ident("table name")
+        alias_token: Optional[Token] = None
+        if self.accept_keyword("AS"):
+            alias_token = self.expect_ident("table alias")
+        elif self.current.kind == IDENT:
+            alias_token = self.advance()
+        alias = alias_token.text if alias_token is not None else table.text
+        alias_pos = alias_token.pos if alias_token is not None else table.pos
+        return TableRef(table=table.text, alias=alias, pos=table.pos, alias_pos=alias_pos)
+
+    def _parse_optional_alias(self) -> Optional[str]:
+        if self.accept_keyword("AS"):
+            return self.expect_ident("output name").text
+        if self.current.kind == IDENT:
+            return self.advance().text
+        return None
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def _parse_expr(self) -> SqlExpr:
+        first = self._parse_and_chain()
+        operands = [first]
+        while self.accept_keyword("OR"):
+            operands.append(self._parse_and_chain())
+        if len(operands) == 1:
+            return first
+        return OrExpr(operands=tuple(operands), pos=_pos(first))
+
+    def _parse_and_chain(self) -> SqlExpr:
+        first = self._parse_unary()
+        operands = [first]
+        while self.accept_keyword("AND"):
+            operands.append(self._parse_unary())
+        if len(operands) == 1:
+            return first
+        return AndExpr(operands=tuple(operands), pos=_pos(first))
+
+    def _parse_unary(self) -> SqlExpr:
+        token = self.accept_keyword("NOT")
+        if token is not None:
+            return NotExpr(operand=self._parse_unary(), pos=token.pos)
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> SqlExpr:
+        if self.accept_symbol("("):
+            inner = self._parse_expr()
+            self.expect_symbol(")")
+            return inner
+        left = self._parse_operand()
+        token = self.current
+        # Column-only predicate forms.
+        if isinstance(left, ColumnName):
+            negated = False
+            if token.is_keyword("NOT"):
+                self.advance()
+                negated = True
+                token = self.current
+                if not token.is_keyword("BETWEEN", "IN", "LIKE"):
+                    raise self.error("expected BETWEEN, IN, or LIKE after NOT")
+            if token.is_keyword("BETWEEN"):
+                self.advance()
+                low = self._parse_literal("BETWEEN lower bound")
+                self.expect_keyword("AND")
+                high = self._parse_literal("BETWEEN upper bound")
+                return BetweenExpr(column=left, low=low, high=high, negated=negated, pos=left.pos)
+            if token.is_keyword("IN"):
+                self.advance()
+                self.expect_symbol("(")
+                values = [self._parse_literal("IN-list value")]
+                while self.accept_symbol(","):
+                    values.append(self._parse_literal("IN-list value"))
+                self.expect_symbol(")")
+                return InExpr(column=left, values=tuple(values), negated=negated, pos=left.pos)
+            if token.is_keyword("LIKE"):
+                self.advance()
+                pattern = self._parse_literal("LIKE pattern")
+                if not isinstance(pattern.value, str):
+                    raise self.error("LIKE pattern must be a string literal", token)
+                return LikeExpr(column=left, pattern=pattern.value, negated=negated, pos=left.pos)
+            if negated:
+                raise self.error("expected BETWEEN, IN, or LIKE after NOT")
+            if token.is_keyword("IS"):
+                self.advance()
+                is_not = self.accept_keyword("NOT") is not None
+                self.expect_keyword("NULL")
+                return IsNullExpr(column=left, negated=is_not, pos=left.pos)
+        if token.is_symbol(*_COMPARISON_SYMBOLS):
+            self.advance()
+            right = self._parse_operand()
+            return ComparisonExpr(left=left, op=token.text, right=right, pos=token.pos)
+        raise self.error("expected a comparison operator, BETWEEN, IN, LIKE, or IS")
+
+    def _parse_operand(self) -> Operand:
+        token = self.current
+        if token.kind == IDENT:
+            return self._parse_column("column name")
+        if token.kind in (NUMBER, STRING):
+            self.advance()
+            return LiteralValue(value=token.value, pos=token.pos)
+        raise self.error("expected a column name or literal")
+
+    def _parse_column(self, what: str) -> ColumnName:
+        first = self.expect_ident(what)
+        if self.accept_symbol("."):
+            token = self.current
+            if token.kind == IDENT:
+                name = self.advance().text
+            elif token.kind == KEYWORD:
+                # Dot-qualified keyword-named columns are unambiguous (JOB's
+                # ``lt.link`` would otherwise collide with nothing, but a
+                # column literally named ``min``/``kind`` etc. must parse).
+                name = self.advance().value
+            else:
+                raise self.error("expected column name")
+            return ColumnName(name=name, qualifier=first.text, pos=first.pos)
+        return ColumnName(name=first.text, qualifier=None, pos=first.pos)
+
+    def _parse_literal(self, what: str) -> LiteralValue:
+        token = self.current
+        if token.kind in (NUMBER, STRING):
+            self.advance()
+            return LiteralValue(value=token.value, pos=token.pos)
+        raise self.error(f"expected {what} (a number or string literal)")
+
+
+def _pos(expr: SqlExpr) -> int:
+    return getattr(expr, "pos", 0)
+
+
+def split_statements(source: str) -> List[str]:
+    """Split a ``.sql`` file into individual statements on top-level ``;``.
+
+    Statement boundaries come from one :func:`tokenize` pass, so semicolons
+    inside string literals and comments never split.  Empty fragments
+    (trailing semicolon, comment-only tail) are dropped, but a fragment's
+    leading comments — including ``-- name:`` directives — stay attached to
+    their statement.  A source that does not even lex is returned whole, so
+    parsing the single fragment reports the real diagnostic with offsets
+    into the full text.
+    """
+    try:
+        tokens = tokenize(source)
+    except SqlError:
+        return [source] if source.strip() else []
+    statements: List[str] = []
+    start = 0
+    fragment_has_tokens = False
+    for token in tokens:
+        if token.kind == EOF:
+            break
+        if token.is_symbol(";"):
+            if fragment_has_tokens:
+                statements.append(source[start : token.pos + 1].strip())
+            start = token.pos + 1
+            fragment_has_tokens = False
+        else:
+            fragment_has_tokens = True
+    if fragment_has_tokens:
+        statements.append(source[start:].strip())
+    return statements

@@ -1,0 +1,19 @@
+-- name: job_10a
+SELECT COUNT(*) AS count_star
+FROM char_name AS chn,
+     cast_info AS ci,
+     company_name AS cn,
+     company_type AS ct,
+     movie_companies AS mc,
+     role_type AS rt,
+     title AS t
+WHERE ci.person_role_id = chn.id
+  AND ci.movie_id = t.id
+  AND ci.role_id = rt.id
+  AND mc.movie_id = t.id
+  AND mc.company_id = cn.id
+  AND mc.company_type_id = ct.id
+  AND cn.country_code = '[us]'
+  AND ct.kind = 'production companies'
+  AND rt.role = 'actress'
+  AND t.production_year > 1990;

@@ -1,0 +1,26 @@
+-- name: job_13a
+SELECT COUNT(*) AS count_star
+FROM company_name AS cn,
+     company_type AS ct,
+     info_type AS it,
+     info_type AS it2,
+     kind_type AS kt,
+     movie_companies AS mc,
+     movie_info AS mi,
+     movie_info_idx AS mi_idx,
+     title AS t
+WHERE mc.company_id = cn.id
+  AND mc.company_type_id = ct.id
+  AND mc.movie_id = t.id
+  AND mi.movie_id = t.id
+  AND mi.info_type_id = it.id
+  AND mi_idx.movie_id = t.id
+  AND mi_idx.info_type_id = it2.id
+  AND t.kind_id = kt.id
+  AND cn.country_code = '[us]'
+  AND ct.kind = 'production companies'
+  AND it.info = 'rating'
+  AND it2.info = 'votes'
+  AND kt.kind = 'movie'
+  AND mi_idx.info_rating > 6.0
+  AND t.production_year > 1990;

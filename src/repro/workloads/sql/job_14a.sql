@@ -1,0 +1,23 @@
+-- name: job_14a
+SELECT COUNT(*) AS count_star
+FROM info_type AS it,
+     info_type AS it2,
+     keyword AS k,
+     kind_type AS kt,
+     movie_info AS mi,
+     movie_info_idx AS mi_idx,
+     movie_keyword AS mk,
+     title AS t
+WHERE mi.info_type_id = it.id
+  AND mi.movie_id = t.id
+  AND mi_idx.info_type_id = it2.id
+  AND mi_idx.movie_id = t.id
+  AND mk.movie_id = t.id
+  AND mk.keyword_id = k.id
+  AND t.kind_id = kt.id
+  AND it.info = 'rating'
+  AND it2.info = 'votes'
+  AND k.keyword = 'character-name-in-title'
+  AND kt.kind = 'movie'
+  AND mi_idx.info_rating > 6.0
+  AND t.production_year > 1990;

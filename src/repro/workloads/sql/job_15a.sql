@@ -1,0 +1,21 @@
+-- name: job_15a
+SELECT COUNT(*) AS count_star
+FROM aka_title AS at,
+     company_name AS cn,
+     info_type AS it,
+     keyword AS k,
+     movie_companies AS mc,
+     movie_info AS mi,
+     movie_keyword AS mk,
+     title AS t
+WHERE at.movie_id = t.id
+  AND mc.company_id = cn.id
+  AND mc.movie_id = t.id
+  AND mi.movie_id = t.id
+  AND mi.info_type_id = it.id
+  AND mk.movie_id = t.id
+  AND mk.keyword_id = k.id
+  AND cn.country_code = '[us]'
+  AND it.info = 'rating'
+  AND k.keyword = 'character-name-in-title'
+  AND t.production_year > 1990;

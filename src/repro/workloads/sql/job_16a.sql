@@ -1,0 +1,21 @@
+-- name: job_16a
+SELECT COUNT(*) AS count_star
+FROM aka_name AS an,
+     cast_info AS ci,
+     company_name AS cn,
+     keyword AS k,
+     movie_companies AS mc,
+     movie_keyword AS mk,
+     name AS n,
+     title AS t
+WHERE an.person_id = n.id
+  AND ci.person_id = n.id
+  AND ci.movie_id = t.id
+  AND mc.company_id = cn.id
+  AND mc.movie_id = t.id
+  AND mk.movie_id = t.id
+  AND mk.keyword_id = k.id
+  AND cn.country_code = '[us]'
+  AND k.keyword = 'character-name-in-title'
+  AND n.gender = 'f'
+  AND t.production_year > 1990;

@@ -1,0 +1,20 @@
+-- name: job_18a
+SELECT COUNT(*) AS count_star
+FROM cast_info AS ci,
+     info_type AS it,
+     info_type AS it2,
+     movie_info AS mi,
+     movie_info_idx AS mi_idx,
+     name AS n,
+     title AS t
+WHERE ci.person_id = n.id
+  AND ci.movie_id = t.id
+  AND mi.movie_id = t.id
+  AND mi.info_type_id = it.id
+  AND mi_idx.movie_id = t.id
+  AND mi_idx.info_type_id = it2.id
+  AND it.info = 'rating'
+  AND it2.info = 'votes'
+  AND mi_idx.info_rating > 6.0
+  AND n.gender = 'f'
+  AND t.production_year > 1990;

@@ -1,0 +1,26 @@
+-- name: job_19a
+SELECT COUNT(*) AS count_star
+FROM aka_name AS an,
+     char_name AS chn,
+     cast_info AS ci,
+     company_name AS cn,
+     info_type AS it,
+     movie_companies AS mc,
+     movie_info AS mi,
+     name AS n,
+     role_type AS rt,
+     title AS t
+WHERE an.person_id = n.id
+  AND ci.person_role_id = chn.id
+  AND ci.person_id = n.id
+  AND ci.movie_id = t.id
+  AND ci.role_id = rt.id
+  AND mc.company_id = cn.id
+  AND mc.movie_id = t.id
+  AND mi.movie_id = t.id
+  AND mi.info_type_id = it.id
+  AND cn.country_code = '[us]'
+  AND it.info = 'rating'
+  AND n.gender = 'f'
+  AND rt.role = 'actress'
+  AND t.production_year > 1990;

@@ -1,0 +1,15 @@
+-- name: job_1a
+SELECT COUNT(*) AS count_star
+FROM company_type AS ct,
+     info_type AS it,
+     movie_companies AS mc,
+     movie_info_idx AS mi_idx,
+     title AS t
+WHERE mc.company_type_id = ct.id
+  AND mc.movie_id = t.id
+  AND mi_idx.movie_id = t.id
+  AND mi_idx.info_type_id = it.id
+  AND ct.kind = 'production companies'
+  AND it.info = 'rating'
+  AND mi_idx.info_rating > 6.0
+  AND t.production_year > 1990;

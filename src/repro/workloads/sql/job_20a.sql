@@ -1,0 +1,24 @@
+-- name: job_20a
+SELECT COUNT(*) AS count_star
+FROM complete_cast AS cc,
+     comp_cast_type AS cct,
+     char_name AS chn,
+     cast_info AS ci,
+     keyword AS k,
+     kind_type AS kt,
+     movie_keyword AS mk,
+     name AS n,
+     title AS t
+WHERE cc.movie_id = t.id
+  AND cc.subject_id = cct.id
+  AND ci.person_role_id = chn.id
+  AND ci.person_id = n.id
+  AND ci.movie_id = t.id
+  AND mk.movie_id = t.id
+  AND mk.keyword_id = k.id
+  AND t.kind_id = kt.id
+  AND cct.kind = 'cast'
+  AND k.keyword = 'character-name-in-title'
+  AND kt.kind = 'movie'
+  AND n.gender = 'f'
+  AND t.production_year > 1990;

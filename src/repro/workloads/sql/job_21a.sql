@@ -1,0 +1,24 @@
+-- name: job_21a
+SELECT COUNT(*) AS count_star
+FROM company_name AS cn,
+     company_type AS ct,
+     keyword AS k,
+     link_type AS lt,
+     movie_companies AS mc,
+     movie_info AS mi,
+     movie_keyword AS mk,
+     movie_link AS ml,
+     title AS t
+WHERE mc.company_id = cn.id
+  AND mc.company_type_id = ct.id
+  AND mc.movie_id = t.id
+  AND mi.movie_id = t.id
+  AND mk.movie_id = t.id
+  AND mk.keyword_id = k.id
+  AND ml.movie_id = t.id
+  AND ml.link_type_id = lt.id
+  AND cn.country_code = '[us]'
+  AND ct.kind = 'production companies'
+  AND k.keyword = 'character-name-in-title'
+  AND lt.link = 'follows'
+  AND t.production_year > 1990;

@@ -1,0 +1,25 @@
+-- name: job_23a
+SELECT COUNT(*) AS count_star
+FROM complete_cast AS cc,
+     comp_cast_type AS cct,
+     company_name AS cn,
+     company_type AS ct,
+     info_type AS it,
+     kind_type AS kt,
+     movie_companies AS mc,
+     movie_info AS mi,
+     title AS t
+WHERE cc.movie_id = t.id
+  AND cc.subject_id = cct.id
+  AND mc.company_id = cn.id
+  AND mc.company_type_id = ct.id
+  AND mc.movie_id = t.id
+  AND mi.movie_id = t.id
+  AND mi.info_type_id = it.id
+  AND t.kind_id = kt.id
+  AND cct.kind = 'cast'
+  AND cn.country_code = '[us]'
+  AND ct.kind = 'production companies'
+  AND it.info = 'rating'
+  AND kt.kind = 'movie'
+  AND t.production_year > 1990;

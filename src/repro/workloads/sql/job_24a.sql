@@ -1,0 +1,26 @@
+-- name: job_24a
+SELECT COUNT(*) AS count_star
+FROM aka_name AS an,
+     char_name AS chn,
+     cast_info AS ci,
+     info_type AS it,
+     keyword AS k,
+     movie_info AS mi,
+     movie_keyword AS mk,
+     name AS n,
+     role_type AS rt,
+     title AS t
+WHERE an.person_id = n.id
+  AND ci.person_role_id = chn.id
+  AND ci.person_id = n.id
+  AND ci.movie_id = t.id
+  AND ci.role_id = rt.id
+  AND mi.movie_id = t.id
+  AND mi.info_type_id = it.id
+  AND mk.movie_id = t.id
+  AND mk.keyword_id = k.id
+  AND it.info = 'rating'
+  AND k.keyword = 'character-name-in-title'
+  AND n.gender = 'f'
+  AND rt.role = 'actress'
+  AND t.production_year > 1990;

@@ -1,0 +1,30 @@
+-- name: job_26a
+SELECT COUNT(*) AS count_star
+FROM complete_cast AS cc,
+     comp_cast_type AS cct,
+     char_name AS chn,
+     cast_info AS ci,
+     info_type AS it,
+     keyword AS k,
+     kind_type AS kt,
+     movie_info_idx AS mi_idx,
+     movie_keyword AS mk,
+     name AS n,
+     title AS t
+WHERE cc.movie_id = t.id
+  AND cc.subject_id = cct.id
+  AND ci.person_role_id = chn.id
+  AND ci.person_id = n.id
+  AND ci.movie_id = t.id
+  AND mi_idx.movie_id = t.id
+  AND mi_idx.info_type_id = it.id
+  AND mk.movie_id = t.id
+  AND mk.keyword_id = k.id
+  AND t.kind_id = kt.id
+  AND cct.kind = 'cast'
+  AND it.info = 'rating'
+  AND k.keyword = 'character-name-in-title'
+  AND kt.kind = 'movie'
+  AND mi_idx.info_rating > 6.0
+  AND n.gender = 'f'
+  AND t.production_year > 1990;

@@ -1,0 +1,44 @@
+-- name: job_29a
+SELECT COUNT(*) AS count_star
+FROM aka_name AS an,
+     complete_cast AS cc,
+     comp_cast_type AS cct,
+     char_name AS chn,
+     cast_info AS ci,
+     company_name AS cn,
+     info_type AS it,
+     info_type AS it2,
+     keyword AS k,
+     kind_type AS kt,
+     movie_companies AS mc,
+     movie_info AS mi,
+     movie_keyword AS mk,
+     name AS n,
+     role_type AS rt,
+     person_info AS pi,
+     title AS t
+WHERE an.person_id = n.id
+  AND cc.movie_id = t.id
+  AND cc.subject_id = cct.id
+  AND ci.person_role_id = chn.id
+  AND ci.person_id = n.id
+  AND ci.movie_id = t.id
+  AND ci.role_id = rt.id
+  AND mc.company_id = cn.id
+  AND mc.movie_id = t.id
+  AND mi.movie_id = t.id
+  AND mi.info_type_id = it.id
+  AND mk.movie_id = t.id
+  AND mk.keyword_id = k.id
+  AND t.kind_id = kt.id
+  AND pi.person_id = n.id
+  AND pi.info_type_id = it2.id
+  AND cct.kind = 'cast'
+  AND cn.country_code = '[us]'
+  AND it.info = 'rating'
+  AND it2.info = 'votes'
+  AND k.keyword = 'character-name-in-title'
+  AND kt.kind = 'movie'
+  AND n.gender = 'f'
+  AND rt.role = 'actress'
+  AND t.production_year > 1990;

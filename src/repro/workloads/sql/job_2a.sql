@@ -1,0 +1,14 @@
+-- name: job_2a
+SELECT COUNT(*) AS count_star
+FROM company_name AS cn,
+     keyword AS k,
+     movie_companies AS mc,
+     movie_keyword AS mk,
+     title AS t
+WHERE mc.company_id = cn.id
+  AND mc.movie_id = t.id
+  AND mk.movie_id = t.id
+  AND mk.keyword_id = k.id
+  AND cn.country_code = '[us]'
+  AND k.keyword = 'character-name-in-title'
+  AND t.production_year > 1990;

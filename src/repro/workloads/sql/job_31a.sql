@@ -1,0 +1,30 @@
+-- name: job_31a
+SELECT COUNT(*) AS count_star
+FROM cast_info AS ci,
+     company_name AS cn,
+     info_type AS it,
+     info_type AS it2,
+     keyword AS k,
+     movie_companies AS mc,
+     movie_info AS mi,
+     movie_info_idx AS mi_idx,
+     movie_keyword AS mk,
+     name AS n,
+     title AS t
+WHERE ci.person_id = n.id
+  AND ci.movie_id = t.id
+  AND mc.company_id = cn.id
+  AND mc.movie_id = t.id
+  AND mi.movie_id = t.id
+  AND mi.info_type_id = it.id
+  AND mi_idx.movie_id = t.id
+  AND mi_idx.info_type_id = it2.id
+  AND mk.movie_id = t.id
+  AND mk.keyword_id = k.id
+  AND cn.country_code = '[us]'
+  AND it.info = 'rating'
+  AND it2.info = 'votes'
+  AND k.keyword = 'character-name-in-title'
+  AND mi_idx.info_rating > 6.0
+  AND n.gender = 'f'
+  AND t.production_year > 1990;

@@ -1,0 +1,14 @@
+-- name: job_32a
+SELECT COUNT(*) AS count_star
+FROM keyword AS k,
+     link_type AS lt,
+     movie_keyword AS mk,
+     movie_link AS ml,
+     title AS t
+WHERE mk.keyword_id = k.id
+  AND mk.movie_id = t.id
+  AND ml.movie_id = t.id
+  AND ml.link_type_id = lt.id
+  AND k.keyword = 'character-name-in-title'
+  AND lt.link = 'follows'
+  AND t.production_year > 1990;

@@ -1,0 +1,23 @@
+-- name: job_33a
+SELECT COUNT(*) AS count_star
+FROM company_name AS cn,
+     info_type AS it,
+     kind_type AS kt,
+     link_type AS lt,
+     movie_companies AS mc,
+     movie_info_idx AS mi_idx,
+     movie_link AS ml,
+     title AS t
+WHERE mc.company_id = cn.id
+  AND mc.movie_id = t.id
+  AND mi_idx.movie_id = t.id
+  AND mi_idx.info_type_id = it.id
+  AND ml.movie_id = t.id
+  AND ml.link_type_id = lt.id
+  AND t.kind_id = kt.id
+  AND cn.country_code = '[us]'
+  AND it.info = 'rating'
+  AND kt.kind = 'movie'
+  AND lt.link = 'follows'
+  AND mi_idx.info_rating > 6.0
+  AND t.production_year > 1990;

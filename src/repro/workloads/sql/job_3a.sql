@@ -1,0 +1,11 @@
+-- name: job_3a
+SELECT COUNT(*) AS count_star
+FROM keyword AS k,
+     movie_info AS mi,
+     movie_keyword AS mk,
+     title AS t
+WHERE mk.keyword_id = k.id
+  AND mk.movie_id = t.id
+  AND mi.movie_id = t.id
+  AND k.keyword = 'character-name-in-title'
+  AND t.production_year > 1990;

@@ -1,0 +1,15 @@
+-- name: job_4a
+SELECT COUNT(*) AS count_star
+FROM info_type AS it,
+     keyword AS k,
+     movie_info_idx AS mi_idx,
+     movie_keyword AS mk,
+     title AS t
+WHERE mi_idx.info_type_id = it.id
+  AND mi_idx.movie_id = t.id
+  AND mk.movie_id = t.id
+  AND mk.keyword_id = k.id
+  AND it.info = 'rating'
+  AND k.keyword = 'character-name-in-title'
+  AND mi_idx.info_rating > 6.0
+  AND t.production_year > 1990;

@@ -1,0 +1,14 @@
+-- name: job_5a
+SELECT COUNT(*) AS count_star
+FROM company_type AS ct,
+     info_type AS it,
+     movie_companies AS mc,
+     movie_info AS mi,
+     title AS t
+WHERE mc.company_type_id = ct.id
+  AND mc.movie_id = t.id
+  AND mi.movie_id = t.id
+  AND mi.info_type_id = it.id
+  AND ct.kind = 'production companies'
+  AND it.info = 'rating'
+  AND t.production_year > 1990;

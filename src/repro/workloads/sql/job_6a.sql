@@ -1,0 +1,14 @@
+-- name: job_6a
+SELECT COUNT(*) AS count_star
+FROM cast_info AS ci,
+     keyword AS k,
+     movie_keyword AS mk,
+     name AS n,
+     title AS t
+WHERE ci.movie_id = t.id
+  AND ci.person_id = n.id
+  AND mk.movie_id = t.id
+  AND mk.keyword_id = k.id
+  AND k.keyword = 'character-name-in-title'
+  AND n.gender = 'f'
+  AND t.production_year > 1990;

@@ -1,0 +1,21 @@
+-- name: job_7a
+SELECT COUNT(*) AS count_star
+FROM aka_name AS an,
+     cast_info AS ci,
+     info_type AS it,
+     link_type AS lt,
+     movie_link AS ml,
+     name AS n,
+     person_info AS pi,
+     title AS t
+WHERE an.person_id = n.id
+  AND ci.person_id = n.id
+  AND ci.movie_id = t.id
+  AND ml.movie_id = t.id
+  AND ml.link_type_id = lt.id
+  AND pi.person_id = n.id
+  AND pi.info_type_id = it.id
+  AND it.info = 'rating'
+  AND lt.link = 'follows'
+  AND n.gender = 'f'
+  AND t.production_year > 1990;

@@ -1,0 +1,21 @@
+-- name: job_9a
+SELECT COUNT(*) AS count_star
+FROM aka_name AS an,
+     char_name AS chn,
+     cast_info AS ci,
+     company_name AS cn,
+     movie_companies AS mc,
+     name AS n,
+     role_type AS rt,
+     title AS t
+WHERE an.person_id = n.id
+  AND ci.person_role_id = chn.id
+  AND ci.person_id = n.id
+  AND ci.movie_id = t.id
+  AND ci.role_id = rt.id
+  AND mc.movie_id = t.id
+  AND mc.company_id = cn.id
+  AND cn.country_code = '[us]'
+  AND n.gender = 'f'
+  AND rt.role = 'actress'
+  AND t.production_year > 1990;

@@ -1,0 +1,7 @@
+-- name: figure12
+SELECT COUNT(*) AS count_star
+FROM r_table AS r,
+     s_table AS s,
+     t_table AS t
+WHERE r.b = s.b
+  AND s.c = t.c;

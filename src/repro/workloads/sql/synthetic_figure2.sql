@@ -1,0 +1,8 @@
+-- name: figure2
+SELECT COUNT(*) AS count_star
+FROM r_table AS r,
+     s_table AS s,
+     t_table AS t
+WHERE r.a = s.a
+  AND r.b = t.b
+  AND s.c < 150;

@@ -1,0 +1,9 @@
+-- name: unsafe_subjoin
+SELECT COUNT(*) AS count_star
+FROM r_table AS r,
+     s_table AS s,
+     t_table AS t
+WHERE r.a = s.a
+  AND r.b = s.b
+  AND r.b = t.b
+  AND r.c = t.c;

@@ -1,0 +1,11 @@
+-- name: tpch_q10
+SELECT COUNT(*) AS count_star
+FROM customer AS c,
+     orders AS o,
+     lineitem AS l,
+     nation AS n
+WHERE o.o_custkey = c.c_custkey
+  AND l.l_orderkey = o.o_orderkey
+  AND c.c_nationkey = n.n_nationkey
+  AND o.o_orderdate BETWEEN 800 AND 890
+  AND l.l_returnflag = 'R';

@@ -1,0 +1,8 @@
+-- name: tpch_q11
+SELECT COUNT(*) AS count_star
+FROM partsupp AS ps,
+     supplier AS s,
+     nation AS n
+WHERE ps.ps_suppkey = s.s_suppkey
+  AND s.s_nationkey = n.n_nationkey
+  AND n.n_name = 'NATION#000007';

@@ -1,0 +1,6 @@
+-- name: tpch_q12
+SELECT COUNT(*) AS count_star
+FROM orders AS o,
+     lineitem AS l
+WHERE l.l_orderkey = o.o_orderkey
+  AND (l.l_shipmode IN ('MAIL', 'SHIP') AND l.l_receiptdate < 1000);

@@ -1,0 +1,6 @@
+-- name: tpch_q13
+SELECT COUNT(*) AS count_star
+FROM customer AS c,
+     orders AS o
+WHERE o.o_custkey = c.c_custkey
+  AND o.o_orderpriority = '1-URGENT';

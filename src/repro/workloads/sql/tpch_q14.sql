@@ -1,0 +1,6 @@
+-- name: tpch_q14
+SELECT COUNT(*) AS count_star
+FROM lineitem AS l,
+     part AS p
+WHERE l.l_partkey = p.p_partkey
+  AND l.l_shipdate BETWEEN 1000 AND 1030;

@@ -1,0 +1,6 @@
+-- name: tpch_q15
+SELECT COUNT(*) AS count_star
+FROM supplier AS s,
+     lineitem AS l
+WHERE l.l_suppkey = s.s_suppkey
+  AND l.l_shipdate BETWEEN 1200 AND 1290;

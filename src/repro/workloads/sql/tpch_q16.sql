@@ -1,0 +1,9 @@
+-- name: tpch_q16
+SELECT COUNT(*) AS count_star
+FROM partsupp AS ps,
+     part AS p,
+     supplier AS s
+WHERE ps.ps_partkey = p.p_partkey
+  AND ps.ps_suppkey = s.s_suppkey
+  AND p.p_size IN (9, 14, 19, 23, 36, 45, 49, 3)
+  AND s.s_comment_has_complaint = 0;

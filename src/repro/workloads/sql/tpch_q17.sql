@@ -1,0 +1,7 @@
+-- name: tpch_q17
+SELECT COUNT(*) AS count_star
+FROM lineitem AS l,
+     part AS p
+WHERE l.l_partkey = p.p_partkey
+  AND l.l_quantity < 3
+  AND (p.p_brand = 'Brand#23' AND p.p_container = 'MED BAG');

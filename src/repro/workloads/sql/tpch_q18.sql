@@ -1,0 +1,8 @@
+-- name: tpch_q18
+SELECT COUNT(*) AS count_star
+FROM customer AS c,
+     orders AS o,
+     lineitem AS l
+WHERE o.o_custkey = c.c_custkey
+  AND l.l_orderkey = o.o_orderkey
+  AND o.o_totalprice > 400000.0;

@@ -1,0 +1,7 @@
+-- name: tpch_q19
+SELECT COUNT(*) AS count_star
+FROM lineitem AS l,
+     part AS p
+WHERE l.l_partkey = p.p_partkey
+  AND (l.l_shipmode IN ('AIR', 'REG AIR') AND l.l_quantity < 20)
+  AND p.p_container IN ('SM CASE', 'SM BOX', 'MED BAG');

@@ -1,0 +1,13 @@
+-- name: tpch_q2
+SELECT COUNT(*) AS count_star
+FROM part AS p,
+     partsupp AS ps,
+     supplier AS s,
+     nation AS n,
+     region AS r
+WHERE ps.ps_partkey = p.p_partkey
+  AND ps.ps_suppkey = s.s_suppkey
+  AND s.s_nationkey = n.n_nationkey
+  AND n.n_regionkey = r.r_regionkey
+  AND (p.p_size = 15 OR p.p_size = 23)
+  AND r.r_name = 'EUROPE';

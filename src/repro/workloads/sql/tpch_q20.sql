@@ -1,0 +1,11 @@
+-- name: tpch_q20
+SELECT COUNT(*) AS count_star
+FROM supplier AS s,
+     nation AS n,
+     partsupp AS ps,
+     part AS p
+WHERE s.s_nationkey = n.n_nationkey
+  AND ps.ps_suppkey = s.s_suppkey
+  AND ps.ps_partkey = p.p_partkey
+  AND n.n_name = 'NATION#000012'
+  AND p.p_name LIKE 'part#00001%';

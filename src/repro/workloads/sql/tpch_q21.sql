@@ -1,0 +1,12 @@
+-- name: tpch_q21
+SELECT COUNT(*) AS count_star
+FROM supplier AS s,
+     lineitem AS l,
+     orders AS o,
+     nation AS n
+WHERE l.l_suppkey = s.s_suppkey
+  AND l.l_orderkey = o.o_orderkey
+  AND s.s_nationkey = n.n_nationkey
+  AND l.l_receiptdate > 1400
+  AND o.o_orderstatus = 'F'
+  AND n.n_name = 'NATION#000020';

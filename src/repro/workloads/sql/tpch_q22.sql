@@ -1,0 +1,6 @@
+-- name: tpch_q22
+SELECT COUNT(*) AS count_star
+FROM customer AS c,
+     orders AS o
+WHERE o.o_custkey = c.c_custkey
+  AND c.c_acctbal > 5000.0;

@@ -1,0 +1,10 @@
+-- name: tpch_q3
+SELECT COUNT(*) AS count_star
+FROM customer AS c,
+     orders AS o,
+     lineitem AS l
+WHERE o.o_custkey = c.c_custkey
+  AND l.l_orderkey = o.o_orderkey
+  AND c.c_mktsegment = 'BUILDING'
+  AND o.o_orderdate < 1200
+  AND l.l_shipdate > 1200;

@@ -1,0 +1,6 @@
+-- name: tpch_q4
+SELECT COUNT(*) AS count_star
+FROM orders AS o,
+     lineitem AS l
+WHERE l.l_orderkey = o.o_orderkey
+  AND o.o_orderdate BETWEEN 1000 AND 1090;

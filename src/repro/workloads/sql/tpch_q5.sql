@@ -1,0 +1,16 @@
+-- name: tpch_q5
+SELECT COUNT(*) AS count_star
+FROM customer AS c,
+     orders AS o,
+     lineitem AS l,
+     supplier AS s,
+     nation AS n,
+     region AS r
+WHERE o.o_custkey = c.c_custkey
+  AND l.l_orderkey = o.o_orderkey
+  AND l.l_suppkey = s.s_suppkey
+  AND c.c_nationkey = s.s_nationkey
+  AND s.s_nationkey = n.n_nationkey
+  AND n.n_regionkey = r.r_regionkey
+  AND o.o_orderdate BETWEEN 400 AND 765
+  AND r.r_name = 'ASIA';

@@ -1,0 +1,16 @@
+-- name: tpch_q7
+SELECT COUNT(*) AS count_star
+FROM supplier AS s,
+     lineitem AS l,
+     orders AS o,
+     customer AS c,
+     nation AS n1,
+     nation AS n2
+WHERE l.l_suppkey = s.s_suppkey
+  AND l.l_orderkey = o.o_orderkey
+  AND o.o_custkey = c.c_custkey
+  AND s.s_nationkey = n1.n_nationkey
+  AND c.c_nationkey = n2.n_nationkey
+  AND l.l_shipdate BETWEEN 700 AND 1430
+  AND n1.n_name IN ('NATION#000001', 'NATION#000002')
+  AND n2.n_name IN ('NATION#000003', 'NATION#000004');

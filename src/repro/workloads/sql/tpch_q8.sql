@@ -1,0 +1,20 @@
+-- name: tpch_q8
+SELECT COUNT(*) AS count_star
+FROM part AS p,
+     lineitem AS l,
+     supplier AS s,
+     orders AS o,
+     customer AS c,
+     nation AS n1,
+     nation AS n2,
+     region AS r
+WHERE l.l_partkey = p.p_partkey
+  AND l.l_suppkey = s.s_suppkey
+  AND l.l_orderkey = o.o_orderkey
+  AND o.o_custkey = c.c_custkey
+  AND c.c_nationkey = n1.n_nationkey
+  AND n1.n_regionkey = r.r_regionkey
+  AND s.s_nationkey = n2.n_nationkey
+  AND p.p_type = 'ECONOMY'
+  AND o.o_orderdate BETWEEN 365 AND 1095
+  AND r.r_name = 'AMERICA';

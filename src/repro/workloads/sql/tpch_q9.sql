@@ -1,0 +1,15 @@
+-- name: tpch_q9
+SELECT COUNT(*) AS count_star
+FROM part AS p,
+     supplier AS s,
+     lineitem AS l,
+     partsupp AS ps,
+     orders AS o,
+     nation AS n
+WHERE l.l_partkey = p.p_partkey
+  AND l.l_suppkey = s.s_suppkey
+  AND ps.ps_partkey = l.l_partkey
+  AND ps.ps_suppkey = l.l_suppkey
+  AND l.l_orderkey = o.o_orderkey
+  AND s.s_nationkey = n.n_nationkey
+  AND p.p_name LIKE 'part#0000%';
