@@ -16,9 +16,15 @@ which the Bloom:hash advantage factor can be computed.
 A third sweep (:func:`run_partition_microbench`) compares the monolithic
 hash join against the radix-partitioned one
 (:class:`~repro.exec.kernels.PartitionedHashIndex`) as the build side grows,
-optionally with the partition tasks dispatched through the parallel
-backend's pool; its results feed the repo's ``BENCH_partition.json``
+with the partition tasks additionally dispatched through the parallel
+(thread) backend's pool and the monolithic probe fanned out through the
+process backend; its results feed the repo's ``BENCH_partition.json``
 perf-trajectory record.
+
+A fourth sweep (:func:`run_scaling_microbench`) runs one RPT star-probe
+query end to end under the serial, thread-parallel, and process-parallel
+backends across a worker-count sweep — the thread-vs-process scaling
+curves recorded as ``BENCH_scaling.json``.
 
 A second sweep (:func:`run_semijoin_kernel_microbench`) compares the exact
 semi-join membership kernel strategies on large inputs: ``np.isin`` (the
@@ -229,6 +235,7 @@ class PartitionJoinMeasurement:
     partitioned_probe_seconds: float
     parallel_build_seconds: Optional[float] = None
     parallel_probe_seconds: Optional[float] = None
+    process_probe_seconds: Optional[float] = None
 
     @property
     def monolithic_seconds(self) -> float:
@@ -259,6 +266,7 @@ class PartitionJoinMeasurement:
             "partitioned_probe_seconds": self.partitioned_probe_seconds,
             "parallel_build_seconds": self.parallel_build_seconds,
             "parallel_probe_seconds": self.parallel_probe_seconds,
+            "process_probe_seconds": self.process_probe_seconds,
             "speedup": self.speedup,
         }
 
@@ -276,21 +284,34 @@ def run_partition_microbench(
     seed: int = 13,
     repeats: int = 3,
     num_threads: Optional[int] = None,
+    num_workers: Optional[int] = None,
 ) -> List[PartitionJoinMeasurement]:
     """Compare monolithic vs radix-partitioned hash joins across build sizes.
 
-    For each build size three variants run over the same data: the
+    For each build size four variants run over the same data: the
     monolithic :class:`~repro.exec.kernels.HashIndex` (one O(n log n) stable
     sort, probes binary-searching the full build array), the serial
     :class:`~repro.exec.kernels.PartitionedHashIndex` (O(n) radix
     partitioning, per-partition sorts, probes searching one cache-resident
-    partition), and — with ``num_threads`` — the partitioned join with its
-    partition tasks dispatched through a
-    :class:`~repro.exec.pipeline.ParallelBackend` pool.  Build (index
-    construction) and probe (matching) are timed separately; the huge
+    partition), the partitioned join with its partition tasks dispatched
+    through a :class:`~repro.exec.pipeline.ParallelBackend` pool, and the
+    monolithic probe fanned out through the
+    :class:`~repro.exec.process.ProcessBackend` (morsels over shared-memory
+    columns; partitioned builds/probes take closures and cannot cross the
+    process boundary, so only the monolithic match has a process variant).
+    ``num_threads`` / ``num_workers`` default to the machine's core count
+    (capped at 4); pass ``0`` to skip the corresponding variant.  Build
+    (index construction) and probe (matching) are timed separately; the huge
     ``key_domain`` keeps the bitmap fast path out of the way so the sweep
     measures the sort/search paths the partitioning targets.
     """
+    import os as _os
+
+    default_pool = min(4, _os.cpu_count() or 1)
+    if num_threads is None:
+        num_threads = default_pool
+    if num_workers is None:
+        num_workers = default_pool
     rng = np.random.default_rng(seed)
     probe_keys = rng.integers(0, key_domain, size=probe_rows, dtype=np.int64)
     measurements: List[PartitionJoinMeasurement] = []
@@ -316,7 +337,7 @@ def run_partition_microbench(
         part_probe_s = _best_time(lambda: part_index.match(probe_keys), repeats)
 
         parallel_build_s = parallel_probe_s = None
-        if num_threads is not None:
+        if num_threads:
             backend = ParallelBackend(num_threads=num_threads)
             try:
                 def par_build():
@@ -332,6 +353,16 @@ def run_partition_microbench(
             finally:
                 backend.close()
 
+        process_probe_s = None
+        if num_workers:
+            from repro.exec.process import ProcessBackend
+
+            proc_backend = ProcessBackend(num_workers=num_workers)
+            mono_index.prepare_match()  # freeze before shipping so only probes are timed
+            process_probe_s = _best_time(
+                lambda: proc_backend.match(probe_keys, mono_index), repeats
+            )
+
         measurements.append(
             PartitionJoinMeasurement(
                 build_rows=build_rows,
@@ -343,6 +374,7 @@ def run_partition_microbench(
                 partitioned_probe_seconds=part_probe_s,
                 parallel_build_seconds=parallel_build_s,
                 parallel_probe_seconds=parallel_probe_s,
+                process_probe_seconds=process_probe_s,
             )
         )
     return measurements
@@ -353,13 +385,19 @@ def format_partition_microbench(measurements: Sequence[PartitionJoinMeasurement]
     lines = [
         "Radix-partitioned vs monolithic hash join (probe side fixed, build side varies)",
         f"{'build rows':>12} {'bits':>5} {'mono bld (s)':>13} {'mono prb (s)':>13} "
-        f"{'part bld (s)':>13} {'part prb (s)':>13} {'speedup':>9}",
+        f"{'part bld (s)':>13} {'part prb (s)':>13} {'par prb (s)':>12} "
+        f"{'proc prb (s)':>13} {'speedup':>9}",
     ]
+
+    def _opt(seconds: Optional[float], width: int) -> str:
+        return f"{seconds:>{width}.4f}" if seconds is not None else f"{'-':>{width}}"
+
     for m in measurements:
         lines.append(
             f"{m.build_rows:>12} {m.bits:>5} {m.monolithic_build_seconds:>13.4f} "
             f"{m.monolithic_probe_seconds:>13.4f} {m.partitioned_build_seconds:>13.4f} "
-            f"{m.partitioned_probe_seconds:>13.4f} {m.speedup:>8.2f}x"
+            f"{m.partitioned_probe_seconds:>13.4f} {_opt(m.parallel_probe_seconds, 12)} "
+            f"{_opt(m.process_probe_seconds, 13)} {m.speedup:>8.2f}x"
         )
     return "\n".join(lines)
 
@@ -807,6 +845,179 @@ def format_transfer_microbench(
             f"{m.hash_once_seconds:>14.4f} {m.warm_artifact_seconds:>14.4f} "
             f"{m.hash_once_speedup:>8.2f}x {m.warm_speedup:>10.2f}x"
         )
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ScalingMeasurement:
+    """Thread-vs-process scaling curves of one star-probe query.
+
+    The same RPT star query runs end to end under the serial backend, the
+    thread-parallel backend, and the process backend at each worker count in
+    the sweep; ``thread_seconds`` / ``process_seconds`` are
+    ``(workers, best wall seconds)`` curves over the same data and plan.
+    All runs are asserted bit-identical to the serial baseline.
+    """
+
+    fact_rows: int
+    dim_rows: int
+    num_dims: int
+    serial_seconds: float
+    thread_seconds: Tuple[Tuple[int, float], ...]
+    process_seconds: Tuple[Tuple[int, float], ...]
+    shm_bytes_mapped: int
+
+    @property
+    def best_thread_seconds(self) -> float:
+        """Fastest thread-backend run across the worker sweep."""
+        return min(seconds for _, seconds in self.thread_seconds)
+
+    @property
+    def best_process_seconds(self) -> float:
+        """Fastest process-backend run across the worker sweep."""
+        return min(seconds for _, seconds in self.process_seconds)
+
+    @property
+    def process_over_thread_speedup(self) -> float:
+        """Best process time vs best thread time (the GIL-escape factor)."""
+        if self.best_process_seconds <= 0:
+            return float("inf")
+        return self.best_thread_seconds / self.best_process_seconds
+
+    @property
+    def process_over_serial_speedup(self) -> float:
+        """Best process time vs the serial baseline."""
+        if self.best_process_seconds <= 0:
+            return float("inf")
+        return self.serial_seconds / self.best_process_seconds
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation (the ``BENCH_scaling.json`` record)."""
+        return {
+            "fact_rows": self.fact_rows,
+            "dim_rows": self.dim_rows,
+            "num_dims": self.num_dims,
+            "serial_seconds": self.serial_seconds,
+            "thread_seconds": [list(point) for point in self.thread_seconds],
+            "process_seconds": [list(point) for point in self.process_seconds],
+            "shm_bytes_mapped": self.shm_bytes_mapped,
+            "best_thread_seconds": self.best_thread_seconds,
+            "best_process_seconds": self.best_process_seconds,
+            "process_over_thread_speedup": self.process_over_thread_speedup,
+            "process_over_serial_speedup": self.process_over_serial_speedup,
+        }
+
+
+def _default_worker_counts() -> Tuple[int, ...]:
+    """Powers of two up to the machine's core count (always includes 1)."""
+    import os as _os
+
+    cores = _os.cpu_count() or 1
+    counts = [1]
+    while counts[-1] * 2 <= cores:
+        counts.append(counts[-1] * 2)
+    return tuple(counts)
+
+
+def run_scaling_microbench(
+    fact_rows: int = 1 << 20,
+    dim_rows: Optional[int] = None,
+    num_dims: int = 2,
+    worker_counts: Optional[Sequence[int]] = None,
+    seed: int = 31,
+    repeats: int = 2,
+) -> ScalingMeasurement:
+    """Measure thread-vs-process scaling on a 1M-row star-probe query.
+
+    Reuses the transfer microbenchmark's star generator (half-selective
+    dimension filters, so the probe passes do real pruning work) and runs
+    the same query + plan under ``serial``, ``parallel`` (threads), and
+    ``process`` at each worker count.  The hash cache is pinned off so the
+    process backend's shared-memory gather path carries the probe columns
+    (the regime the backend is built for) and threads/processes hash the
+    same per-pass work.  Reported seconds are the best end-to-end wall time
+    over ``repeats`` runs; aggregates are asserted identical to serial.
+    """
+    from repro.engine.database import ExecutionOptions
+    from repro.engine.modes import ExecutionConfig, ExecutionMode
+    from repro.errors import BenchmarkError
+    from repro.exec.process import shutdown_workers
+
+    counts = tuple(worker_counts) if worker_counts is not None else _default_worker_counts()
+    dims = dim_rows if dim_rows is not None else fact_rows // 2
+    db, query = _transfer_database(fact_rows, dims, num_dims, seed)
+    plan = db.optimizer_plan(query)
+
+    def options(backend: str, workers: int) -> ExecutionOptions:
+        return ExecutionOptions(
+            execution=ExecutionConfig(
+                backend=backend,
+                num_threads=workers,
+                num_workers=workers,
+                hash_cache=False,
+                artifact_cache=False,
+            )
+        )
+
+    def best_run(backend: str, workers: int):
+        best = None
+        seconds = float("inf")
+        for _ in range(max(repeats, 1)):
+            start = time.perf_counter()
+            result = db.execute(query, mode=ExecutionMode.RPT, plan=plan, options=options(backend, workers))
+            elapsed = time.perf_counter() - start
+            if elapsed < seconds:
+                seconds = elapsed
+                best = result
+        return best, seconds
+
+    serial, serial_s = best_run("serial", 1)
+    thread_curve = []
+    process_curve = []
+    shm_bytes = 0
+    try:
+        for workers in counts:
+            thread_result, thread_s = best_run("parallel", workers)
+            process_result, process_s = best_run("process", workers)
+            for result in (thread_result, process_result):
+                if result.aggregates != serial.aggregates:
+                    raise BenchmarkError(
+                        "parallel run diverged from the serial baseline: "
+                        f"{result.aggregates} != {serial.aggregates}"
+                    )
+            thread_curve.append((workers, thread_s))
+            process_curve.append((workers, process_s))
+            shm_bytes = max(shm_bytes, process_result.stats.shm_bytes_mapped)
+    finally:
+        db.close()
+        shutdown_workers()
+
+    return ScalingMeasurement(
+        fact_rows=fact_rows,
+        dim_rows=dims,
+        num_dims=num_dims,
+        serial_seconds=serial_s,
+        thread_seconds=tuple(thread_curve),
+        process_seconds=tuple(process_curve),
+        shm_bytes_mapped=shm_bytes,
+    )
+
+
+def format_scaling_microbench(measurement: ScalingMeasurement) -> str:
+    """Render the thread-vs-process scaling curves as a table."""
+    lines = [
+        "Backend scaling on a star-probe query (serial vs threads vs processes)",
+        f"fact rows {measurement.fact_rows}, dims {measurement.num_dims} x "
+        f"{measurement.dim_rows}, serial {measurement.serial_seconds:.4f}s, "
+        f"shm mapped {measurement.shm_bytes_mapped}B",
+        f"{'workers':>8} {'threads (s)':>12} {'process (s)':>12} {'proc vs thread':>15}",
+    ]
+    process_by_workers = dict(measurement.process_seconds)
+    for workers, thread_s in measurement.thread_seconds:
+        process_s = process_by_workers.get(workers)
+        ratio = f"{thread_s / process_s:>14.2f}x" if process_s else f"{'-':>15}"
+        process_text = f"{process_s:>12.4f}" if process_s is not None else f"{'-':>12}"
+        lines.append(f"{workers:>8} {thread_s:>12.4f} {process_text} {ratio}")
     return "\n".join(lines)
 
 

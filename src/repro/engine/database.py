@@ -145,6 +145,9 @@ class _PreparedExecution:
     masks: Dict[str, np.ndarray]
     physical: PhysicalPlan
     config: ExecutionConfig
+    #: alias -> rows the fused filter kernel short-circuited (aliases whose
+    #: predicate was evaluated fused; empty when fusion is off/inapplicable).
+    fused: Dict[str, int] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -188,6 +191,12 @@ class Database:
         # one (that sharing *is* the repeated-traffic win).
         self._artifact_cache: Optional[ArtifactCache] = None
         self._artifact_cache_init_lock = threading.Lock()
+        # Shared-memory column arena, created lazily the first time a
+        # process-backend execution needs zero-copy base columns and shared
+        # across executions (publishing a segment per query would erase the
+        # win).  Segments are unlinked on table replace, close(), and GC.
+        self._shm_arena = None
+        self._shm_arena_init_lock = threading.Lock()
 
     @property
     def artifact_cache(self) -> Optional[ArtifactCache]:
@@ -208,6 +217,31 @@ class Database:
                 self._artifact_cache.resize(config.artifact_cache_budget_bytes)
             return self._artifact_cache
 
+    @property
+    def shm_arena(self):
+        """The shared-memory column arena (None until a process-backend run)."""
+        return self._shm_arena
+
+    def _ensure_shm_arena(self):
+        # Imported lazily: the storage shm layer is only needed by
+        # process-backend executions.
+        from repro.storage.shm import SharedColumnArena
+
+        with self._shm_arena_init_lock:
+            if self._shm_arena is None:
+                self._shm_arena = SharedColumnArena(self.catalog)
+            return self._shm_arena
+
+    def close(self) -> None:
+        """Release engine-owned shared resources (shm segments); idempotent.
+
+        Only needed when a database outlives its process-backend executions
+        and the shared-memory segments should be returned before interpreter
+        exit (an ``atexit`` hook unlinks anything still live either way).
+        """
+        if self._shm_arena is not None:
+            self._shm_arena.close()
+
     # ------------------------------------------------------------------
     # Table registration
     # ------------------------------------------------------------------
@@ -218,6 +252,10 @@ class Database:
         # unreachable; dropping them eagerly returns their cache budget.
         if self._artifact_cache is not None:
             self._artifact_cache.invalidate_table(table.name)
+        # Likewise for shared-memory segments: the version key already
+        # misses, but the replaced table's segments hold real memory.
+        if self._shm_arena is not None:
+            self._shm_arena.invalidate_table(table.name)
 
     def register_dataframe(
         self,
@@ -253,13 +291,44 @@ class Database:
         cardinalities and the scan's ``FilterPush`` ops, so a predicate is
         never evaluated twice per execution.
         """
+        return self._evaluate_filters(query, fuse=False)[0]
+
+    def _evaluate_filters(
+        self,
+        query: QuerySpec,
+        fuse: bool,
+        stats: Optional[ExecutionStats] = None,
+    ) -> tuple[Dict[str, np.ndarray], Dict[str, int]]:
+        """:meth:`filter_masks`, optionally through fused conjunction kernels.
+
+        With ``fuse`` on, each conjunctive predicate that
+        :func:`repro.expr.fusion.fuse_conjunction` accepts runs as a single
+        short-circuiting kernel (bit-identical mask); the second mapping
+        records the rows each fused kernel short-circuited, per alias, and
+        ``stats`` (when given) accumulates the fusion counters.
+        """
+        # Imported lazily: the expression package imports the kernel module,
+        # which this engine module's package initializer already pulls in.
+        from repro.expr.fusion import fuse_conjunction
+
         masks: Dict[str, np.ndarray] = {}
+        fused: Dict[str, int] = {}
         for ref in query.relations:
-            if ref.filter is not None:
-                masks[ref.alias] = np.asarray(
-                    ref.filter.evaluate(self.catalog.table(ref.table)), dtype=bool
-                )
-        return masks
+            if ref.filter is None:
+                continue
+            table = self.catalog.table(ref.table)
+            if fuse:
+                kernel = fuse_conjunction(ref.filter)
+                if kernel is not None:
+                    mask, short_circuited = kernel.evaluate(table)
+                    masks[ref.alias] = np.asarray(mask, dtype=bool)
+                    fused[ref.alias] = short_circuited
+                    if stats is not None:
+                        stats.fused_exprs += 1
+                        stats.fused_rows_short_circuited += short_circuited
+                    continue
+            masks[ref.alias] = np.asarray(ref.filter.evaluate(table), dtype=bool)
+        return masks, fused
 
     def join_graph(
         self,
@@ -338,7 +407,13 @@ class Database:
         join_tree, masks, physical, config = prep.join_tree, prep.masks, prep.physical, prep.config
         spill = SpillManager()
         governor = MemoryGovernor(config.memory_budget_bytes, spill_handler=spill)
-        backend = make_backend(config.backend, config.chunk_size, config.num_threads)
+        backend = make_backend(
+            config.backend, config.chunk_size, config.num_threads, config.num_workers
+        )
+        # Probe-shipping backends read base columns through the database's
+        # shared-memory arena (segments persist across queries; table
+        # replace and close() unlink them).
+        arena = self._ensure_shm_arena() if getattr(backend, "ships_probes", False) else None
         artifact_cache = None
         fingerprints = None
         table_versions = None
@@ -373,9 +448,10 @@ class Database:
             adaptive_min_yield=float(config.adaptive_min_yield),
             ndv_sizing=bool(config.ndv_sizing),
             bitmap_downgrade=bool(config.bitmap_downgrade),
+            arena=arena,
         )
         try:
-            run = executor.run(physical, stats, masks=masks)
+            run = executor.run(physical, stats, masks=masks, fused_filters=prep.fused)
         finally:
             backend.close()
         io_seconds = spill.simulated_seconds()
@@ -486,8 +562,13 @@ class Database:
                 "connect it or execute each component separately"
             )
 
+        # Resolve the runtime config before evaluating filters: the fusion
+        # knob decides how the base predicates run.
+        config = options.resolved_execution()
         with stats.time_phase("scan_filter"):
-            masks = self.filter_masks(query)
+            masks, fused = self._evaluate_filters(
+                query, fuse=bool(config.fuse_filters), stats=stats
+            )
         graph = self.join_graph(query, masks=masks)
 
         join_tree: Optional[JoinTree] = None
@@ -509,7 +590,6 @@ class Database:
         if schedule is not None and options.skip_backward_if_aligned and self._order_aligned(plan, join_tree):
             schedule = schedule.without_backward_pass()
 
-        config = options.resolved_execution()
         physical = compile_execution(
             query,
             mode,
@@ -528,6 +608,7 @@ class Database:
             masks=masks,
             physical=physical,
             config=config,
+            fused=fused,
         )
 
     def _build_schedule(

@@ -88,6 +88,8 @@ DEFAULT_PARTITION_THRESHOLD = 1 << 17
 #: ``REPRO_BACKEND=parallel`` without touching any call site.
 ENV_BACKEND = "REPRO_BACKEND"
 ENV_NUM_THREADS = "REPRO_NUM_THREADS"
+ENV_NUM_WORKERS = "REPRO_NUM_WORKERS"
+ENV_FUSE_FILTERS = "REPRO_FUSE_FILTERS"
 ENV_MEMORY_BUDGET = "REPRO_MEMORY_BUDGET"
 ENV_PARTITION_BITS = "REPRO_PARTITION_BITS"
 ENV_HASH_CACHE = "REPRO_HASH_CACHE"
@@ -116,10 +118,15 @@ class ExecutionConfig:
     harness can compare backends uniformly:
 
     * ``backend`` — ``"serial"`` (whole-column kernels), ``"chunked"``
-      (morsel-granular with the Figure 14 simulated-parallelism model), or
-      ``"parallel"`` (a real morsel-driven scheduler over a thread pool).
+      (morsel-granular with the Figure 14 simulated-parallelism model),
+      ``"parallel"`` (a real morsel-driven scheduler over a thread pool), or
+      ``"process"`` (a morsel scheduler over worker *processes* reading
+      base columns from ``multiprocessing.shared_memory`` — GIL-free,
+      bit-identical to serial).
     * ``num_threads`` — worker threads of the parallel backend (``None``:
       one per CPU, capped at 32 like the paper's testbed).
+    * ``num_workers`` — worker processes of the process backend (``None``:
+      one per CPU, capped at 32).
     * ``chunk_size`` — morsel granularity of the chunked/parallel backends
       (``None``: each backend's own default — 2048-row chunks for the
       chunked simulation, larger morsels for the real parallel scheduler).
@@ -156,6 +163,10 @@ class ExecutionConfig:
       domain is small/dense to an exact bitmap semi-join (no false
       positives, cheaper probes).  Defaults to the resolved
       ``adaptive_transfer`` value.
+    * ``fuse_filters`` — compile conjunctive base-table predicates into one
+      fused kernel that short-circuits later conjuncts through progressive
+      selection vectors instead of materializing a boolean mask per node
+      (default off; bit-identical either way).
 
     Unset knobs (``backend=None`` etc.) resolve from ``REPRO_*`` environment
     variables, then defaults — see :meth:`resolved`.
@@ -163,6 +174,7 @@ class ExecutionConfig:
 
     backend: Optional[str] = None
     num_threads: Optional[int] = None
+    num_workers: Optional[int] = None
     chunk_size: Optional[int] = None
     memory_budget_bytes: Optional[int] = None
     partition_bits: Optional[int] = None
@@ -175,6 +187,7 @@ class ExecutionConfig:
     adaptive_min_yield: Optional[float] = None
     ndv_sizing: Optional[bool] = None
     bitmap_downgrade: Optional[bool] = None
+    fuse_filters: Optional[bool] = None
 
     def resolved(self) -> "ExecutionConfig":
         """This config with unset knobs filled from the environment / defaults."""
@@ -182,6 +195,9 @@ class ExecutionConfig:
         num_threads = self.num_threads
         if num_threads is None and os.environ.get(ENV_NUM_THREADS):
             num_threads = int(os.environ[ENV_NUM_THREADS])
+        num_workers = self.num_workers
+        if num_workers is None and os.environ.get(ENV_NUM_WORKERS):
+            num_workers = int(os.environ[ENV_NUM_WORKERS])
         memory_budget = self.memory_budget_bytes
         if memory_budget is None and os.environ.get(ENV_MEMORY_BUDGET):
             memory_budget = int(os.environ[ENV_MEMORY_BUDGET])
@@ -230,9 +246,15 @@ class ExecutionConfig:
             bitmap_downgrade = _env_flag(ENV_BITMAP_DOWNGRADE)
         if bitmap_downgrade is None:
             bitmap_downgrade = adaptive_transfer
+        fuse_filters = self.fuse_filters
+        if fuse_filters is None:
+            fuse_filters = _env_flag(ENV_FUSE_FILTERS)
+        if fuse_filters is None:
+            fuse_filters = False
         return ExecutionConfig(
             backend=backend,
             num_threads=num_threads,
+            num_workers=num_workers,
             chunk_size=self.chunk_size,
             memory_budget_bytes=memory_budget,
             partition_bits=partition_bits,
@@ -245,4 +267,5 @@ class ExecutionConfig:
             adaptive_min_yield=adaptive_min_yield,
             ndv_sizing=ndv_sizing,
             bitmap_downgrade=bitmap_downgrade,
+            fuse_filters=fuse_filters,
         )

@@ -140,6 +140,16 @@ def _slice_probe_input(keys: ProbeInput, lo: int, hi: int) -> ProbeInput:
     return keys[lo:hi]
 
 
+def _probe_input_rows(keys) -> int:
+    """Row count of a probe input, including the process backend's lazy
+    :class:`~repro.exec.process.ShmGather` (duck-typed via ``rows`` so this
+    module never imports its own subclass's module)."""
+    rows = getattr(keys, "rows", None)
+    if rows is not None:
+        return int(rows)
+    return _probe_rows(_as_probe_input(keys))
+
+
 # ---------------------------------------------------------------------------
 # Backends
 # ---------------------------------------------------------------------------
@@ -353,16 +363,37 @@ class ParallelBackend(ExecutionBackend):
             self._pool = None
 
 
+class _BloomPassProbe:
+    """A picklable probe callable over a precomputed (hashes, patterns) pass.
+
+    Replaces the equivalent lambda so the process backend can ship the
+    probe spec to workers (lambdas do not pickle; the filter itself does).
+    """
+
+    __slots__ = ("bloom",)
+
+    def __init__(self, bloom: BloomFilter) -> None:
+        self.bloom = bloom
+
+    def __call__(self, hp: Tuple[np.ndarray, np.ndarray]) -> np.ndarray:
+        return self.bloom.probe(hashes=hp[0], patterns=hp[1])
+
+
 def make_backend(
     name: str,
     chunk_size: Optional[int] = None,
     num_threads: Optional[int] = None,
+    num_workers: Optional[int] = None,
 ) -> ExecutionBackend:
-    """Instantiate a backend by name (``"serial"``, ``"chunked"``, or ``"parallel"``).
+    """Instantiate a backend by name (``"serial"``, ``"chunked"``, ``"parallel"``,
+    or ``"process"``).
 
     ``chunk_size=None`` takes each backend's own default granularity
     (:data:`~repro.exec.chunk.DEFAULT_CHUNK_SIZE` for the chunked backend,
-    the larger :data:`DEFAULT_MORSEL_SIZE` for the parallel one).
+    the larger :data:`DEFAULT_MORSEL_SIZE` for the parallel one, the larger
+    still :data:`~repro.exec.process.DEFAULT_PROCESS_MORSEL_SIZE` for the
+    process one).  ``num_threads`` configures the thread backend,
+    ``num_workers`` the process backend.
     """
     if name == "serial":
         return SerialBackend()
@@ -375,8 +406,18 @@ def make_backend(
             num_threads=num_threads,
             morsel_size=DEFAULT_MORSEL_SIZE if chunk_size is None else chunk_size,
         )
+    if name == "process":
+        # Imported lazily: repro.exec.process subclasses ExecutionBackend,
+        # so a top-level import here would be circular.
+        from repro.exec.process import DEFAULT_PROCESS_MORSEL_SIZE, ProcessBackend
+
+        return ProcessBackend(
+            num_workers=num_workers,
+            morsel_size=DEFAULT_PROCESS_MORSEL_SIZE if chunk_size is None else chunk_size,
+        )
     raise ExecutionError(
-        f"unknown pipeline backend {name!r}; expected 'serial', 'chunked', or 'parallel'"
+        f"unknown pipeline backend {name!r}; "
+        "expected 'serial', 'chunked', 'parallel', or 'process'"
     )
 
 
@@ -489,6 +530,7 @@ class PipelineExecutor:
         adaptive_min_yield: float = DEFAULT_MIN_YIELD,
         ndv_sizing: bool = False,
         bitmap_downgrade: bool = False,
+        arena=None,
     ) -> None:
         self.query = query
         self.graph = graph
@@ -518,6 +560,10 @@ class PipelineExecutor:
         #: id(column data) -> KMVSketch, memoized for the executor lifetime
         #: (the cross-query ArtifactCache persists sketches beyond it).
         self._ndv_memo: Dict[int, Tuple[np.ndarray, KMVSketch]] = {}
+        #: Shared-memory column arena (engine-owned); set together with a
+        #: probe-shipping backend so transfer probes can hand workers a
+        #: (column ref, selection vector) pair instead of gathered keys.
+        self.arena = arena
         self._refs = {ref.alias: ref for ref in query.relations}
 
     # ------------------------------------------------------------------
@@ -530,6 +576,7 @@ class PipelineExecutor:
         relations: Optional[Dict[str, BoundRelation]] = None,
         masks: Optional[Mapping[str, Optional[np.ndarray]]] = None,
         finalize_root: Optional[Operand] = None,
+        fused_filters: Optional[Mapping[str, int]] = None,
     ) -> PipelineResult:
         """Execute every op of ``plan`` in order.
 
@@ -539,10 +586,13 @@ class PipelineExecutor:
         planning are not evaluated again by ``FilterPush``.  With
         ``finalize_root`` (fragments without an ``Aggregate`` op) the root
         operand is materialized, remaining post-join predicates are applied,
-        and ``stats.output_rows`` is set.
+        and ``stats.output_rows`` is set.  ``fused_filters`` maps aliases
+        whose pushed-down predicate was evaluated by a fused kernel to the
+        rows the kernel short-circuited, for the op trace.
         """
         self._relations: Dict[str, BoundRelation] = relations if relations is not None else {}
         self._masks = masks
+        self._fused_filters = dict(fused_filters or {})
         self._slots: Dict[int, IntermediateResult] = {}
         self._materialized: Dict[Operand, IntermediateResult] = {}
         self._transfer_stages: Dict[int, _TransferStage] = {}
@@ -567,6 +617,12 @@ class PipelineExecutor:
         self._artifact_hits = 0
         self._artifact_misses = 0
         self._selvec_rows = 0
+        # Shared-memory accounting: arena columns charged this run (for the
+        # governor + stats) plus whatever the backend itself placed in
+        # transient segments.
+        self._shm_reserved: List[str] = []
+        self._shm_charged: set[str] = set()
+        self._shm_bytes = 0
         # Adaptive transfer: one controller per run, built over this plan's
         # op list.  Per-op decision fields are reset before each dispatch and
         # folded into the op's stats entry after it.
@@ -582,6 +638,7 @@ class PipelineExecutor:
         self._op_downgraded = False
 
         base_simulated = getattr(self.backend, "simulated_cost", 0.0)
+        base_shm = getattr(self.backend, "shm_bytes_mapped", 0)
         base_hash_hits = self.hash_cache.hits if self.hash_cache is not None else 0
         base_hash_misses = self.hash_cache.misses if self.hash_cache is not None else 0
         governor = self.governor
@@ -600,10 +657,12 @@ class PipelineExecutor:
             selvec_before = self._selvec_rows
             artifact_hits_before = self._artifact_hits
             artifact_misses_before = self._artifact_misses
+            shm_before = self._shm_bytes + getattr(self.backend, "shm_bytes_mapped", 0)
             self._op_index = index
             self._op_adaptive_skip = False
             self._op_bytes_saved = 0
             self._op_downgraded = False
+            self._op_fused_rows = -1
             start = time.perf_counter()
             rows_in, rows_out, skipped = self._dispatch(op, stats)
             elapsed = time.perf_counter() - start
@@ -644,6 +703,13 @@ class PipelineExecutor:
                     adaptive_skipped=self._op_adaptive_skip,
                     filter_bytes_saved=self._op_bytes_saved,
                     downgraded_exact=self._op_downgraded,
+                    fused_expr=self._op_fused_rows >= 0,
+                    fused_rows_short_circuited=max(self._op_fused_rows, 0),
+                    shm_bytes=(
+                        self._shm_bytes
+                        + getattr(self.backend, "shm_bytes_mapped", 0)
+                        - shm_before
+                    ),
                 )
             )
             if self._op_bytes_saved:
@@ -670,15 +736,22 @@ class PipelineExecutor:
         stats.selection_vector_rows += self._selvec_rows
         stats.artifact_cache_hits += self._artifact_hits
         stats.artifact_cache_misses += self._artifact_misses
+        stats.shm_bytes_mapped += self._shm_bytes + (
+            getattr(self.backend, "shm_bytes_mapped", 0) - base_shm
+        )
         # Artifact residency was charged for this run's accounting only; the
         # artifacts themselves stay alive in the cross-query cache.  The
         # query-lifetime hash cache dies with the executor, so its
-        # reservation is released the same way.
+        # reservation is released the same way — and so are arena-column
+        # reservations (the segments stay published by the engine's arena).
         if governor is not None:
             for reservation in self._artifact_reserved:
                 governor.release(reservation)
+            for reservation in self._shm_reserved:
+                governor.release(reservation)
             governor.release("hash_cache")
         self._artifact_reserved.clear()
+        self._shm_reserved.clear()
 
         return PipelineResult(
             relations=self._relations,
@@ -734,6 +807,8 @@ class PipelineExecutor:
         rows_in = relation.num_rows
         if self._masks is not None and op.alias in self._masks and self._masks[op.alias] is not None:
             mask = np.asarray(self._masks[op.alias], dtype=bool)
+            if op.alias in self._fused_filters:
+                self._op_fused_rows = int(self._fused_filters[op.alias])
         else:
             ref = self._refs.get(op.alias)
             if ref is None or ref.filter is None:
@@ -974,34 +1049,29 @@ class PipelineExecutor:
             else:
                 if self.selection_vectors:
                     self._selvec_rows += target.num_rows
-                probe_keys = target.key_values(stage.target_column)
+                probe_keys = self._transfer_probe_input(target, stage.target_column)
+            probe_rows = _probe_input_rows(probe_keys)
             mask = self.backend.probe_mask(
                 probe_keys,
                 index.contains,
-                prepare=lambda: index.prepare(int(np.asarray(probe_keys).shape[0])),
+                prepare=lambda: index.prepare(probe_rows),
             )
             filter_bytes = index.index_bytes()
         elif stage.target_keys is not None:
             mask = self.backend.probe_mask(stage.target_keys, bloom.probe)
             filter_bytes = bloom.size_bytes
         elif stage.target_pass is not None:
-            mask = self.backend.probe_mask(
-                stage.target_pass,
-                lambda hp: bloom.probe(hashes=hp[0], patterns=hp[1]),
-            )
+            mask = self.backend.probe_mask(stage.target_pass, _BloomPassProbe(bloom))
             filter_bytes = bloom.size_bytes
         elif self.hash_cache is not None:
             self._selvec_rows += target.num_rows
             probe_pass = self._bloom_pass_for_relation(target, stage.target_column)
-            mask = self.backend.probe_mask(
-                probe_pass,
-                lambda hp: bloom.probe(hashes=hp[0], patterns=hp[1]),
-            )
+            mask = self.backend.probe_mask(probe_pass, _BloomPassProbe(bloom))
             filter_bytes = bloom.size_bytes
         else:
             self._selvec_rows += target.num_rows
             mask = self.backend.probe_mask(
-                target.key_values(stage.target_column), bloom.probe
+                self._transfer_probe_input(target, stage.target_column), bloom.probe
             )
             filter_bytes = bloom.size_bytes
         target.keep(mask)
@@ -1035,23 +1105,26 @@ class PipelineExecutor:
             # prior query's frozen artifact) skips the source-side gather
             # and sort entirely.
             attr_class = self.graph.attribute_classes[op.attributes[0]]
-            target_keys = target.key_values(attr_class.column_of(op.target.alias))
+            target_keys = self._transfer_probe_input(
+                target, attr_class.column_of(op.target.alias)
+            )
             source_column = attr_class.column_of(op.source.alias)
             index = self._relation_index(
                 op.source.alias,
                 op.attributes,
                 source,
                 lambda: source.key_values(source_column),
-                expected_probe_rows=int(target_keys.shape[0]),
+                expected_probe_rows=_probe_input_rows(target_keys),
             )
         else:
             source_keys, target_keys = self._step_keys(op, source, target)
             index = HashIndex(source_keys)
         rows_before = target.num_rows
+        probe_rows = _probe_input_rows(target_keys)
         mask = self.backend.probe_mask(
             target_keys,
             index.contains,
-            prepare=lambda: index.prepare(int(np.asarray(target_keys).shape[0])),
+            prepare=lambda: index.prepare(probe_rows),
         )
         target.keep(mask)
         self._record_transfer_step(
@@ -1299,6 +1372,41 @@ class PipelineExecutor:
             self.governor.reserve(reservation, size_bytes, evictable=False)
             self._artifact_reserved.append(reservation)
 
+    # -- shared-memory probe inputs -------------------------------------
+    def _transfer_probe_input(self, relation: BoundRelation, column: str):
+        """The probe input for a transfer semi-join over ``relation[column]``.
+
+        Normally the eager gather ``relation.key_values(column)``.  When the
+        backend ships probes to worker processes and the arena can publish
+        the base column, returns a lazy (column ref, selection vector) pair
+        instead — workers gather their own morsel from shared memory, so the
+        parent never materializes the keys.  Either way the resulting mask
+        is bit-identical.
+        """
+        if (
+            self.arena is not None
+            and getattr(self.backend, "ships_probes", False)
+            and relation.num_rows > getattr(self.backend, "morsel_size", 0)
+        ):
+            ref = self.arena.column_ref(relation.table, column)
+            if ref is not None:
+                self._charge_shm(ref)
+                from repro.exec.process import ShmGather
+
+                return ShmGather(ref, relation.row_indices, relation.table.column(column).data)
+        return relation.key_values(column)
+
+    def _charge_shm(self, ref) -> None:
+        """Account a published arena column against the run's governor/stats."""
+        if ref.name in self._shm_charged:
+            return
+        self._shm_charged.add(ref.name)
+        self._shm_bytes += ref.nbytes
+        if self.governor is not None:
+            reservation = f"shm:{ref.name}"
+            self.governor.reserve(reservation, ref.nbytes, evictable=False)
+            self._shm_reserved.append(reservation)
+
     def _indexed_keys(
         self,
         alias: str,
@@ -1426,11 +1534,7 @@ class PipelineExecutor:
             return probe.num_rows, probe.num_rows, True
         rows_before = probe.num_rows
         if stage.probe_pass is not None:
-            bloom = stage.bloom
-            hits = self.backend.probe_mask(
-                stage.probe_pass,
-                lambda hp: bloom.probe(hashes=hp[0], patterns=hp[1]),
-            )
+            hits = self.backend.probe_mask(stage.probe_pass, _BloomPassProbe(stage.bloom))
         else:
             hits = self.backend.probe_mask(stage.probe_keys, stage.bloom.probe)
         keep = np.nonzero(hits)[0]

@@ -1,0 +1,371 @@
+"""Process-parallel morsel execution over shared-memory columns.
+
+:class:`ProcessBackend` is the GIL-free sibling of
+:class:`~repro.exec.pipeline.ParallelBackend`: probe inputs are cut into
+morsels and dispatched to a pool of worker *processes*.  Two things make
+this profitable in pure Python:
+
+* **Shared-memory inputs.**  Probe key columns are never pickled through
+  the task pipe.  Base-table columns are published once per
+  ``(table, catalog version, column)`` by the engine's
+  :class:`~repro.storage.shm.SharedColumnArena`; derived arrays (selection
+  vectors, hash/pattern passes) are copied into transient segments for the
+  duration of one probe call.  A task message carries only (spec ref,
+  input refs, morsel range).
+* **Shipped-once probe specs.**  The probe callable (a Bloom filter's
+  bound ``probe``, a :class:`~repro.exec.kernels.HashIndex`'s ``contains``
+  or ``match``) is pickled *once* per call into a shared segment; workers
+  unpickle it on first touch and cache it by segment name.
+
+Results are gathered in submit order and concatenated, so every mask and
+match is bit-identical to :class:`~repro.exec.pipeline.SerialBackend`
+regardless of worker scheduling.  Probe structures are frozen (``prepare``
+runs before the spec is pickled) so the shipped copy is complete.
+
+Worker pools are expensive to start, so one module-level pool is shared by
+every :class:`ProcessBackend` instance with the same (start method, worker
+count); the engine's per-query ``backend.close()`` is a no-op here and the
+pool dies with the interpreter (:func:`shutdown_workers` + ``atexit``).
+The ``fork`` start method is preferred (no interpreter re-exec per
+worker); ``spawn`` is the fallback on platforms without fork.
+
+Caveat: Bloom-filter probe *statistics* incremented inside workers stay in
+the workers — the parent's counters only reflect morsels probed inline.
+Adaptive-transfer decisions use relation cardinalities, not Bloom
+counters, so adaptivity is unaffected.
+
+All transient segments are unlinked in ``finally`` blocks: a crashing
+worker propagates its exception to the caller and still leaves the
+segment registry empty.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import pickle
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.exec.kernels import HashIndex, JoinMatches
+from repro.exec.pipeline import (
+    MAX_DEFAULT_THREADS,
+    ExecutionBackend,
+    ProbeInput,
+    _as_probe_input,
+    _probe_rows,
+    _slice_probe_input,
+)
+from repro.storage import shm
+from repro.storage.shm import ShmArrayRef
+
+#: Process morsels are coarser than thread morsels: each task additionally
+#: pays a pipe round-trip and (once per worker) a segment attach, so it must
+#: carry more rows to amortize.
+DEFAULT_PROCESS_MORSEL_SIZE = 65_536
+
+
+# ---------------------------------------------------------------------------
+# Task input descriptors (picklable, tiny)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class _ArraysInput:
+    """Probe input shipped as whole shared arrays; workers slice [lo:hi]."""
+
+    refs: Tuple[ShmArrayRef, ...]
+    is_tuple: bool
+
+
+@dataclass(frozen=True)
+class _GatherInput:
+    """A base-column gather ``column[selection[lo:hi]]`` done worker-side."""
+
+    column: ShmArrayRef
+    selection: ShmArrayRef
+
+
+_TaskInput = Union[_ArraysInput, _GatherInput]
+
+
+class ShmGather:
+    """A lazy probe input: base column (shareable) + selection vector.
+
+    Built by the pipeline executor instead of eagerly gathering
+    ``column.data[row_indices]`` when the active backend ships probes to
+    worker processes — workers gather their own morsel from the shared
+    base column, so the parent never materializes the probe keys at all.
+    Backends that do not understand it receive the materialized array.
+    """
+
+    __slots__ = ("column_ref", "selection", "column_data")
+
+    def __init__(
+        self, column_ref: ShmArrayRef, selection: np.ndarray, column_data: np.ndarray
+    ) -> None:
+        self.column_ref = column_ref
+        self.selection = np.asarray(selection)
+        self.column_data = column_data
+
+    @property
+    def rows(self) -> int:
+        return int(self.selection.shape[0])
+
+    def materialize(self) -> np.ndarray:
+        """The equivalent eager probe-key array (used for inline fallbacks)."""
+        return self.column_data[self.selection]
+
+
+def probe_input_rows(keys: object) -> int:
+    """Row count of any probe input, including :class:`ShmGather`."""
+    if isinstance(keys, ShmGather):
+        return keys.rows
+    return _probe_rows(_as_probe_input(keys))
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+#: Worker-local cache of unpickled probe specs keyed by segment name (names
+#: are never reused, so entries can never alias different callables).
+_SPEC_CACHE: Dict[str, object] = {}
+_SPEC_CACHE_LIMIT = 32
+
+
+def _worker_init(start_method: str) -> None:
+    # Forked workers inherit the parent's owned-segment registry; drop it so
+    # a worker can never unlink segments it does not own, and start with a
+    # clean attach cache.
+    shm._LIVE.clear()
+    shm._ATTACHED.clear()
+    _SPEC_CACHE.clear()
+    # Forked workers also share the parent's resource-tracker process: the
+    # attach-time registration is an idempotent no-op there, but an
+    # unregister would strip the parent's own entry (tracker KeyError noise
+    # at unlink).  Spawned workers have their own tracker and must
+    # unregister, or that tracker unlinks live segments on worker exit.
+    shm._UNREGISTER_ON_ATTACH = start_method != "fork"
+
+
+def _resolve_spec(spec_ref: ShmArrayRef) -> object:
+    spec = _SPEC_CACHE.get(spec_ref.name)
+    if spec is None:
+        payload = shm.attach_array(spec_ref)
+        spec = pickle.loads(payload.tobytes())
+        if len(_SPEC_CACHE) >= _SPEC_CACHE_LIMIT:
+            _SPEC_CACHE.pop(next(iter(_SPEC_CACHE)))
+        _SPEC_CACHE[spec_ref.name] = spec
+    return spec
+
+
+def _materialize_input(task_input: _TaskInput, lo: int, hi: int) -> ProbeInput:
+    if isinstance(task_input, _GatherInput):
+        column = shm.attach_array(task_input.column)
+        selection = shm.attach_array(task_input.selection)
+        return column[selection[lo:hi]]
+    arrays = tuple(shm.attach_array(ref)[lo:hi] for ref in task_input.refs)
+    if task_input.is_tuple:
+        return arrays
+    return arrays[0]
+
+
+def _probe_task(
+    spec_ref: ShmArrayRef, task_input: _TaskInput, lo: int, hi: int
+) -> np.ndarray:
+    probe_fn = _resolve_spec(spec_ref)
+    return probe_fn(_materialize_input(task_input, lo, hi))
+
+
+def _match_task(
+    spec_ref: ShmArrayRef, task_input: _TaskInput, lo: int, hi: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    index = _resolve_spec(spec_ref)
+    matches = index.match(_materialize_input(task_input, lo, hi))
+    return matches.probe_indices, matches.build_indices
+
+
+# ---------------------------------------------------------------------------
+# Shared pool management
+# ---------------------------------------------------------------------------
+_POOL: Optional[multiprocessing.pool.Pool] = None
+_POOL_KEY: Optional[Tuple[str, int]] = None
+
+
+def _start_method() -> str:
+    return "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+
+
+def _shared_pool(num_workers: int) -> multiprocessing.pool.Pool:
+    global _POOL, _POOL_KEY
+    key = (_start_method(), num_workers)
+    if _POOL is not None and _POOL_KEY == key:
+        return _POOL
+    shutdown_workers()
+    context = multiprocessing.get_context(key[0])
+    _POOL = context.Pool(
+        processes=num_workers, initializer=_worker_init, initargs=(key[0],)
+    )
+    _POOL_KEY = key
+    return _POOL
+
+
+def shutdown_workers() -> None:
+    """Terminate the shared worker pool (tests / interpreter shutdown)."""
+    global _POOL, _POOL_KEY
+    if _POOL is not None:
+        _POOL.terminate()
+        _POOL.join()
+        _POOL = None
+        _POOL_KEY = None
+
+
+atexit.register(shutdown_workers)
+
+
+# ---------------------------------------------------------------------------
+# The backend
+# ---------------------------------------------------------------------------
+class ProcessBackend(ExecutionBackend):
+    """Morsel-parallel execution over a pool of worker processes.
+
+    Inputs travel through shared memory (see module docstring); small
+    inputs (one morsel or less) run inline in the parent, exactly like the
+    thread backend, so short probes never pay process-dispatch overhead.
+    ``map_tasks`` (opaque closures from the partitioned-join path) falls
+    back to serial execution — closures do not pickle, and partitioned
+    builds mutate shared state.
+
+    ``shm_bytes_mapped`` accumulates the bytes this backend placed in (or
+    resolved from) shared segments; the executor samples it per op.
+    """
+
+    name = "process"
+    #: The pipeline executor checks this to hand over lazy ShmGather inputs.
+    ships_probes = True
+
+    def __init__(
+        self,
+        num_workers: Optional[int] = None,
+        morsel_size: int = DEFAULT_PROCESS_MORSEL_SIZE,
+    ) -> None:
+        super().__init__()
+        if num_workers is not None and num_workers <= 0:
+            raise ExecutionError("process backend needs at least one worker")
+        if morsel_size <= 0:
+            raise ExecutionError("morsel size must be positive")
+        self.num_workers = num_workers or min(MAX_DEFAULT_THREADS, os.cpu_count() or 1)
+        self.morsel_size = morsel_size
+        self.shm_bytes_mapped = 0
+
+    # -- internals ----------------------------------------------------------
+    def _morsels(self, total_rows: int) -> List[Tuple[int, int]]:
+        return [
+            (start, min(start + self.morsel_size, total_rows))
+            for start in range(0, total_rows, self.morsel_size)
+        ]
+
+    def _ship_spec(self, spec: object):
+        """Pickle ``spec`` into a transient segment; None when unpicklable."""
+        try:
+            payload = pickle.dumps(spec, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            return None
+        segment, ref = shm.share_array(np.frombuffer(payload, dtype=np.uint8))
+        self.shm_bytes_mapped += ref.nbytes
+        return segment, ref
+
+    def _ship_input(self, keys):
+        """Place a probe input in shared memory.
+
+        Returns ``(transient_segments, task_input)``; only the transient
+        segments (selection vectors, derived arrays) are unlinked after the
+        call — arena-published base columns outlive it.
+        """
+        segments = []
+        if isinstance(keys, ShmGather):
+            selection_segment, selection_ref = shm.share_array(keys.selection)
+            segments.append(selection_segment)
+            self.shm_bytes_mapped += selection_ref.nbytes + keys.column_ref.nbytes
+            return segments, _GatherInput(column=keys.column_ref, selection=selection_ref)
+        parts = keys if isinstance(keys, tuple) else (keys,)
+        refs = []
+        for part in parts:
+            segment, ref = shm.share_array(part)
+            segments.append(segment)
+            refs.append(ref)
+            self.shm_bytes_mapped += ref.nbytes
+        return segments, _ArraysInput(refs=tuple(refs), is_tuple=isinstance(keys, tuple))
+
+    def _fan_out(self, task_fn, spec, keys, total: int):
+        """Ship spec + input, run one task per morsel, gather in order.
+
+        Returns the ordered list of worker results, or ``None`` when the
+        spec cannot be pickled (caller runs inline instead).  Transient
+        segments are always unlinked, even when a worker raises.
+        """
+        shipped = self._ship_spec(spec)
+        if shipped is None:
+            return None
+        spec_segment, spec_ref = shipped
+        segments = [spec_segment]
+        try:
+            input_segments, task_input = self._ship_input(keys)
+            segments.extend(input_segments)
+            pool = _shared_pool(self.num_workers)
+            morsels = self._morsels(total)
+            self.tasks_dispatched += len(morsels)
+            pending = [
+                pool.apply_async(task_fn, (spec_ref, task_input, lo, hi))
+                for lo, hi in morsels
+            ]
+            return morsels, [result.get() for result in pending]
+        finally:
+            for segment in segments:
+                shm.unlink_segment(segment)
+
+    @staticmethod
+    def _inline_keys(keys) -> ProbeInput:
+        if isinstance(keys, ShmGather):
+            return keys.materialize()
+        return _as_probe_input(keys)
+
+    # -- ExecutionBackend API ----------------------------------------------
+    def probe_mask(self, keys, probe_fn, prepare=None) -> np.ndarray:
+        total = probe_input_rows(keys)
+        if total <= self.morsel_size or self.num_workers == 1:
+            self.tasks_dispatched += 1
+            return probe_fn(self._inline_keys(keys))
+        # Freeze lazy probe structures BEFORE pickling so the shipped copy
+        # is complete and workers only read.
+        if prepare is not None:
+            prepare()
+        fanned = self._fan_out(_probe_task, probe_fn, keys, total)
+        if fanned is None:
+            self.tasks_dispatched += 1
+            return probe_fn(self._inline_keys(keys))
+        _, parts = fanned
+        return np.concatenate(parts)
+
+    def match(self, probe_keys: np.ndarray, index: HashIndex) -> JoinMatches:
+        probe_keys = np.asarray(probe_keys)
+        total = int(probe_keys.shape[0])
+        if total <= self.morsel_size or self.num_workers == 1:
+            self.tasks_dispatched += 1
+            return index.match(probe_keys)
+        index.prepare_match()
+        fanned = self._fan_out(_match_task, index, probe_keys, total)
+        if fanned is None:
+            self.tasks_dispatched += 1
+            return index.match(probe_keys)
+        morsels, results = fanned
+        probe_parts = [probe + lo for (probe, _), (lo, _) in zip(results, morsels)]
+        return JoinMatches(
+            probe_indices=np.concatenate(probe_parts),
+            build_indices=np.concatenate([build for _, build in results]),
+        )
+
+    def close(self) -> None:
+        """Per-query no-op: the worker pool is module-shared (see above)."""

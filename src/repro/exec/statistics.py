@@ -92,6 +92,15 @@ class OpStats:
     #: True when this step ran as an exact bitmap semi-join instead of a
     #: Bloom build/probe (the adaptive exact-bitmap downgrade).
     downgraded_exact: bool = False
+    #: True when this op's predicate ran as a single fused kernel instead of
+    #: one materialized mask per expression node.
+    fused_expr: bool = False
+    #: Rows the fused kernel never evaluated later conjuncts on (the
+    #: progressive selection vectors' saving over naive per-node masks).
+    fused_rows_short_circuited: int = 0
+    #: Bytes this op placed in (or resolved from) shared-memory segments for
+    #: process-parallel probing.
+    shm_bytes: int = 0
 
     @property
     def rows_eliminated(self) -> int:
@@ -173,6 +182,13 @@ class ExecutionStats:
     adaptive_filter_bytes_saved: int = 0
     #: Transfer steps downgraded to exact bitmap semi-joins.
     adaptive_exact_downgrades: int = 0
+    #: Base-filter predicates evaluated by a fused conjunction kernel, and
+    #: the rows those kernels short-circuited past later conjuncts.
+    fused_exprs: int = 0
+    fused_rows_short_circuited: int = 0
+    #: Bytes placed in (or resolved from) shared-memory segments by the
+    #: process backend during this execution.
+    shm_bytes_mapped: int = 0
 
     # ------------------------------------------------------------------
     # Derived quantities
@@ -247,6 +263,10 @@ class ExecutionStats:
                 marker += " [exact bitmap]"
             if op.filter_bytes_saved:
                 marker += f" [saved {op.filter_bytes_saved}B]"
+            if op.fused_expr:
+                marker += f" [fused -{op.fused_rows_short_circuited}r]"
+            if op.shm_bytes:
+                marker += f" [shm {op.shm_bytes}B]"
             lines.append(
                 f"{op.index:>3} {op.kind:<22} {op.rows_in:>10} {op.rows_out:>10} "
                 f"{op.seconds:>10.6f} {op.morsels:>8}  {op.detail}{marker}"
@@ -285,13 +305,33 @@ class ExecutionStats:
             parts.append(f"saved {self.adaptive_filter_bytes_saved} filter bytes")
         return "adaptive: " + ", ".join(parts) if parts else ""
 
+    def runtime_summary(self) -> str:
+        """One-line summary of fused-kernel and shared-memory activity.
+
+        Empty when the execution used neither fused filters nor the process
+        backend, so callers can append it conditionally.
+        """
+        parts = []
+        if self.fused_exprs:
+            parts.append(
+                f"fused {self.fused_exprs} filter(s) "
+                f"(-{self.fused_rows_short_circuited} rows short-circuited)"
+            )
+        if self.shm_bytes_mapped:
+            parts.append(f"shm mapped {self.shm_bytes_mapped}B")
+        return "runtime: " + ", ".join(parts) if parts else ""
+
     def execution_summary(self) -> str:
-        """Combined one-line cache + adaptive summary (empty when both are).
+        """Combined one-line cache + adaptive + runtime summary.
 
         This is what :func:`repro.bench.reporting.format_op_traces` appends
-        under each mode's per-op trace.
+        under each mode's per-op trace; empty when nothing was recorded.
         """
-        parts = [part for part in (self.cache_summary(), self.adaptive_summary()) if part]
+        parts = [
+            part
+            for part in (self.cache_summary(), self.adaptive_summary(), self.runtime_summary())
+            if part
+        ]
         return " | ".join(parts)
 
     def cost(self, metric: str = "tuples") -> float:

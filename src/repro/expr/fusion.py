@@ -1,0 +1,340 @@
+"""Fused conjunctive filter kernels: progressive selection-vector evaluation.
+
+``And.evaluate`` materializes one full-length boolean mask per operand and
+ANDs them — for a selective conjunction over a wide table, most of that
+work evaluates predicates on rows an earlier conjunct already rejected.
+:func:`fuse_conjunction` compiles a conjunction of simple leaf predicates
+(``Comparison`` / ``Between`` / ``InList`` / ``StringPredicate`` /
+``IsNull``) into a single :class:`FusedConjunction` kernel that evaluates
+the first conjunct over the whole column, then evaluates each later
+conjunct **only on the surviving candidate rows** (a progressive selection
+vector), scattering the survivors into the final mask at the end.
+
+Every leaf predicate here is elementwise — row ``i``'s verdict depends only
+on row ``i``'s value — so evaluating on a gathered subset produces exactly
+the rows the full-column evaluation would keep: the fused mask is
+**bit-identical** to ``And.evaluate``.  Only the work (and the counters)
+change.
+
+When numba is importable, an all-integer conjunction (ordered/equality
+comparisons and BETWEEN over integer columns with integer literals)
+additionally compiles to a single JIT-ed short-circuiting row loop; the
+pure-NumPy progressive path remains the fallback and the reference — the
+JIT path computes the same mask and the same short-circuit counts, and any
+JIT failure silently falls back.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.expr.expressions import (
+    _COMPARATORS,
+    And,
+    Between,
+    Comparison,
+    Expression,
+    InList,
+    IsNull,
+    StringPredicate,
+)
+from repro.storage.datatypes import DataType
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba as _numba
+except ImportError:  # pragma: no cover
+    _numba = None
+
+#: Leaf node types a fused kernel supports.  Anything else (Or, Not, nested
+#: arithmetic, ...) makes the conjunction non-fusable and
+#: :func:`fuse_conjunction` returns None — callers fall back to
+#: ``Expression.evaluate``.
+_SUPPORTED_LEAVES = (Comparison, Between, InList, StringPredicate, IsNull)
+
+#: A leaf kernel: rows=None evaluates the whole column; otherwise evaluates
+#: only the gathered candidate rows, returning a mask aligned with them.
+_LeafKernel = Callable[[Optional[np.ndarray]], np.ndarray]
+
+
+def _flatten_conjuncts(expr: Expression) -> Optional[List[Expression]]:
+    """Flatten an ``And`` tree into leaf conjuncts; None when unsupported."""
+    if isinstance(expr, And):
+        leaves: List[Expression] = []
+        for operand in expr.operands:
+            sub = _flatten_conjuncts(operand)
+            if sub is None:
+                return None
+            leaves.extend(sub)
+        return leaves
+    if isinstance(expr, _SUPPORTED_LEAVES):
+        return [expr]
+    return None
+
+
+def fuse_conjunction(expr: Expression) -> Optional["FusedConjunction"]:
+    """Compile a conjunctive filter tree into a fused kernel.
+
+    Returns None when ``expr`` is not a conjunction of at least two
+    supported leaf predicates — a single leaf gains nothing from fusion,
+    and any unsupported operand anywhere in the tree disables it (partial
+    fusion would change evaluation order observably in the stats).
+    """
+    conjuncts = _flatten_conjuncts(expr)
+    if conjuncts is None or len(conjuncts) < 2:
+        return None
+    return FusedConjunction(tuple(conjuncts))
+
+
+# ---------------------------------------------------------------------------
+# Leaf compilation (pure NumPy; replicates Expression.evaluate exactly)
+# ---------------------------------------------------------------------------
+def _compile_leaf(expr: Expression, table) -> _LeafKernel:
+    if isinstance(expr, Comparison):
+        col = table.column(expr.column)
+        compare = _COMPARATORS[expr.op]
+        if col.dtype is DataType.STRING and expr.op not in ("==", "!="):
+            # Ordered string comparisons go through the decoded strings, as
+            # in Comparison.evaluate; only the gather is narrowed.
+            lookup = np.asarray(col.dictionary, dtype=object)
+            rhs_str = str(expr.value)
+
+            def kernel(rows: Optional[np.ndarray]) -> np.ndarray:
+                codes = col.data if rows is None else col.data[rows]
+                return compare(lookup[codes].astype(str), rhs_str)
+
+            return kernel
+        rhs = col.encode_literal(expr.value)
+
+        def kernel(rows: Optional[np.ndarray]) -> np.ndarray:
+            data = col.data if rows is None else col.data[rows]
+            return compare(data, rhs)
+
+        return kernel
+
+    if isinstance(expr, Between):
+        col = table.column(expr.column)
+        if col.dtype is DataType.STRING:
+            lookup = np.asarray(col.dictionary, dtype=object)
+            low, high = str(expr.low), str(expr.high)
+
+            def kernel(rows: Optional[np.ndarray]) -> np.ndarray:
+                codes = col.data if rows is None else col.data[rows]
+                decoded = lookup[codes].astype(str)
+                return (decoded >= low) & (decoded <= high)
+
+            return kernel
+        low, high = expr.low, expr.high
+
+        def kernel(rows: Optional[np.ndarray]) -> np.ndarray:
+            data = col.data if rows is None else col.data[rows]
+            return (data >= low) & (data <= high)
+
+        return kernel
+
+    if isinstance(expr, InList):
+        from repro.exec.kernels import semi_join_mask
+
+        col = table.column(expr.column)
+        if not expr.values:
+
+            def kernel(rows: Optional[np.ndarray]) -> np.ndarray:
+                n = table.num_rows if rows is None else int(rows.shape[0])
+                return np.zeros(n, dtype=bool)
+
+            return kernel
+        encoded = np.asarray([col.encode_literal(v) for v in expr.values])
+
+        def kernel(rows: Optional[np.ndarray]) -> np.ndarray:
+            data = col.data if rows is None else col.data[rows]
+            return semi_join_mask(data, encoded)
+
+        return kernel
+
+    if isinstance(expr, StringPredicate):
+        col = table.column(expr.column)
+        if col.dtype is not DataType.STRING:
+            # Same error StringPredicate.evaluate raises.
+            raise ExecutionError(
+                f"string predicate on non-string column {expr.column!r} of {table.name!r}"
+            )
+        if expr.mode == "prefix":
+            dict_mask = np.asarray([v.startswith(expr.pattern) for v in col.dictionary])
+        elif expr.mode == "suffix":
+            dict_mask = np.asarray([v.endswith(expr.pattern) for v in col.dictionary])
+        else:
+            dict_mask = np.asarray([expr.pattern in v for v in col.dictionary])
+
+        def kernel(rows: Optional[np.ndarray]) -> np.ndarray:
+            codes = col.data if rows is None else col.data[rows]
+            return dict_mask[codes]
+
+        return kernel
+
+    if isinstance(expr, IsNull):
+        table.column(expr.column)  # existence check, as IsNull.evaluate does
+        fill = bool(expr.negated)
+
+        def kernel(rows: Optional[np.ndarray]) -> np.ndarray:
+            n = table.num_rows if rows is None else int(rows.shape[0])
+            return np.full(n, fill, dtype=bool)
+
+        return kernel
+
+    raise TypeError(f"cannot fuse expression node {expr!r}")  # pragma: no cover
+
+
+# ---------------------------------------------------------------------------
+# Optional numba JIT for all-integer conjunctions
+# ---------------------------------------------------------------------------
+#: Per-conjunct inclusive [lo, hi] range codes for the JIT row loop.  Every
+#: supported integer predicate reduces to one range test.
+_JIT_OPS = {"==", "<", "<=", ">", ">="}
+_I64_MIN = np.iinfo(np.int64).min
+_I64_MAX = np.iinfo(np.int64).max
+
+
+def _jit_bounds(expr: Expression, table) -> Optional[Tuple[np.ndarray, int, int]]:
+    """(column data, lo, hi) when ``expr`` is a JIT-able integer range test."""
+
+    def _int_literal(value) -> Optional[int]:
+        if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+            return None
+        value = int(value)
+        if value < _I64_MIN or value > _I64_MAX:
+            return None
+        return value
+
+    if isinstance(expr, Comparison) and expr.op in _JIT_OPS:
+        col = table.column(expr.column)
+        if col.dtype is DataType.STRING or not np.issubdtype(col.data.dtype, np.integer):
+            return None
+        value = _int_literal(expr.value)
+        if value is None:
+            return None
+        if expr.op == "==":
+            return col.data, value, value
+        if expr.op == "<":
+            return (col.data, _I64_MIN, value - 1) if value > _I64_MIN else None
+        if expr.op == "<=":
+            return col.data, _I64_MIN, value
+        if expr.op == ">":
+            return (col.data, value + 1, _I64_MAX) if value < _I64_MAX else None
+        return col.data, value, _I64_MAX
+    if isinstance(expr, Between):
+        col = table.column(expr.column)
+        if col.dtype is DataType.STRING or not np.issubdtype(col.data.dtype, np.integer):
+            return None
+        low, high = _int_literal(expr.low), _int_literal(expr.high)
+        if low is None or high is None:
+            return None
+        return col.data, low, high
+    return None
+
+
+_jit_kernel_cache: Optional[Callable] = None
+
+
+def _jit_kernel() -> Optional[Callable]:  # pragma: no cover - needs numba
+    """The compiled short-circuiting row loop (built once, cached)."""
+    global _jit_kernel_cache
+    if _numba is None:
+        return None
+    if _jit_kernel_cache is None:
+
+        def _loop(columns, lows, highs, mask, reached):
+            n = columns.shape[1]
+            k = columns.shape[0]
+            for i in range(n):
+                keep = True
+                for j in range(k):
+                    reached[j] += 1
+                    value = columns[j, i]
+                    if value < lows[j] or value > highs[j]:
+                        keep = False
+                        break
+                mask[i] = keep
+
+        try:
+            _jit_kernel_cache = _numba.njit(cache=False)(_loop)
+        except Exception:
+            return None
+    return _jit_kernel_cache
+
+
+class FusedConjunction:
+    """A conjunction of leaf predicates evaluated as one fused kernel.
+
+    :meth:`evaluate` returns ``(mask, rows_short_circuited)`` where the
+    mask is bit-identical to ``And(conjuncts).evaluate(table)`` and the
+    count is the total rows later conjuncts never evaluated because an
+    earlier conjunct had already rejected them.
+    """
+
+    __slots__ = ("conjuncts",)
+
+    def __init__(self, conjuncts: Tuple[Expression, ...]) -> None:
+        self.conjuncts = conjuncts
+
+    def __repr__(self) -> str:
+        return "fused(" + " AND ".join(map(repr, self.conjuncts)) + ")"
+
+    @property
+    def num_conjuncts(self) -> int:
+        return len(self.conjuncts)
+
+    def evaluate(self, table) -> Tuple[np.ndarray, int]:
+        jit = self._evaluate_jit(table)
+        if jit is not None:
+            return jit
+        return self._evaluate_numpy(table)
+
+    # -- pure NumPy progressive-selection path (reference) ---------------
+    def _evaluate_numpy(self, table) -> Tuple[np.ndarray, int]:
+        kernels = [_compile_leaf(conjunct, table) for conjunct in self.conjuncts]
+        num_rows = table.num_rows
+        candidates = np.nonzero(np.asarray(kernels[0](None), dtype=bool))[0]
+        short_circuited = 0
+        for kernel in kernels[1:]:
+            short_circuited += num_rows - int(candidates.shape[0])
+            if candidates.shape[0] == 0:
+                continue
+            sub_mask = np.asarray(kernel(candidates), dtype=bool)
+            candidates = candidates[sub_mask]
+        mask = np.zeros(num_rows, dtype=bool)
+        mask[candidates] = True
+        return mask, short_circuited
+
+    # -- optional numba path ---------------------------------------------
+    def _evaluate_jit(self, table) -> Optional[Tuple[np.ndarray, int]]:
+        if _numba is None:  # fast path for the common (no numba) install
+            return None
+        return self._evaluate_jit_inner(table)  # pragma: no cover - needs numba
+
+    def _evaluate_jit_inner(self, table):  # pragma: no cover - needs numba
+        loop = _jit_kernel()
+        if loop is None:
+            return None
+        bounds = []
+        for conjunct in self.conjuncts:
+            bound = _jit_bounds(conjunct, table)
+            if bound is None:
+                return None
+            bounds.append(bound)
+        num_rows = table.num_rows
+        try:
+            columns = np.ascontiguousarray(
+                np.stack([np.asarray(data, dtype=np.int64) for data, _, _ in bounds])
+            )
+            lows = np.asarray([lo for _, lo, _ in bounds], dtype=np.int64)
+            highs = np.asarray([hi for _, _, hi in bounds], dtype=np.int64)
+            mask = np.zeros(num_rows, dtype=bool)
+            reached = np.zeros(len(bounds), dtype=np.int64)
+            loop(columns, lows, highs, mask, reached)
+        except Exception:
+            return None
+        # Rows conjunct j never saw = num_rows - rows that reached it.
+        short_circuited = int(sum(num_rows - reached[j] for j in range(1, len(bounds))))
+        return mask, short_circuited

@@ -1,0 +1,282 @@
+"""Shared-memory column arena: zero-copy base columns for process workers.
+
+The process backend (:mod:`repro.exec.process`) fans probe morsels out to
+worker *processes*.  Shipping a 1M-row key column through a pickle pipe per
+morsel would erase the parallel win, so immutable base-table columns are
+placed once in ``multiprocessing.shared_memory`` segments and workers attach
+by name — a task message then carries only (segment name, dtype, shape,
+morsel range).
+
+Three layers live here:
+
+* low-level segment bookkeeping — every segment this process *creates* is
+  recorded in a module registry so leaks are detectable
+  (:func:`live_segment_count` / :func:`assert_no_leaks`) and an ``atexit``
+  hook unlinks anything still live at interpreter shutdown;
+* :class:`ShmArrayRef` — a picklable handle (name, dtype, shape) that
+  workers resolve with :func:`attach_array`;
+* :class:`SharedColumnArena` — the owner-side cache mapping
+  ``(table name, catalog version, column)`` to a published segment.  The
+  key includes :meth:`~repro.storage.catalog.Catalog.version`, so replacing
+  a table can never alias stale segment contents, and
+  :meth:`~SharedColumnArena.invalidate_table` eagerly unlinks the replaced
+  table's segments.
+
+Python < 3.13 registers *attaching* processes with the resource tracker
+too (bpo-39959); under the spawn start method the worker's tracker would
+then unlink segments the parent still uses when the worker exits.
+:func:`attach_array` therefore unregisters the segment immediately after
+attaching — unless this process shares the creator's tracker (fork-started
+pool workers; see ``_UNREGISTER_ON_ATTACH``).  Only the creating process
+ever unlinks.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ExecutionError
+
+#: Name prefix of every segment this library creates; the test suite scans
+#: ``/dev/shm`` for the prefix to prove nothing leaked past a run.
+SEGMENT_PREFIX = "repro_shm"
+
+#: Created (owned) segments of *this* process: name -> (SharedMemory, pid).
+#: The pid guards forked children, which inherit the dict but must never
+#: unlink their parent's segments.
+_LIVE: Dict[str, Tuple[shared_memory.SharedMemory, int]] = {}
+_COUNTER = 0
+
+
+def _next_name() -> str:
+    global _COUNTER
+    _COUNTER += 1
+    return f"{SEGMENT_PREFIX}_{os.getpid()}_{_COUNTER}"
+
+
+def create_segment(nbytes: int) -> shared_memory.SharedMemory:
+    """Create (and register) a shared-memory segment owned by this process."""
+    segment = shared_memory.SharedMemory(create=True, size=max(int(nbytes), 1), name=_next_name())
+    _LIVE[segment.name] = (segment, os.getpid())
+    return segment
+
+
+def unlink_segment(segment: shared_memory.SharedMemory) -> None:
+    """Close and unlink an owned segment; idempotent, fork-safe."""
+    entry = _LIVE.pop(segment.name, None)
+    if entry is not None and entry[1] != os.getpid():
+        # A forked child inherited the registry; the parent owns the segment.
+        return
+    try:
+        segment.close()
+    except (OSError, BufferError):  # pragma: no cover - platform dependent
+        pass
+    try:
+        segment.unlink()
+    except FileNotFoundError:
+        pass
+
+
+def live_segment_count() -> int:
+    """Segments created by this process and not yet unlinked."""
+    pid = os.getpid()
+    return sum(1 for _, owner in _LIVE.values() if owner == pid)
+
+
+def live_segment_names() -> Tuple[str, ...]:
+    """Names of this process's live segments (for leak diagnostics)."""
+    pid = os.getpid()
+    return tuple(name for name, (_, owner) in _LIVE.items() if owner == pid)
+
+
+def assert_no_leaks() -> None:
+    """Raise when this process still owns shared-memory segments."""
+    names = live_segment_names()
+    if names:
+        raise ExecutionError(f"leaked shared-memory segments: {sorted(names)}")
+
+
+def release_all() -> None:
+    """Unlink every segment this process still owns (shutdown / test teardown)."""
+    pid = os.getpid()
+    for name in list(_LIVE):
+        segment, owner = _LIVE[name]
+        if owner == pid:
+            unlink_segment(segment)
+        else:
+            _LIVE.pop(name, None)
+
+
+atexit.register(release_all)
+
+
+# ---------------------------------------------------------------------------
+# Picklable array references
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShmArrayRef:
+    """A picklable reference to a NumPy array living in a shared segment."""
+
+    name: str
+    dtype: str
+    shape: Tuple[int, ...]
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of the referenced array (not the segment, which may round up)."""
+        count = 1
+        for dim in self.shape:
+            count *= dim
+        return count * np.dtype(self.dtype).itemsize
+
+
+def share_array(array: np.ndarray) -> Tuple[shared_memory.SharedMemory, ShmArrayRef]:
+    """Copy ``array`` into a fresh owned segment and return (segment, ref)."""
+    array = np.ascontiguousarray(array)
+    segment = create_segment(array.nbytes)
+    if array.nbytes:
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+        view[...] = array
+    return segment, ShmArrayRef(name=segment.name, dtype=array.dtype.str, shape=array.shape)
+
+
+#: Worker-side cache of attached segments: ref name -> (segment, array).
+#: Bounded so long-running workers do not accumulate mappings of segments
+#: the parent has already unlinked (the mapping itself stays valid on
+#: POSIX after an unlink; only the memory is pinned until close).
+_ATTACHED: Dict[str, Tuple[shared_memory.SharedMemory, np.ndarray]] = {}
+_ATTACH_CACHE_LIMIT = 64
+
+#: Whether :func:`attach_array` must undo the resource-tracker registration
+#: Python < 3.13 performs on attach.  True for processes with their *own*
+#: tracker (spawn workers: their tracker would otherwise unlink segments the
+#: creator still uses when the worker exits).  Fork-started pool workers
+#: share the parent's tracker process, where the attach registration is an
+#: idempotent no-op and an unregister would strip the creator's own entry —
+#: the pool initializer flips this flag accordingly.
+_UNREGISTER_ON_ATTACH = True
+
+
+def attach_array(ref: ShmArrayRef) -> np.ndarray:
+    """Resolve a :class:`ShmArrayRef` in this (worker) process.
+
+    The attached segment is cached by name — segment names are never reused
+    within a process, so a cached mapping can never alias different data.
+    """
+    cached = _ATTACHED.get(ref.name)
+    if cached is not None:
+        return cached[1]
+    segment = shared_memory.SharedMemory(name=ref.name)
+    if _UNREGISTER_ON_ATTACH and ref.name not in _LIVE:
+        try:
+            resource_tracker.unregister(segment._name, "shared_memory")  # type: ignore[attr-defined]
+        except Exception:  # pragma: no cover - tracker internals vary
+            pass
+    array = np.ndarray(ref.shape, dtype=np.dtype(ref.dtype), buffer=segment.buf)
+    if len(_ATTACHED) >= _ATTACH_CACHE_LIMIT:
+        evict_name, (evict_segment, _) = next(iter(_ATTACHED.items()))
+        _ATTACHED.pop(evict_name, None)
+        try:
+            evict_segment.close()
+        except (OSError, BufferError):  # pragma: no cover
+            pass
+    _ATTACHED[ref.name] = (segment, array)
+    return array
+
+
+def detach_all() -> None:
+    """Close every cached worker-side attachment (worker shutdown)."""
+    for segment, _ in list(_ATTACHED.values()):
+        try:
+            segment.close()
+        except (OSError, BufferError):  # pragma: no cover
+            pass
+    _ATTACHED.clear()
+
+
+# ---------------------------------------------------------------------------
+# The owner-side column arena
+# ---------------------------------------------------------------------------
+class SharedColumnArena:
+    """Publishes immutable base-table columns into shared-memory segments.
+
+    Owned by a :class:`~repro.engine.database.Database`; the pipeline
+    executor asks for :meth:`column_ref` when the active backend ships
+    probes to worker processes.  Segments are keyed by
+    ``(table name, catalog version, column)`` — the same version the
+    artifact cache keys on — so a table replace both *misses* the old key
+    (new version) and eagerly unlinks the old segments through
+    :meth:`invalidate_table`.
+    """
+
+    def __init__(self, catalog) -> None:
+        self.catalog = catalog
+        self._segments: Dict[
+            Tuple[str, int, str], Tuple[shared_memory.SharedMemory, ShmArrayRef]
+        ] = {}
+
+    def column_ref(self, table, column: str) -> Optional[ShmArrayRef]:
+        """A shared-memory ref for ``table.column(column)``, publishing on demand.
+
+        Returns ``None`` when the column cannot be shared: the table is not
+        (or no longer) the catalog's current registration under its name, or
+        the column is not integer-backed (join keys always are).
+        """
+        try:
+            version = self.catalog.version(table.name)
+        except Exception:
+            return None
+        if self.catalog.table(table.name) is not table:
+            return None
+        col = table.column(column)
+        if not col.dtype.is_integer_backed:
+            return None
+        key = (table.name, version, column)
+        entry = self._segments.get(key)
+        if entry is not None:
+            return entry[1]
+        segment, ref = share_array(col.data)
+        self._segments[key] = (segment, ref)
+        return ref
+
+    def segment_bytes(self, ref: ShmArrayRef) -> int:
+        """Published bytes behind a ref (for MemoryGovernor accounting)."""
+        return ref.nbytes
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes currently published by this arena."""
+        return sum(ref.nbytes for _, ref in self._segments.values())
+
+    @property
+    def num_segments(self) -> int:
+        """Number of live published segments."""
+        return len(self._segments)
+
+    def published_keys(self) -> Tuple[Tuple[str, int, str], ...]:
+        """The (table, version, column) keys currently published."""
+        return tuple(self._segments)
+
+    def invalidate_table(self, name: str) -> None:
+        """Unlink every published segment of ``name`` (any version)."""
+        for key in [k for k in self._segments if k[0] == name]:
+            segment, _ = self._segments.pop(key)
+            unlink_segment(segment)
+
+    def close(self) -> None:
+        """Unlink every published segment; idempotent."""
+        for key in list(self._segments):
+            segment, _ = self._segments.pop(key)
+            unlink_segment(segment)
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -16,6 +16,25 @@ from repro.storage.table import ForeignKey
 from repro.workloads import dsb, job, tpcds, tpch
 
 
+@pytest.fixture(scope="session", autouse=True)
+def shm_leak_guard():
+    """Assert the shared-memory segment registry drains by end of session.
+
+    Autouse at session scope, so it is set up before (and torn down after)
+    every other session fixture: databases the fixtures publish arena
+    segments from are closed first, then this guard shuts the process pool
+    down and fails the session if any segment this process created is still
+    live — the no-leak acceptance criterion, covering injected worker
+    failures too.
+    """
+    from repro.exec.process import shutdown_workers
+    from repro.storage import shm
+
+    yield
+    shutdown_workers()
+    shm.assert_no_leaks()
+
+
 @pytest.fixture(scope="session")
 def imdb_db() -> Database:
     """A small IMDB-like database (keyword / title / movie_keyword / movie_info / cast_info)."""
@@ -64,7 +83,8 @@ def imdb_db() -> Database:
             ForeignKey("person_id", "name", "id"),
         ],
     )
-    return db
+    yield db
+    db.close()
 
 
 @pytest.fixture(scope="session")
@@ -136,7 +156,8 @@ def tpch_db() -> Database:
     """A tiny TPC-H database shared by integration tests."""
     db = Database()
     tpch.load(db, scale=0.1, seed=1)
-    return db
+    yield db
+    db.close()
 
 
 @pytest.fixture(scope="session")
@@ -144,7 +165,8 @@ def job_db() -> Database:
     """A tiny JOB/IMDB database shared by integration tests."""
     db = Database()
     job.load(db, scale=0.1, seed=1)
-    return db
+    yield db
+    db.close()
 
 
 @pytest.fixture(scope="session")
@@ -152,7 +174,8 @@ def tpcds_db() -> Database:
     """A tiny TPC-DS database shared by integration tests."""
     db = Database()
     tpcds.load(db, scale=0.1, seed=1)
-    return db
+    yield db
+    db.close()
 
 
 @pytest.fixture(scope="session")
@@ -160,7 +183,8 @@ def dsb_db() -> Database:
     """A tiny DSB (skewed TPC-DS) database shared by integration tests."""
     db = Database()
     dsb.load(db, scale=0.1, seed=1)
-    return db
+    yield db
+    db.close()
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,201 @@
+"""Fused filter kernels: conjunction compilation, bit-identity, stats.
+
+The contract under test: :func:`repro.expr.fuse_conjunction` compiles a
+conjunctive filter tree into one kernel whose mask is bit-identical to
+evaluating the original :class:`~repro.expr.And` (later conjuncts run only
+on rows surviving the earlier ones, which is pure savings for elementwise
+predicates), and the engine's ``fuse_filters`` knob routes base-table
+filters through it without changing any query answer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Database, ExecutionMode, ExecutionOptions
+from repro.engine.modes import ExecutionConfig
+from repro.expr import (
+    and_,
+    between,
+    contains,
+    eq,
+    fuse_conjunction,
+    ge,
+    gt,
+    is_not_null,
+    is_null,
+    isin,
+    le,
+    lt,
+    ne,
+    not_,
+    or_,
+    starts_with,
+)
+from repro.storage.table import Table
+
+
+@pytest.fixture(scope="module")
+def table() -> Table:
+    rng = np.random.default_rng(41)
+    n = 5_000
+    return Table.from_dict(
+        "t",
+        {
+            "a": rng.integers(0, 100, size=n, dtype=np.int64),
+            "b": rng.integers(-50, 50, size=n, dtype=np.int64),
+            "s": rng.choice(["alpha", "beta", "gamma", "alphabet", "delta"], size=n),
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# What fuses and what does not
+# ---------------------------------------------------------------------------
+class TestCompilation:
+    def test_non_conjunction_does_not_fuse(self):
+        assert fuse_conjunction(lt("a", 10)) is None
+        assert fuse_conjunction(or_(lt("a", 10), gt("a", 90))) is None
+        assert fuse_conjunction(None) is None
+
+    def test_unsupported_leaf_blocks_fusion(self):
+        assert fuse_conjunction(and_(lt("a", 10), not_(eq("a", 3)))) is None
+        assert fuse_conjunction(and_(lt("a", 10), or_(eq("b", 1), eq("b", 2)))) is None
+
+    def test_conjunction_of_supported_leaves_fuses(self):
+        kernel = fuse_conjunction(and_(lt("a", 50), ge("b", 0)))
+        assert kernel is not None
+        assert kernel.num_conjuncts == 2
+
+    def test_nested_conjunctions_flatten(self):
+        kernel = fuse_conjunction(and_(and_(lt("a", 50), ge("b", 0)), ne("a", 7)))
+        assert kernel is not None
+        assert kernel.num_conjuncts == 3
+
+
+# ---------------------------------------------------------------------------
+# Bit-identity against unfused evaluation
+# ---------------------------------------------------------------------------
+class TestBitIdentity:
+    @pytest.mark.parametrize(
+        "expr",
+        [
+            and_(lt("a", 50), ge("b", 0)),
+            and_(eq("a", 3), ne("b", 0)),
+            and_(between("a", 10, 60), le("b", 25)),
+            and_(isin("a", [1, 2, 3, 50, 99]), gt("b", -10)),
+            and_(starts_with("s", "alpha"), lt("a", 80)),
+            and_(contains("s", "et"), between("b", -20, 20)),
+            and_(is_not_null("a"), lt("a", 30), gt("b", -30)),
+            and_(is_null("a"), lt("b", 0)),
+            and_(isin("a", []), ge("b", 0)),  # empty IN-list: all-false first conjunct
+            and_(eq("s", "beta"), lt("a", 90)),  # ordered compare on a string column
+        ],
+        ids=lambda e: type(e.operands[0]).__name__ + "+" + type(e.operands[1]).__name__,
+    )
+    def test_fused_mask_matches_unfused(self, table, expr):
+        kernel = fuse_conjunction(expr)
+        assert kernel is not None
+        mask, short_circuited = kernel.evaluate(table)
+        np.testing.assert_array_equal(mask, expr.evaluate(table))
+        assert short_circuited >= 0
+
+    def test_short_circuit_counter_is_exact(self, table):
+        first = lt("a", 50)
+        kernel = fuse_conjunction(and_(first, ge("b", 0), ne("a", 7)))
+        mask, short_circuited = kernel.evaluate(table)
+        survivors_first = int(first.evaluate(table).sum())
+        n = table.num_rows
+        # Conjunct 2 skips rows conjunct 1 killed; conjunct 3 skips rows
+        # either predecessor killed.
+        after_two = int((first.evaluate(table) & ge("b", 0).evaluate(table)).sum())
+        expected = (n - survivors_first) + (n - after_two)
+        assert short_circuited == expected
+        assert mask.sum() <= survivors_first
+
+
+# ---------------------------------------------------------------------------
+# Engine integration: the fuse_filters knob
+# ---------------------------------------------------------------------------
+def _filtered_db():
+    rng = np.random.default_rng(43)
+    db = Database()
+    dim_rows, fact_rows = 2_000, 6_000
+    db.register_dataframe(
+        "dim",
+        {
+            "id": np.arange(dim_rows, dtype=np.int64),
+            "x": rng.integers(0, 100, size=dim_rows, dtype=np.int64),
+            "y": rng.integers(0, 100, size=dim_rows, dtype=np.int64),
+        },
+        primary_key=["id"],
+    )
+    db.register_dataframe(
+        "fact",
+        {
+            "v": np.arange(fact_rows, dtype=np.int64),
+            "d_id": rng.integers(0, dim_rows, size=fact_rows, dtype=np.int64),
+        },
+    )
+    from repro.query import JoinCondition, QuerySpec, RelationRef
+
+    query = QuerySpec(
+        name="fusion_star",
+        relations=(
+            RelationRef("f", "fact"),
+            RelationRef("d", "dim", and_(lt("x", 60), ge("y", 20))),
+        ),
+        joins=(JoinCondition("f", "d_id", "d", "id"),),
+    )
+    return db, query
+
+
+class TestEngineIntegration:
+    def test_fused_run_identical_with_stats(self):
+        db, query = _filtered_db()
+        plan = db.optimizer_plan(query)
+
+        def run(fuse: bool):
+            return db.execute(
+                query,
+                mode=ExecutionMode.RPT,
+                plan=plan,
+                options=ExecutionOptions(
+                    execution=ExecutionConfig(backend="serial", fuse_filters=fuse)
+                ),
+            )
+
+        plain = run(False)
+        fused = run(True)
+        assert fused.aggregates == plain.aggregates
+        assert fused.output_rows == plain.output_rows
+        assert plain.stats.fused_exprs == 0
+        assert fused.stats.fused_exprs == 1
+        assert fused.stats.fused_rows_short_circuited > 0
+        assert "[fused" in fused.stats.op_trace()
+        assert "fused 1 filter(s)" in fused.stats.execution_summary()
+
+    def test_all_modes_identical_with_fusion(self, all_modes):
+        db, query = _filtered_db()
+        plan = db.optimizer_plan(query)
+        for mode in all_modes:
+            plain = db.execute(query, mode=mode, plan=plan)
+            fused = db.execute(
+                query,
+                mode=mode,
+                plan=plan,
+                options=ExecutionOptions(
+                    execution=ExecutionConfig(fuse_filters=True)
+                ),
+            )
+            assert fused.aggregates == plain.aggregates, mode
+            assert fused.output_rows == plain.output_rows, mode
+
+    def test_env_flag_enables_fusion(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FUSE_FILTERS", "1")
+        assert ExecutionConfig().resolved().fuse_filters is True
+        monkeypatch.setenv("REPRO_FUSE_FILTERS", "0")
+        assert ExecutionConfig().resolved().fuse_filters is False
+        monkeypatch.delenv("REPRO_FUSE_FILTERS")
+        assert ExecutionConfig().resolved().fuse_filters is False
