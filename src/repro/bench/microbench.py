@@ -1028,3 +1028,224 @@ def _best_time(fn, repeats: int) -> float:
         fn()
         best = min(best, time.perf_counter() - start)
     return best
+
+
+@dataclass(frozen=True)
+class EncodingMeasurement:
+    """Raw-vs-encoded scan times and shared-memory footprint of one sweep.
+
+    The scan half measures the same selective filter twice over identical
+    data: once through ``Expression.evaluate`` (the raw path — ordered
+    string comparisons materialize every string) and once through the
+    code-space kernel with zone-map block skipping
+    (:func:`repro.expr.codespace.evaluate`).  Masks are asserted
+    bit-identical before timing.  The shm half runs the scaling
+    benchmark's star-probe query on the process backend with the hash
+    cache pinned off (the shared-memory gather regime) with encodings off
+    and on, and records both mapped footprints; aggregates are asserted
+    identical.
+    """
+
+    rows: int
+    string_raw_seconds: float
+    string_encoded_seconds: float
+    range_raw_seconds: float
+    range_encoded_seconds: float
+    range_blocks_skipped: int
+    range_blocks_total: int
+    filter_raw_bytes: int
+    filter_encoded_bytes: int
+    raw_shm_bytes_mapped: int
+    encoded_shm_bytes_mapped: int
+
+    @property
+    def string_scan_speedup(self) -> float:
+        """Raw over encoded wall time of the selective string scan."""
+        if self.string_encoded_seconds <= 0:
+            return float("inf")
+        return self.string_raw_seconds / self.string_encoded_seconds
+
+    @property
+    def range_scan_speedup(self) -> float:
+        """Raw over encoded wall time of the selective range scan."""
+        if self.range_encoded_seconds <= 0:
+            return float("inf")
+        return self.range_raw_seconds / self.range_encoded_seconds
+
+    @property
+    def filter_compression_ratio(self) -> float:
+        """Raw over encoded bytes of the two filtered columns."""
+        if self.filter_encoded_bytes <= 0:
+            return float("inf")
+        return self.filter_raw_bytes / self.filter_encoded_bytes
+
+    @property
+    def shm_reduction(self) -> float:
+        """Fractional drop in mapped shared-memory bytes (0.5 = halved)."""
+        if self.raw_shm_bytes_mapped <= 0:
+            return 0.0
+        return 1.0 - self.encoded_shm_bytes_mapped / self.raw_shm_bytes_mapped
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation (the ``BENCH_encoding.json`` record)."""
+        return {
+            "rows": self.rows,
+            "string_raw_seconds": self.string_raw_seconds,
+            "string_encoded_seconds": self.string_encoded_seconds,
+            "range_raw_seconds": self.range_raw_seconds,
+            "range_encoded_seconds": self.range_encoded_seconds,
+            "range_blocks_skipped": self.range_blocks_skipped,
+            "range_blocks_total": self.range_blocks_total,
+            "filter_raw_bytes": self.filter_raw_bytes,
+            "filter_encoded_bytes": self.filter_encoded_bytes,
+            "raw_shm_bytes_mapped": self.raw_shm_bytes_mapped,
+            "encoded_shm_bytes_mapped": self.encoded_shm_bytes_mapped,
+            "string_scan_speedup": self.string_scan_speedup,
+            "range_scan_speedup": self.range_scan_speedup,
+            "filter_compression_ratio": self.filter_compression_ratio,
+            "shm_reduction": self.shm_reduction,
+        }
+
+
+#: Distinct status strings in the encoding microbenchmark's scan table
+#: (64 values keep dictionary codes one byte wide).
+_ENCODING_BENCH_NDV = 64
+
+
+def run_encoding_microbench(
+    rows: int = 1 << 20,
+    dim_rows: Optional[int] = None,
+    num_dims: int = 2,
+    num_workers: int = 2,
+    seed: int = 37,
+    repeats: int = 3,
+) -> EncodingMeasurement:
+    """Measure block-encoded execution against the raw paths it replaces.
+
+    Scan half: a ``rows``-row table with a low-NDV string column (random,
+    so no block skips — the win is staying in dictionary code space) and a
+    sorted ``int64`` timestamp column (the win is zone maps skipping ~99%
+    of blocks for a 1% range).  Both filters run raw and encoded; masks
+    are asserted bit-identical and the best of ``repeats`` wall times is
+    kept per path.
+
+    Shm half: the transfer star-probe query (1M-row fact side by default)
+    on the process backend with ``hash_cache=False`` — the configuration
+    under which probe columns travel through the shared-memory arena —
+    once with encodings off and once on.  Join-key columns bit-pack to
+    32-bit codes, so the encoded run maps about half the bytes; aggregates
+    are asserted identical to the raw run.
+    """
+    from repro.engine.database import Database, ExecutionOptions
+    from repro.engine.modes import ExecutionConfig, ExecutionMode
+    from repro.errors import BenchmarkError
+    from repro.exec.process import shutdown_workers
+    from repro.expr import between, codespace, lt
+
+    rng = np.random.default_rng(seed)
+    statuses = [f"status_{i:03d}" for i in range(_ENCODING_BENCH_NDV)]
+    codes = rng.integers(0, _ENCODING_BENCH_NDV, size=rows)
+    db = Database()
+    db.register_dataframe(
+        "events",
+        {
+            "ts": np.arange(rows, dtype=np.int64),
+            "status": [statuses[i] for i in codes],
+        },
+    )
+    table = db.catalog.table("events")
+    store = db.catalog.encodings
+
+    # ~6% selective ordered string comparison; raw evaluation decodes all
+    # `rows` strings, the code-space kernel is one integer threshold test.
+    string_expr = lt("status", statuses[4])
+    # ~1% selective range over the sorted timestamps; zone maps skip every
+    # block outside the range.
+    lo = rows // 2
+    range_expr = between("ts", lo, lo + rows // 100 - 1)
+
+    range_result = None
+    try:
+        for expr in (string_expr, range_expr):
+            raw_mask = np.asarray(expr.evaluate(table), dtype=bool)
+            encoded = codespace.evaluate(expr, table, store)
+            if encoded is None or not np.array_equal(raw_mask, encoded.mask):
+                raise BenchmarkError(f"encoded scan diverged from raw evaluation for {expr!r}")
+            if expr is range_expr:
+                range_result = encoded
+        string_raw_s = _best_time(lambda: string_expr.evaluate(table), repeats)
+        string_encoded_s = _best_time(lambda: codespace.evaluate(string_expr, table, store), repeats)
+        range_raw_s = _best_time(lambda: range_expr.evaluate(table), repeats)
+        range_encoded_s = _best_time(lambda: codespace.evaluate(range_expr, table, store), repeats)
+        filter_raw_bytes = sum(int(table.column(c).data.nbytes) for c in ("ts", "status"))
+        filter_encoded_bytes = sum(store.encoded_bytes(table, c) for c in ("ts", "status"))
+    finally:
+        db.close()
+
+    dims = dim_rows if dim_rows is not None else rows // 2
+    star_db, star_query = _transfer_database(rows, dims, num_dims, seed)
+    plan = star_db.optimizer_plan(star_query)
+
+    def star_options(encodings: bool) -> ExecutionOptions:
+        # hash_cache off puts the probe passes on the shared-memory gather
+        # path (with it on, hash passes are served from the parent's cache
+        # and no columns are shipped), matching run_scaling_microbench.
+        return ExecutionOptions(
+            execution=ExecutionConfig(
+                backend="process",
+                num_workers=num_workers,
+                hash_cache=False,
+                artifact_cache=False,
+                encodings=encodings,
+            )
+        )
+
+    try:
+        raw_star = star_db.execute(
+            star_query, mode=ExecutionMode.RPT, plan=plan, options=star_options(False)
+        )
+        encoded_star = star_db.execute(
+            star_query, mode=ExecutionMode.RPT, plan=plan, options=star_options(True)
+        )
+        if encoded_star.aggregates != raw_star.aggregates:
+            raise BenchmarkError(
+                "encoded star probe diverged from the raw baseline: "
+                f"{encoded_star.aggregates} != {raw_star.aggregates}"
+            )
+    finally:
+        star_db.close()
+        shutdown_workers()
+
+    return EncodingMeasurement(
+        rows=rows,
+        string_raw_seconds=string_raw_s,
+        string_encoded_seconds=string_encoded_s,
+        range_raw_seconds=range_raw_s,
+        range_encoded_seconds=range_encoded_s,
+        range_blocks_skipped=int(range_result.blocks_skipped),
+        range_blocks_total=int(range_result.blocks_total),
+        filter_raw_bytes=filter_raw_bytes,
+        filter_encoded_bytes=filter_encoded_bytes,
+        raw_shm_bytes_mapped=int(raw_star.stats.shm_bytes_mapped),
+        encoded_shm_bytes_mapped=int(encoded_star.stats.shm_bytes_mapped),
+    )
+
+
+def format_encoding_microbench(measurement: EncodingMeasurement) -> str:
+    """Render the raw-vs-encoded scan and shm comparison as a table."""
+    m = measurement
+    return "\n".join(
+        [
+            "Block-encoded scans vs raw evaluation (selective filters, sorted + random data)",
+            f"rows {m.rows}, filter columns {m.filter_raw_bytes}B raw -> "
+            f"{m.filter_encoded_bytes}B encoded ({m.filter_compression_ratio:.1f}x)",
+            f"{'scan':>8} {'raw (s)':>10} {'encoded (s)':>12} {'speedup':>8} {'blocks skipped':>15}",
+            f"{'string':>8} {m.string_raw_seconds:>10.4f} {m.string_encoded_seconds:>12.4f} "
+            f"{m.string_scan_speedup:>7.1f}x {'-':>15}",
+            f"{'range':>8} {m.range_raw_seconds:>10.4f} {m.range_encoded_seconds:>12.4f} "
+            f"{m.range_scan_speedup:>7.1f}x "
+            f"{f'{m.range_blocks_skipped}/{m.range_blocks_total}':>15}",
+            f"process-backend star probe: shm mapped {m.raw_shm_bytes_mapped}B raw -> "
+            f"{m.encoded_shm_bytes_mapped}B encoded ({m.shm_reduction:.0%} reduction)",
+        ]
+    )

@@ -148,6 +148,9 @@ class _PreparedExecution:
     #: alias -> rows the fused filter kernel short-circuited (aliases whose
     #: predicate was evaluated fused; empty when fusion is off/inapplicable).
     fused: Dict[str, int] = field(default_factory=dict)
+    #: alias -> (blocks_skipped, blocks_total, encoded_bytes) for predicates
+    #: evaluated with zone-map block skipping (block-encoded runs only).
+    zone_stats: Dict[str, tuple[int, int, int]] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -298,7 +301,8 @@ class Database:
         query: QuerySpec,
         fuse: bool,
         stats: Optional[ExecutionStats] = None,
-    ) -> tuple[Dict[str, np.ndarray], Dict[str, int]]:
+        encodings: bool = False,
+    ) -> tuple[Dict[str, np.ndarray], Dict[str, int], Dict[str, tuple[int, int, int]]]:
         """:meth:`filter_masks`, optionally through fused conjunction kernels.
 
         With ``fuse`` on, each conjunctive predicate that
@@ -306,13 +310,27 @@ class Database:
         short-circuiting kernel (bit-identical mask); the second mapping
         records the rows each fused kernel short-circuited, per alias, and
         ``stats`` (when given) accumulates the fusion counters.
+
+        With ``encodings`` on, supported predicates additionally run with
+        zone-map block skipping — pruned blocks feed the fused kernel's
+        initial selection, or an unfused predicate is evaluated entirely in
+        code space (:mod:`repro.expr.codespace`; string comparisons become
+        integer threshold tests on dictionary codes).  Every mask stays
+        bit-identical to plain evaluation; the third mapping records per
+        alias how many blocks were skipped and how many encoded bytes the
+        filter read.
         """
         # Imported lazily: the expression package imports the kernel module,
         # which this engine module's package initializer already pulls in.
         from repro.expr.fusion import fuse_conjunction
 
+        store = self.catalog.encodings if encodings else None
+        if store is not None:
+            from repro.expr import codespace
+
         masks: Dict[str, np.ndarray] = {}
         fused: Dict[str, int] = {}
+        zone_stats: Dict[str, tuple[int, int, int]] = {}
         for ref in query.relations:
             if ref.filter is None:
                 continue
@@ -320,15 +338,38 @@ class Database:
             if fuse:
                 kernel = fuse_conjunction(ref.filter)
                 if kernel is not None:
-                    mask, short_circuited = kernel.evaluate(table)
+                    selection = None
+                    if store is not None:
+                        selection = codespace.block_selection(ref.filter, table, store)
+                    if selection is not None:
+                        mask, short_circuited = kernel.evaluate(
+                            table, block_selection=selection
+                        )
+                        zone_stats[ref.alias] = (
+                            selection.blocks_skipped,
+                            selection.num_blocks,
+                            codespace.encoded_bytes_touched(ref.filter, table, store),
+                        )
+                    else:
+                        mask, short_circuited = kernel.evaluate(table)
                     masks[ref.alias] = np.asarray(mask, dtype=bool)
                     fused[ref.alias] = short_circuited
                     if stats is not None:
                         stats.fused_exprs += 1
                         stats.fused_rows_short_circuited += short_circuited
                     continue
+            if store is not None:
+                result = codespace.evaluate(ref.filter, table, store)
+                if result is not None:
+                    masks[ref.alias] = np.asarray(result.mask, dtype=bool)
+                    zone_stats[ref.alias] = (
+                        result.blocks_skipped,
+                        result.blocks_total,
+                        codespace.encoded_bytes_touched(ref.filter, table, store),
+                    )
+                    continue
             masks[ref.alias] = np.asarray(ref.filter.evaluate(table), dtype=bool)
-        return masks, fused
+        return masks, fused, zone_stats
 
     def join_graph(
         self,
@@ -362,10 +403,39 @@ class Database:
         """The join plan chosen by the built-in cost-based optimizer."""
         options = options or ExecutionOptions()
         graph = graph or self.join_graph(query)
+        bounds = None
+        if options.resolved_execution().encodings:
+            bounds = self._zone_row_bounds(query)
         estimator = CardinalityEstimator(
-            self.catalog, query, graph, error_model=options.estimation_error
+            self.catalog,
+            query,
+            graph,
+            error_model=options.estimation_error,
+            rows_upper_bounds=bounds,
         )
         return JoinOrderOptimizer(graph, estimator, options.optimizer).optimize()
+
+    def _zone_row_bounds(self, query: QuerySpec) -> Dict[str, int]:
+        """Hard per-alias row bounds on base predicates, from zone maps alone.
+
+        A bound of 0 means every block's ``[min, max]`` interval provably
+        misses the predicate — the estimator then sees an empty relation
+        *before* execution.  Aliases whose predicate shape is unsupported
+        are simply absent.
+        """
+        from repro.expr import codespace
+
+        store = self.catalog.encodings
+        bounds: Dict[str, int] = {}
+        for ref in query.relations:
+            if ref.filter is None:
+                continue
+            bound = codespace.rows_upper_bound(
+                ref.filter, self.catalog.table(ref.table), store
+            )
+            if bound is not None:
+                bounds[ref.alias] = bound
+        return bounds
 
     def is_acyclic(self, query: QuerySpec) -> bool:
         """True when the query is α-acyclic."""
@@ -449,9 +519,16 @@ class Database:
             ndv_sizing=bool(config.ndv_sizing),
             bitmap_downgrade=bool(config.bitmap_downgrade),
             arena=arena,
+            encodings=bool(config.encodings),
         )
         try:
-            run = executor.run(physical, stats, masks=masks, fused_filters=prep.fused)
+            run = executor.run(
+                physical,
+                stats,
+                masks=masks,
+                fused_filters=prep.fused,
+                zone_stats=prep.zone_stats,
+            )
         finally:
             backend.close()
         io_seconds = spill.simulated_seconds()
@@ -495,7 +572,15 @@ class Database:
         stats = ExecutionStats(query_name=query.name, mode=mode.value)
         prep = self._prepare(query, mode, plan, options, stats)
         for index, op in enumerate(prep.physical.ops):
-            stats.op_stats.append(OpStats(index=index, kind=op.kind, detail=op.describe()))
+            entry = OpStats(index=index, kind=op.kind, detail=op.describe())
+            # Block-encoded runs know their zone-map pruning at plan time
+            # (the base predicates were already evaluated), so EXPLAIN shows
+            # the same ``[zm skip k/n]`` markers an execution would.
+            if op.kind == "filter_push":
+                zone = prep.zone_stats.get(getattr(op, "alias", ""))
+                if zone is not None:
+                    entry.blocks_skipped, entry.blocks_total, entry.encoded_bytes = zone
+            stats.op_stats.append(entry)
         return ExplainResult(
             query=query,
             mode=mode,
@@ -566,8 +651,11 @@ class Database:
         # knob decides how the base predicates run.
         config = options.resolved_execution()
         with stats.time_phase("scan_filter"):
-            masks, fused = self._evaluate_filters(
-                query, fuse=bool(config.fuse_filters), stats=stats
+            masks, fused, zone_stats = self._evaluate_filters(
+                query,
+                fuse=bool(config.fuse_filters),
+                stats=stats,
+                encodings=bool(config.encodings),
             )
         graph = self.join_graph(query, masks=masks)
 
@@ -609,6 +697,7 @@ class Database:
             physical=physical,
             config=config,
             fused=fused,
+            zone_stats=zone_stats,
         )
 
     def _build_schedule(

@@ -100,6 +100,7 @@ ENV_ADAPTIVE_TRANSFER = "REPRO_ADAPTIVE_TRANSFER"
 ENV_ADAPTIVE_MIN_YIELD = "REPRO_ADAPTIVE_MIN_YIELD"
 ENV_NDV_SIZING = "REPRO_NDV_SIZING"
 ENV_BITMAP_DOWNGRADE = "REPRO_BITMAP_DOWNGRADE"
+ENV_ENCODINGS = "REPRO_ENCODINGS"
 
 
 def _env_flag(name: str) -> Optional[bool]:
@@ -167,6 +168,12 @@ class ExecutionConfig:
       fused kernel that short-circuits later conjuncts through progressive
       selection vectors instead of materializing a boolean mask per node
       (default off; bit-identical either way).
+    * ``encodings`` — block-encoded columnar execution: columns carry
+      dictionary / run-length / bit-packed encodings chosen at registration
+      time, base filters consult per-block min/max zone maps to skip whole
+      blocks, string predicates are rewritten into dictionary code space,
+      and the process backend ships the *encoded* buffers through shared
+      memory (default off; bit-identical either way).
 
     Unset knobs (``backend=None`` etc.) resolve from ``REPRO_*`` environment
     variables, then defaults — see :meth:`resolved`.
@@ -188,6 +195,7 @@ class ExecutionConfig:
     ndv_sizing: Optional[bool] = None
     bitmap_downgrade: Optional[bool] = None
     fuse_filters: Optional[bool] = None
+    encodings: Optional[bool] = None
 
     def resolved(self) -> "ExecutionConfig":
         """This config with unset knobs filled from the environment / defaults."""
@@ -251,6 +259,11 @@ class ExecutionConfig:
             fuse_filters = _env_flag(ENV_FUSE_FILTERS)
         if fuse_filters is None:
             fuse_filters = False
+        encodings = self.encodings
+        if encodings is None:
+            encodings = _env_flag(ENV_ENCODINGS)
+        if encodings is None:
+            encodings = False
         return ExecutionConfig(
             backend=backend,
             num_threads=num_threads,
@@ -268,4 +281,5 @@ class ExecutionConfig:
             ndv_sizing=ndv_sizing,
             bitmap_downgrade=bitmap_downgrade,
             fuse_filters=fuse_filters,
+            encodings=encodings,
         )

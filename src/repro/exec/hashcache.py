@@ -29,9 +29,12 @@ can still feed it straight to :func:`~repro.exec.kernels.radix_partition`
 (``hashes=``) and :class:`~repro.exec.kernels.PartitionedHashIndex`.
 
 Entries are keyed by the identity of the underlying NumPy buffers (strong
-references are held, so ids stay stable), which makes self-joins — several
-aliases over one table — share a single pass per column.  The cache is
-populated and read only from the executor's coordinator thread (morsel
+references are held, so ids stay stable) plus the column's *encoding
+token* (``"raw"`` unless block encodings are active), which makes
+self-joins — several aliases over one table — share a single pass per
+column while keeping a pass recorded over raw buffers from aliasing one
+recorded under an encoded representation of the same column.  The cache
+is populated and read only from the executor's coordinator thread (morsel
 worker threads receive already-gathered slices), so it needs no locking.
 
 ``hits`` counts pass reuses (a whole hashing pass skipped), ``misses``
@@ -62,12 +65,13 @@ class HashCache:
     SELECTION_PASSES_PER_COLUMN = 2
 
     def __init__(self) -> None:
-        # id(column data) -> (data ref, hashes, patterns)
-        self._full: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
-        # id(column data) -> most-recent-first list of (data ref,
-        # row_indices ref, hashes, patterns); the refs keep both ids stable.
+        # (id(column data), encoding token) -> (data ref, hashes, patterns)
+        self._full: Dict[Tuple[int, str], Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        # (id(column data), encoding token) -> most-recent-first list of
+        # (data ref, row_indices ref, hashes, patterns); the refs keep both
+        # ids stable.
         self._selection: Dict[
-            int, List[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]
+            Tuple[int, str], List[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]
         ] = {}
         self.hits = 0
         self.misses = 0
@@ -75,31 +79,35 @@ class HashCache:
     # ------------------------------------------------------------------
     # Full-column passes
     # ------------------------------------------------------------------
-    def bloom_pass(self, table: Table, column: str) -> BloomPass:
+    def bloom_pass(self, table: Table, column: str, encoding: str = "raw") -> BloomPass:
         """The (hashes, patterns) pass over one full base column.
 
         Computed on first request, replayed on every later one.
         """
         data = self._key_data(table, column)
-        entry = self._full.get(id(data))
+        entry = self._full.get((id(data), encoding))
         if entry is not None and entry[0] is data:
             self.hits += 1
             return entry[1], entry[2]
         self.misses += 1
         hashes = hash_keys(data)
         patterns = key_patterns(hashes)
-        self._full[id(data)] = (data, hashes, patterns)
+        self._full[(id(data), encoding)] = (data, hashes, patterns)
         return hashes, patterns
 
-    def peek_bloom_pass(self, table: Table, column: str) -> Optional[BloomPass]:
+    def peek_bloom_pass(
+        self, table: Table, column: str, encoding: str = "raw"
+    ) -> Optional[BloomPass]:
         """An already-computed full-column pass, or None (never computes)."""
         data = self._key_data(table, column)
-        entry = self._full.get(id(data))
+        entry = self._full.get((id(data), encoding))
         if entry is not None and entry[0] is data:
             return entry[1], entry[2]
         return None
 
-    def adopt_full_pass(self, table: Table, column: str, bloom_pass: BloomPass) -> None:
+    def adopt_full_pass(
+        self, table: Table, column: str, bloom_pass: BloomPass, encoding: str = "raw"
+    ) -> None:
         """Seed the cache with a full-column pass computed elsewhere.
 
         Used by the executor to replay a cross-query ``bloom_pass`` artifact
@@ -107,13 +115,13 @@ class HashCache:
         artifact cache's own counters record the reuse).
         """
         data = self._key_data(table, column)
-        self._full[id(data)] = (data, bloom_pass[0], bloom_pass[1])
+        self._full[(id(data), encoding)] = (data, bloom_pass[0], bloom_pass[1])
 
     # ------------------------------------------------------------------
     # Per-selection passes
     # ------------------------------------------------------------------
     def selection_pass(
-        self, table: Table, column: str, row_indices: np.ndarray
+        self, table: Table, column: str, row_indices: np.ndarray, encoding: str = "raw"
     ) -> Optional[BloomPass]:
         """A cached pass over exactly this selection of the column, or None.
 
@@ -122,7 +130,7 @@ class HashCache:
         returned for a changed selection.
         """
         data = self._key_data(table, column)
-        for entry in self._selection.get(id(data), ()):
+        for entry in self._selection.get((id(data), encoding), ()):
             if entry[0] is data and entry[1] is row_indices:
                 self.hits += 1
                 return entry[2], entry[3]
@@ -134,6 +142,7 @@ class HashCache:
         column: str,
         row_indices: np.ndarray,
         bloom_pass: BloomPass,
+        encoding: str = "raw",
     ) -> None:
         """Cache a pass over one selection.
 
@@ -144,7 +153,7 @@ class HashCache:
         states do not pile up over a long transfer phase.
         """
         data = self._key_data(table, column)
-        entries = self._selection.setdefault(id(data), [])
+        entries = self._selection.setdefault((id(data), encoding), [])
         entries[:] = [e for e in entries if e[1] is not row_indices]
         entries.insert(0, (data, row_indices, bloom_pass[0], bloom_pass[1]))
         del entries[self.SELECTION_PASSES_PER_COLUMN :]

@@ -531,6 +531,7 @@ class PipelineExecutor:
         ndv_sizing: bool = False,
         bitmap_downgrade: bool = False,
         arena=None,
+        encodings: bool = False,
     ) -> None:
         self.query = query
         self.graph = graph
@@ -564,6 +565,11 @@ class PipelineExecutor:
         #: probe-shipping backend so transfer probes can hand workers a
         #: (column ref, selection vector) pair instead of gathered keys.
         self.arena = arena
+        #: Block-encoded execution: transfer probes prefer the arena's
+        #: *encoded* column segments, and every cache key (hash cache,
+        #: artifact cache) carries the column's encoding token so encoded
+        #: and raw artifacts never alias at the same catalog version.
+        self.encodings = encodings
         self._refs = {ref.alias: ref for ref in query.relations}
 
     # ------------------------------------------------------------------
@@ -577,6 +583,7 @@ class PipelineExecutor:
         masks: Optional[Mapping[str, Optional[np.ndarray]]] = None,
         finalize_root: Optional[Operand] = None,
         fused_filters: Optional[Mapping[str, int]] = None,
+        zone_stats: Optional[Mapping[str, Tuple[int, int, int]]] = None,
     ) -> PipelineResult:
         """Execute every op of ``plan`` in order.
 
@@ -588,11 +595,15 @@ class PipelineExecutor:
         operand is materialized, remaining post-join predicates are applied,
         and ``stats.output_rows`` is set.  ``fused_filters`` maps aliases
         whose pushed-down predicate was evaluated by a fused kernel to the
-        rows the kernel short-circuited, for the op trace.
+        rows the kernel short-circuited, for the op trace; ``zone_stats``
+        maps aliases whose predicate ran with zone-map block skipping to a
+        ``(blocks_skipped, blocks_total, encoded_bytes)`` triple, folded
+        into the alias's ``FilterPush`` entry the same way.
         """
         self._relations: Dict[str, BoundRelation] = relations if relations is not None else {}
         self._masks = masks
         self._fused_filters = dict(fused_filters or {})
+        self._zone_stats = dict(zone_stats or {})
         self._slots: Dict[int, IntermediateResult] = {}
         self._materialized: Dict[Operand, IntermediateResult] = {}
         self._transfer_stages: Dict[int, _TransferStage] = {}
@@ -636,6 +647,9 @@ class PipelineExecutor:
         self._op_adaptive_skip = False
         self._op_bytes_saved = 0
         self._op_downgraded = False
+        self._op_blocks_skipped = 0
+        self._op_blocks_total = 0
+        self._op_encoded_bytes = 0
 
         base_simulated = getattr(self.backend, "simulated_cost", 0.0)
         base_shm = getattr(self.backend, "shm_bytes_mapped", 0)
@@ -663,6 +677,9 @@ class PipelineExecutor:
             self._op_bytes_saved = 0
             self._op_downgraded = False
             self._op_fused_rows = -1
+            self._op_blocks_skipped = 0
+            self._op_blocks_total = 0
+            self._op_encoded_bytes = 0
             start = time.perf_counter()
             rows_in, rows_out, skipped = self._dispatch(op, stats)
             elapsed = time.perf_counter() - start
@@ -705,6 +722,9 @@ class PipelineExecutor:
                     downgraded_exact=self._op_downgraded,
                     fused_expr=self._op_fused_rows >= 0,
                     fused_rows_short_circuited=max(self._op_fused_rows, 0),
+                    blocks_skipped=self._op_blocks_skipped,
+                    blocks_total=self._op_blocks_total,
+                    encoded_bytes=self._op_encoded_bytes,
                     shm_bytes=(
                         self._shm_bytes
                         + getattr(self.backend, "shm_bytes_mapped", 0)
@@ -714,6 +734,11 @@ class PipelineExecutor:
             )
             if self._op_bytes_saved:
                 stats.adaptive_filter_bytes_saved += self._op_bytes_saved
+            if self._op_blocks_total:
+                stats.zone_blocks_skipped += self._op_blocks_skipped
+                stats.zone_blocks_total += self._op_blocks_total
+            if self._op_encoded_bytes:
+                stats.encoded_bytes_touched += self._op_encoded_bytes
 
         if finalize_root is not None and self._final is None:
             with stats.time_phase("join"):
@@ -809,6 +834,9 @@ class PipelineExecutor:
             mask = np.asarray(self._masks[op.alias], dtype=bool)
             if op.alias in self._fused_filters:
                 self._op_fused_rows = int(self._fused_filters[op.alias])
+            zone = self._zone_stats.get(op.alias)
+            if zone is not None:
+                self._op_blocks_skipped, self._op_blocks_total, self._op_encoded_bytes = zone
         else:
             ref = self._refs.get(op.alias)
             if ref is None or ref.filter is None:
@@ -969,6 +997,7 @@ class PipelineExecutor:
                     column=column,
                     fingerprint=FINGERPRINT_COLUMN,
                     kind=KIND_NDV_SKETCH,
+                    encoding=self._encoding_token(table, column),
                 )
                 artifact = self.artifact_cache.get(artifact_key)
                 if artifact is not None:
@@ -979,7 +1008,9 @@ class PipelineExecutor:
         # A cached full-column hashing pass (computed for the Bloom inserts
         # anyway) lets the sketch skip its own hashing pass entirely.
         cached_pass = (
-            self.hash_cache.peek_bloom_pass(table, column)
+            self.hash_cache.peek_bloom_pass(
+                table, column, encoding=self._encoding_token(table, column)
+            )
             if self.hash_cache is not None
             else None
         )
@@ -1238,9 +1269,10 @@ class PipelineExecutor:
         """
         cache = self.hash_cache
         table = relation.table
+        token = self._encoding_token(table, column)
         if relation.num_rows == table.num_rows:
             return self._full_bloom_pass(relation, column, compute=True)
-        cached = cache.selection_pass(table, column, relation.row_indices)
+        cached = cache.selection_pass(table, column, relation.row_indices, encoding=token)
         if cached is not None:
             return cached
         # With the cross-query artifact cache on, a selection covering a
@@ -1255,12 +1287,12 @@ class PipelineExecutor:
         if full is not None:
             selection = relation.row_indices
             result = (full[0][selection], full[1][selection])
-            cache.store_selection_pass(table, column, selection, result)
+            cache.store_selection_pass(table, column, selection, result, encoding=token)
             return result
         cache.misses += 1
         hashes = hash_keys(relation.key_values(column))
         result = (hashes, key_patterns(hashes))
-        cache.store_selection_pass(table, column, relation.row_indices, result)
+        cache.store_selection_pass(table, column, relation.row_indices, result, encoding=token)
         return result
 
     def _full_bloom_pass(
@@ -1276,7 +1308,8 @@ class PipelineExecutor:
         """
         cache = self.hash_cache
         table = relation.table
-        existing = cache.peek_bloom_pass(table, column)
+        token = self._encoding_token(table, column)
+        existing = cache.peek_bloom_pass(table, column, encoding=token)
         if existing is not None:
             cache.hits += 1
             return existing
@@ -1293,6 +1326,7 @@ class PipelineExecutor:
                 column=column,
                 fingerprint=FINGERPRINT_COLUMN,
                 kind=KIND_BLOOM_PASS,
+                encoding=token,
             )
             artifact = self.artifact_cache.get(artifact_key)
             if artifact is not None:
@@ -1300,11 +1334,11 @@ class PipelineExecutor:
                 self._charge_artifact(
                     artifact_key, int(artifact[0].nbytes + artifact[1].nbytes)
                 )
-                cache.adopt_full_pass(table, column, artifact)
+                cache.adopt_full_pass(table, column, artifact, encoding=token)
                 return artifact
         if not compute:
             return None
-        full = cache.bloom_pass(table, column)
+        full = cache.bloom_pass(table, column, encoding=token)
         if artifact_key is not None:
             self._artifact_misses += 1
             nbytes = int(full[0].nbytes + full[1].nbytes)
@@ -1341,7 +1375,24 @@ class PipelineExecutor:
             fingerprint=fingerprint,
             kind=kind,
             param=param,
+            encoding=self._encoding_token(relation.table, column),
         )
+
+    def _encoding_token(self, table, column: str) -> str:
+        """The column's encoding identity for cache keys.
+
+        ``"raw"`` whenever block encodings are off — every key is then
+        byte-identical to the pre-encoding ones, so artifacts persist
+        across the flag being toggled off.  With encodings on, the token
+        (e.g. ``"pack:u16:b0"``) keeps artifacts recorded over an encoded
+        representation from aliasing raw ones at the same catalog version.
+        """
+        if not self.encodings or self.catalog is None:
+            return "raw"
+        store = getattr(self.catalog, "encodings", None)
+        if store is None:
+            return "raw"
+        return store.token(table, column)
 
     def _snapshot_version(self, alias: str, table_name: str) -> Optional[int]:
         """The engine's table-version snapshot — only while it is still live.
@@ -1388,9 +1439,13 @@ class PipelineExecutor:
             and getattr(self.backend, "ships_probes", False)
             and relation.num_rows > getattr(self.backend, "morsel_size", 0)
         ):
-            ref = self.arena.column_ref(relation.table, column)
+            ref = self.arena.column_ref(relation.table, column, encoded=self.encodings)
             if ref is not None:
                 self._charge_shm(ref)
+                if hasattr(ref, "codes"):
+                    # An encoded segment pair: record the (smaller) mapped
+                    # footprint in the op trace's ``[enc ..B]`` marker.
+                    self._op_encoded_bytes += int(ref.nbytes)
                 from repro.exec.process import ShmGather
 
                 return ShmGather(ref, relation.row_indices, relation.table.column(column).data)

@@ -61,7 +61,7 @@ from repro.exec.pipeline import (
     _slice_probe_input,
 )
 from repro.storage import shm
-from repro.storage.shm import ShmArrayRef
+from repro.storage.shm import EncodedColumnRef, ShmArrayRef
 
 #: Process morsels are coarser than thread morsels: each task additionally
 #: pays a pipe round-trip and (once per worker) a segment attach, so it must
@@ -82,9 +82,14 @@ class _ArraysInput:
 
 @dataclass(frozen=True)
 class _GatherInput:
-    """A base-column gather ``column[selection[lo:hi]]`` done worker-side."""
+    """A base-column gather ``column[selection[lo:hi]]`` done worker-side.
 
-    column: ShmArrayRef
+    ``column`` is either a raw :class:`ShmArrayRef` or an
+    :class:`~repro.storage.shm.EncodedColumnRef`; encoded refs are decoded
+    after the gather, so workers see the exact physical values either way.
+    """
+
+    column: Union[ShmArrayRef, EncodedColumnRef]
     selection: ShmArrayRef
 
 
@@ -163,8 +168,10 @@ def _resolve_spec(spec_ref: ShmArrayRef) -> object:
 
 def _materialize_input(task_input: _TaskInput, lo: int, hi: int) -> ProbeInput:
     if isinstance(task_input, _GatherInput):
-        column = shm.attach_array(task_input.column)
         selection = shm.attach_array(task_input.selection)
+        if isinstance(task_input.column, EncodedColumnRef):
+            return shm.gather_encoded(task_input.column, selection[lo:hi])
+        column = shm.attach_array(task_input.column)
         return column[selection[lo:hi]]
     arrays = tuple(shm.attach_array(ref)[lo:hi] for ref in task_input.refs)
     if task_input.is_tuple:

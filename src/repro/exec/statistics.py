@@ -101,6 +101,13 @@ class OpStats:
     #: Bytes this op placed in (or resolved from) shared-memory segments for
     #: process-parallel probing.
     shm_bytes: int = 0
+    #: Zone-map block skipping for this op's predicate: blocks proven empty
+    #: of matches (skipped wholesale) out of the blocks covering the column.
+    blocks_skipped: int = 0
+    blocks_total: int = 0
+    #: Encoded bytes behind this op's column accesses (dictionary / RLE /
+    #: bit-packed buffers instead of flat ``int64`` arrays).
+    encoded_bytes: int = 0
 
     @property
     def rows_eliminated(self) -> int:
@@ -189,6 +196,14 @@ class ExecutionStats:
     #: Bytes placed in (or resolved from) shared-memory segments by the
     #: process backend during this execution.
     shm_bytes_mapped: int = 0
+    #: Zone-map blocks skipped / covered across every base filter this
+    #: execution evaluated with encodings enabled.
+    zone_blocks_skipped: int = 0
+    zone_blocks_total: int = 0
+    #: Encoded bytes behind the columns execution touched through the
+    #: encoding layer (what the MemoryGovernor and shm arena were charged
+    #: instead of the flat ``int64`` bytes).
+    encoded_bytes_touched: int = 0
 
     # ------------------------------------------------------------------
     # Derived quantities
@@ -267,6 +282,10 @@ class ExecutionStats:
                 marker += f" [fused -{op.fused_rows_short_circuited}r]"
             if op.shm_bytes:
                 marker += f" [shm {op.shm_bytes}B]"
+            if op.blocks_total:
+                marker += f" [zm skip {op.blocks_skipped}/{op.blocks_total}]"
+            if op.encoded_bytes:
+                marker += f" [enc {op.encoded_bytes}B]"
             lines.append(
                 f"{op.index:>3} {op.kind:<22} {op.rows_in:>10} {op.rows_out:>10} "
                 f"{op.seconds:>10.6f} {op.morsels:>8}  {op.detail}{marker}"
@@ -319,6 +338,12 @@ class ExecutionStats:
             )
         if self.shm_bytes_mapped:
             parts.append(f"shm mapped {self.shm_bytes_mapped}B")
+        if self.zone_blocks_total:
+            parts.append(
+                f"zone maps skipped {self.zone_blocks_skipped}/{self.zone_blocks_total} blocks"
+            )
+        if self.encoded_bytes_touched:
+            parts.append(f"encoded bytes {self.encoded_bytes_touched}B")
         return "runtime: " + ", ".join(parts) if parts else ""
 
     def execution_summary(self) -> str:

@@ -285,18 +285,35 @@ class FusedConjunction:
     def num_conjuncts(self) -> int:
         return len(self.conjuncts)
 
-    def evaluate(self, table) -> Tuple[np.ndarray, int]:
-        jit = self._evaluate_jit(table)
-        if jit is not None:
-            return jit
-        return self._evaluate_numpy(table)
+    def evaluate(self, table, block_selection=None) -> Tuple[np.ndarray, int]:
+        """Evaluate the fused conjunction, optionally under zone-map pruning.
+
+        ``block_selection`` is a
+        :class:`~repro.storage.zonemap.BlockSelection` computed from *this*
+        conjunction (see :func:`repro.expr.codespace.block_selection`): the
+        first conjunct then only evaluates rows inside surviving blocks,
+        and every row of a skipped block counts toward the returned
+        short-circuit total exactly once — skipped blocks are proven
+        non-matching, so the mask stays bit-identical.
+        """
+        if block_selection is None:
+            jit = self._evaluate_jit(table)
+            if jit is not None:
+                return jit
+        return self._evaluate_numpy(table, block_selection)
 
     # -- pure NumPy progressive-selection path (reference) ---------------
-    def _evaluate_numpy(self, table) -> Tuple[np.ndarray, int]:
+    def _evaluate_numpy(self, table, block_selection=None) -> Tuple[np.ndarray, int]:
         kernels = [_compile_leaf(conjunct, table) for conjunct in self.conjuncts]
         num_rows = table.num_rows
-        candidates = np.nonzero(np.asarray(kernels[0](None), dtype=bool))[0]
         short_circuited = 0
+        if block_selection is None:
+            candidates = np.nonzero(np.asarray(kernels[0](None), dtype=bool))[0]
+        else:
+            initial = block_selection.candidate_rows()
+            short_circuited += num_rows - int(initial.shape[0])
+            first_mask = np.asarray(kernels[0](initial), dtype=bool)
+            candidates = initial[first_mask]
         for kernel in kernels[1:]:
             short_circuited += num_rows - int(candidates.shape[0])
             if candidates.shape[0] == 0:

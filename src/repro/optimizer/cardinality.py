@@ -19,7 +19,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Optional
+from typing import Dict, FrozenSet, Mapping, Optional
 
 import numpy as np
 
@@ -169,11 +169,16 @@ class CardinalityEstimator:
         query: QuerySpec,
         graph: JoinGraph,
         error_model: Optional[EstimationErrorModel] = None,
+        rows_upper_bounds: Optional[Mapping[str, int]] = None,
     ) -> None:
         self.catalog = catalog
         self.query = query
         self.graph = graph
         self.error_model = error_model or EstimationErrorModel()
+        #: alias -> hard upper bound on rows surviving the base predicate,
+        #: derived from zone maps before execution (block-encoded runs only;
+        #: absent aliases keep the textbook estimate).
+        self.rows_upper_bounds = dict(rows_upper_bounds or {})
         self._base_estimates: Dict[str, float] = {}
         self._distinct_cache: Dict[tuple[str, str], int] = {}
         self._populate_base_estimates()
@@ -187,7 +192,15 @@ class CardinalityEstimator:
             selectivity = estimate_selectivity(ref.filter, stats)
             estimate = stats.num_rows * selectivity
             estimate *= self.error_model.factor_for(ref.alias)
-            self._base_estimates[ref.alias] = max(estimate, 1.0)
+            estimate = max(estimate, 1.0)
+            bound = self.rows_upper_bounds.get(ref.alias)
+            if bound is not None:
+                # A zone-map bound is a hard ceiling on matching rows, so it
+                # caps the (error-injected) textbook estimate — including
+                # past the 1-row floor when every block provably misses the
+                # predicate (the floor only guards *unknown* selectivities).
+                estimate = min(estimate, float(bound))
+            self._base_estimates[ref.alias] = estimate
 
     def base_cardinality(self, alias: str) -> float:
         """Estimated cardinality of a (filtered) base relation."""

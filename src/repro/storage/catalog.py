@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, Optional
 
 from repro.errors import CatalogError
+from repro.storage.encodings import EncodingStore
 from repro.storage.table import Table
 
 
@@ -38,6 +39,7 @@ class Catalog:
         # version — cached execution artifacts keyed by (name, version)
         # therefore never alias stale data.
         self._versions: Dict[str, int] = {}
+        self._encodings = EncodingStore(self)
 
     # ------------------------------------------------------------------
     # Registration
@@ -58,6 +60,7 @@ class Catalog:
         self._tables[table.name] = table
         self._stats[table.name] = _compute_statistics(table)
         self._versions[table.name] = self._versions.get(table.name, 0) + 1
+        self._encodings.invalidate_table(table.name)
 
     def unregister(self, name: str) -> None:
         """Remove a table from the catalog."""
@@ -65,6 +68,7 @@ class Catalog:
             raise CatalogError(f"table {name!r} is not registered")
         del self._tables[name]
         del self._stats[name]
+        self._encodings.invalidate_table(name)
 
     # ------------------------------------------------------------------
     # Lookup
@@ -94,6 +98,11 @@ class Catalog:
             return self._stats[name]
         except KeyError:
             raise CatalogError(f"table {name!r} is not registered") from None
+
+    @property
+    def encodings(self) -> EncodingStore:
+        """The per-column encoding / zone-map store (lazy, version-keyed)."""
+        return self._encodings
 
     def has_table(self, name: str) -> bool:
         """True when a table with that name is registered."""

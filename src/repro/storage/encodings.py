@@ -1,0 +1,328 @@
+"""Block-encoded columns: dictionary, run-length, and bit-packed layouts.
+
+Every :class:`~repro.storage.column.Column` stores its physical values as
+a flat ``int64`` array (string columns as dictionary codes).  This module
+adds a lossless *encoded* representation chosen per column by cheap
+probes, plus the per-block zone maps that let filters skip whole blocks:
+
+* ``pack`` — frame-of-reference bit-packing: ``value - base`` stored in
+  the narrowest unsigned width that fits the domain (widths are rounded
+  up to 8/16/32 bits so blocks stay zero-copy NumPy views).
+* ``dict`` — dictionary encoding for low-NDV columns whose value domain
+  is too wide to pack: a sorted ``int64`` value array plus narrow codes
+  indexing it.  String columns reuse their existing dictionary — their
+  physical codes are simply packed.
+* ``rle`` — run-length encoding for sorted / clustered data: run start
+  offsets plus run values; point gathers answer through one
+  ``searchsorted``.
+
+The decision procedure (:func:`choose_encoding`) runs at table
+registration time from two probes — the run count (sortedness /
+clustering) and the distinct count (taken from exact catalog statistics
+when available, otherwise a KMV sketch) — and picks whichever encoding
+stores the fewest bytes, requiring at least 2x compression so marginal
+encodings never pay their decode cost.
+
+Decoding is exact: ``EncodedColumn.decode(selection)`` reproduces the
+original physical ``int64`` values bit-for-bit, which is what makes the
+engine's encoded execution paths bit-identical to raw execution.
+
+:class:`EncodingStore` is the catalog-owned cache mapping
+``(table name, version, column)`` to its encoded form and zone map, both
+built lazily on first use and invalidated when a table is replaced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.storage.column import Column
+from repro.storage.zonemap import DEFAULT_BLOCK_ROWS, ZoneMap
+
+#: Encodings must shrink the column by at least this factor to be chosen;
+#: below it the decode indirection is not worth the bytes saved.
+MIN_COMPRESSION_RATIO = 2.0
+
+#: Dictionary encoding is only considered up to this many distinct values
+#: (codes then fit 16 bits).
+MAX_DICT_NDV = 1 << 16
+
+
+def _code_dtype(max_code: int) -> np.dtype:
+    """Narrowest unsigned dtype holding codes in ``[0, max_code]``."""
+    if max_code < (1 << 8):
+        return np.dtype(np.uint8)
+    if max_code < (1 << 16):
+        return np.dtype(np.uint16)
+    return np.dtype(np.uint32)
+
+
+@dataclass(frozen=True)
+class EncodedColumn:
+    """A losslessly encoded physical column plus its zone map.
+
+    Attributes
+    ----------
+    encoding:
+        ``"pack"``, ``"dict"`` or ``"rle"``.
+    codes:
+        ``pack``/``dict``: narrow unsigned per-row codes.  ``rle``: the
+        ``int64`` run start offsets (ascending, first element 0).
+    values:
+        ``dict``: sorted distinct physical values (``int64``).  ``rle``:
+        the per-run physical values.  ``pack``: ``None``.
+    base:
+        ``pack``: frame-of-reference offset (``decoded = codes + base``).
+    num_rows:
+        Logical row count.
+    zone_map:
+        Per-block min/max over the *decoded* physical values.
+    """
+
+    encoding: str
+    codes: np.ndarray
+    values: Optional[np.ndarray]
+    base: int
+    num_rows: int
+    zone_map: ZoneMap
+
+    @property
+    def encoded_bytes(self) -> int:
+        """Bytes of the encoded buffers (excluding zone-map metadata)."""
+        total = int(self.codes.nbytes)
+        if self.values is not None:
+            total += int(self.values.nbytes)
+        return total
+
+    @property
+    def logical_bytes(self) -> int:
+        """Bytes of the raw ``int64`` representation this replaces."""
+        return self.num_rows * 8
+
+    @property
+    def token(self) -> str:
+        """Short identity string (used in artifact-cache keys)."""
+        if self.encoding == "rle":
+            return f"rle:r{int(self.codes.shape[0])}"
+        width = self.codes.dtype.itemsize * 8
+        if self.encoding == "dict":
+            return f"dict:u{width}:n{int(self.values.shape[0])}"
+        return f"pack:u{width}:b{self.base}"
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+    def decode(self, selection: Optional[np.ndarray] = None) -> np.ndarray:
+        """Physical ``int64`` values, optionally gathered by ``selection``."""
+        if self.encoding == "rle":
+            if selection is None:
+                lengths = np.diff(np.concatenate([self.codes, [self.num_rows]]))
+                return np.repeat(self.values, lengths)
+            runs = np.searchsorted(self.codes, selection, side="right") - 1
+            return self.values[runs]
+        codes = self.codes if selection is None else self.codes[selection]
+        if self.encoding == "dict":
+            return self.values[codes]
+        decoded = codes.astype(np.int64)
+        if self.base:
+            decoded += self.base
+        return decoded
+
+    def iter_blocks(self, block_rows: Optional[int] = None) -> Iterator[Tuple[int, np.ndarray]]:
+        """Yield ``(row_start, block)`` pairs covering the column in order.
+
+        For ``pack``/``dict`` each block is a zero-copy view of the code
+        array; for ``rle`` blocks are materialized per yield (runs do not
+        align with block boundaries).
+        """
+        step = block_rows or self.zone_map.block_rows
+        if self.encoding == "rle":
+            for start in range(0, self.num_rows, step):
+                stop = min(start + step, self.num_rows)
+                yield start, self.decode(np.arange(start, stop, dtype=np.int64))
+            return
+        for start in range(0, self.num_rows, step):
+            yield start, self.codes[start : start + step]
+
+
+# ---------------------------------------------------------------------------
+# Encoding selection
+# ---------------------------------------------------------------------------
+def _estimate_distinct(data: np.ndarray) -> int:
+    """KMV-sketch distinct estimate (used when exact statistics are absent)."""
+    from repro.optimizer.cardinality import KMVSketch
+
+    return max(1, int(round(KMVSketch.from_values(data).estimate)))
+
+
+def choose_encoding(
+    column: Column,
+    distinct_count: Optional[int] = None,
+    block_rows: int = DEFAULT_BLOCK_ROWS,
+) -> Optional[EncodedColumn]:
+    """Probe one column and build its best encoding, or ``None`` for raw.
+
+    Probes are O(n) vectorized passes: the run count decides RLE, the
+    value bounds decide bit-packing, and the distinct count (exact when
+    the caller has catalog statistics, else a KMV estimate) gates the
+    dictionary form.  The cheapest layout wins, subject to
+    :data:`MIN_COMPRESSION_RATIO`.
+    """
+    if not column.dtype.is_integer_backed:
+        return None
+    data = column.data
+    n = int(data.shape[0])
+    if n == 0:
+        return None
+    data = np.ascontiguousarray(data, dtype=np.int64)
+    raw_bytes = n * 8
+
+    run_breaks = int(np.count_nonzero(data[1:] != data[:-1])) if n > 1 else 0
+    num_runs = run_breaks + 1
+    rle_bytes = num_runs * 16  # int64 start + int64 value per run
+
+    lo = int(data.min())
+    hi = int(data.max())
+    width = hi - lo
+    pack_bytes: Optional[int] = None
+    if width < (1 << 32):
+        pack_bytes = n * _code_dtype(width).itemsize
+
+    ndv = distinct_count if distinct_count is not None else _estimate_distinct(data)
+    dict_bytes: Optional[int] = None
+    if ndv <= MAX_DICT_NDV:
+        dict_bytes = n * _code_dtype(max(ndv - 1, 0)).itemsize + ndv * 8
+
+    candidates = [("rle", rle_bytes)]
+    if pack_bytes is not None:
+        candidates.append(("pack", pack_bytes))
+    if dict_bytes is not None:
+        candidates.append(("dict", dict_bytes))
+    encoding, estimated = min(candidates, key=lambda item: (item[1], item[0]))
+    if estimated * MIN_COMPRESSION_RATIO > raw_bytes:
+        return None
+
+    zone_map = ZoneMap.build(data, block_rows)
+    if encoding == "rle":
+        starts = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.flatnonzero(data[1:] != data[:-1]) + 1]
+        )
+        return EncodedColumn(
+            encoding="rle",
+            codes=starts,
+            values=data[starts].copy(),
+            base=0,
+            num_rows=n,
+            zone_map=zone_map,
+        )
+    if encoding == "dict":
+        values = np.unique(data)
+        # The probe may have used an NDV *estimate*; fall back to packing
+        # if the exact dictionary would not actually fit narrow codes.
+        if values.shape[0] <= MAX_DICT_NDV:
+            codes = np.searchsorted(values, data).astype(_code_dtype(values.shape[0] - 1))
+            return EncodedColumn(
+                encoding="dict",
+                codes=codes,
+                values=values,
+                base=0,
+                num_rows=n,
+                zone_map=zone_map,
+            )
+        encoding = "pack"
+    if pack_bytes is None or pack_bytes * MIN_COMPRESSION_RATIO > raw_bytes:
+        return None
+    codes = (data - lo).astype(_code_dtype(width))
+    return EncodedColumn(
+        encoding="pack", codes=codes, values=None, base=lo, num_rows=n, zone_map=zone_map
+    )
+
+
+# ---------------------------------------------------------------------------
+# The catalog-owned store
+# ---------------------------------------------------------------------------
+class EncodingStore:
+    """Caches encodings and zone maps per ``(table, version, column)``.
+
+    Owned by a :class:`~repro.storage.catalog.Catalog`; the catalog
+    invalidates a table's entries whenever it is (re-)registered, so the
+    version in the key can never serve stale buffers.  Encoded forms are
+    built lazily on first use — registration only pays for the statistics
+    the catalog already computes.
+    """
+
+    def __init__(self, catalog) -> None:
+        self.catalog = catalog
+        self._encoded: Dict[Tuple[str, int, str], Optional[EncodedColumn]] = {}
+        self._zone_maps: Dict[Tuple[str, int, str], Optional[ZoneMap]] = {}
+
+    def _key(self, table, column: str) -> Optional[Tuple[str, int, str]]:
+        try:
+            version = self.catalog.version(table.name)
+        except Exception:
+            return None
+        if self.catalog.table(table.name) is not table:
+            return None
+        return (table.name, version, column)
+
+    def encoded(self, table, column: str) -> Optional[EncodedColumn]:
+        """The encoded form of ``table.column(column)``, or ``None`` for raw."""
+        key = self._key(table, column)
+        if key is None:
+            return None
+        if key not in self._encoded:
+            col = table.column(column)
+            distinct = None
+            try:
+                distinct = self.catalog.statistics(table.name).distinct(column)
+            except Exception:
+                distinct = None
+            self._encoded[key] = choose_encoding(col, distinct_count=distinct)
+        return self._encoded[key]
+
+    def zone_map(self, table, column: str) -> Optional[ZoneMap]:
+        """The zone map over ``table.column(column)``'s physical values.
+
+        Available for every integer-backed column — raw columns benefit
+        from block skipping too; the encoded form just reuses its map.
+        """
+        key = self._key(table, column)
+        if key is None:
+            return None
+        if key not in self._zone_maps:
+            encoded = self.encoded(table, column)
+            if encoded is not None:
+                self._zone_maps[key] = encoded.zone_map
+            else:
+                col = table.column(column)
+                if not col.dtype.is_integer_backed or col.num_rows == 0:
+                    self._zone_maps[key] = None
+                else:
+                    self._zone_maps[key] = ZoneMap.build(col.data)
+        return self._zone_maps[key]
+
+    def token(self, table, column: str) -> str:
+        """Encoding identity of a column (``"raw"`` when unencoded)."""
+        encoded = self.encoded(table, column)
+        return "raw" if encoded is None else encoded.token
+
+    def encoded_bytes(self, table, column: str) -> int:
+        """Encoded bytes of a column (logical bytes when unencoded)."""
+        encoded = self.encoded(table, column)
+        if encoded is None:
+            return int(table.column(column).data.nbytes)
+        return encoded.encoded_bytes
+
+    def invalidate_table(self, name: str) -> None:
+        """Drop every cached entry of ``name`` (any version)."""
+        for cache in (self._encoded, self._zone_maps):
+            for key in [k for k in cache if k[0] == name]:
+                del cache[key]
+
+    def clear(self) -> None:
+        """Drop every cached entry."""
+        self._encoded.clear()
+        self._zone_maps.clear()

@@ -146,6 +146,56 @@ def share_array(array: np.ndarray) -> Tuple[shared_memory.SharedMemory, ShmArray
     return segment, ShmArrayRef(name=segment.name, dtype=array.dtype.str, shape=array.shape)
 
 
+@dataclass(frozen=True)
+class EncodedColumnRef:
+    """A picklable reference to an *encoded* column in shared memory.
+
+    Ships the narrow code buffer (plus, for dictionary encodings, the
+    ``int64`` value array) instead of the flat ``int64`` column — workers
+    decode gathered codes back to the exact physical values, so probes
+    stay bit-identical while the mapped bytes shrink by the code width.
+    """
+
+    codes: ShmArrayRef
+    values: Optional[ShmArrayRef]
+    base: int
+
+    @property
+    def name(self) -> str:
+        """Primary segment name (used for governor reservation keys)."""
+        return self.codes.name
+
+    @property
+    def nbytes(self) -> int:
+        """Encoded bytes behind this ref (codes plus dictionary values)."""
+        total = self.codes.nbytes
+        if self.values is not None:
+            total += self.values.nbytes
+        return total
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """Logical row shape (mirrors :class:`ShmArrayRef`)."""
+        return self.codes.shape
+
+
+def gather_encoded(ref: EncodedColumnRef, selection: np.ndarray) -> np.ndarray:
+    """Gather + decode rows of an encoded shared column in this process.
+
+    Returns exactly ``raw_column[selection]`` — the decode is lossless, so
+    worker-side probes over encoded segments match owner-side execution
+    bit for bit.
+    """
+    codes = attach_array(ref.codes)[selection]
+    if ref.values is not None:
+        values = attach_array(ref.values)
+        return values[codes]
+    decoded = codes.astype(np.int64)
+    if ref.base:
+        decoded += ref.base
+    return decoded
+
+
 #: Worker-side cache of attached segments: ref name -> (segment, array).
 #: Bounded so long-running workers do not accumulate mappings of segments
 #: the parent has already unlinked (the mapping itself stays valid on
@@ -218,15 +268,21 @@ class SharedColumnArena:
     def __init__(self, catalog) -> None:
         self.catalog = catalog
         self._segments: Dict[
-            Tuple[str, int, str], Tuple[shared_memory.SharedMemory, ShmArrayRef]
+            Tuple[str, int, str, bool], Tuple[Tuple[shared_memory.SharedMemory, ...], object]
         ] = {}
 
-    def column_ref(self, table, column: str) -> Optional[ShmArrayRef]:
+    def column_ref(self, table, column: str, encoded: bool = False):
         """A shared-memory ref for ``table.column(column)``, publishing on demand.
 
         Returns ``None`` when the column cannot be shared: the table is not
         (or no longer) the catalog's current registration under its name, or
         the column is not integer-backed (join keys always are).
+
+        With ``encoded=True`` and a dictionary / bit-packed encoding
+        available from the catalog's :class:`~repro.storage.encodings.EncodingStore`,
+        the *encoded* buffers are published instead (an
+        :class:`EncodedColumnRef`), shrinking the mapped footprint; RLE
+        columns and unencoded columns fall back to the raw ``int64`` array.
         """
         try:
             version = self.catalog.version(table.name)
@@ -237,15 +293,37 @@ class SharedColumnArena:
         col = table.column(column)
         if not col.dtype.is_integer_backed:
             return None
-        key = (table.name, version, column)
+        encoded_column = None
+        if encoded:
+            try:
+                candidate = self.catalog.encodings.encoded(table, column)
+            except Exception:
+                candidate = None
+            # Point gathers over RLE would searchsorted per morsel row;
+            # only gather-friendly layouts ship encoded.
+            if candidate is not None and candidate.encoding in ("pack", "dict"):
+                encoded_column = candidate
+        key = (table.name, version, column, encoded_column is not None)
         entry = self._segments.get(key)
         if entry is not None:
             return entry[1]
-        segment, ref = share_array(col.data)
-        self._segments[key] = (segment, ref)
+        if encoded_column is not None:
+            codes_segment, codes_ref = share_array(encoded_column.codes)
+            segments: Tuple[shared_memory.SharedMemory, ...] = (codes_segment,)
+            values_ref = None
+            if encoded_column.values is not None:
+                values_segment, values_ref = share_array(encoded_column.values)
+                segments = (codes_segment, values_segment)
+            ref: object = EncodedColumnRef(
+                codes=codes_ref, values=values_ref, base=encoded_column.base
+            )
+        else:
+            segment, ref = share_array(col.data)
+            segments = (segment,)
+        self._segments[key] = (segments, ref)
         return ref
 
-    def segment_bytes(self, ref: ShmArrayRef) -> int:
+    def segment_bytes(self, ref) -> int:
         """Published bytes behind a ref (for MemoryGovernor accounting)."""
         return ref.nbytes
 
@@ -257,23 +335,25 @@ class SharedColumnArena:
     @property
     def num_segments(self) -> int:
         """Number of live published segments."""
-        return len(self._segments)
+        return sum(len(segments) for segments, _ in self._segments.values())
 
-    def published_keys(self) -> Tuple[Tuple[str, int, str], ...]:
-        """The (table, version, column) keys currently published."""
+    def published_keys(self) -> Tuple[Tuple[str, int, str, bool], ...]:
+        """The (table, version, column, encoded) keys currently published."""
         return tuple(self._segments)
 
     def invalidate_table(self, name: str) -> None:
         """Unlink every published segment of ``name`` (any version)."""
         for key in [k for k in self._segments if k[0] == name]:
-            segment, _ = self._segments.pop(key)
-            unlink_segment(segment)
+            segments, _ = self._segments.pop(key)
+            for segment in segments:
+                unlink_segment(segment)
 
     def close(self) -> None:
         """Unlink every published segment; idempotent."""
         for key in list(self._segments):
-            segment, _ = self._segments.pop(key)
-            unlink_segment(segment)
+            segments, _ = self._segments.pop(key)
+            for segment in segments:
+                unlink_segment(segment)
 
     def __del__(self) -> None:  # pragma: no cover - GC timing dependent
         try:
