@@ -16,20 +16,44 @@ be bit-identical, which the runner asserts on every run).
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
 import pytest
 
 from repro.bench import (
+    format_deadline_overhead_microbench,
     format_scaling_microbench,
     print_report,
+    run_deadline_overhead_microbench,
     run_scaling_microbench,
     write_bench_json,
 )
 
 #: Where the perf-trajectory record lands (repo root, next to ROADMAP.md).
 BENCH_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_scaling.json"
+
+
+def _merge_into_record(target: Path, measurement: dict, cores: int) -> Path:
+    """Write ``measurement`` into the scaling record, keeping other kinds.
+
+    ``BENCH_scaling.json`` holds both the backend-scaling curves and the
+    deadline-overhead measurement (discriminated by the ``"kind"`` key);
+    each test replaces only its own entry so the two can be re-recorded
+    independently.
+    """
+    kind = measurement.get("kind")
+    existing: list = []
+    if target.exists():
+        existing = json.loads(target.read_text()).get("measurements", [])
+    kept = [m for m in existing if m.get("kind") != kind]
+    return write_bench_json(
+        target,
+        name="scaling_microbench",
+        measurements=kept + [measurement],
+        metadata={"cores": cores},
+    )
 
 
 @pytest.mark.benchmark(group="scaling")
@@ -54,12 +78,7 @@ def test_process_backend_scaling_on_star_probe(benchmark, tmp_path):
         if os.environ.get("REPRO_BENCH_RECORD")
         else tmp_path / "BENCH_scaling.json"
     )
-    written = write_bench_json(
-        target,
-        name="scaling_microbench",
-        measurements=[measurement.as_dict()],
-        metadata={"cores": cores},
-    )
+    written = _merge_into_record(target, measurement.as_dict(), cores)
     assert written.exists()
 
     assert measurement.process_seconds, "sweep must measure the process backend"
@@ -75,3 +94,50 @@ def test_process_backend_scaling_on_star_probe(benchmark, tmp_path):
         )
     # Single core: no parallel win is possible; the run still proves
     # bit-identity (asserted inside the runner) and records the curves.
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_deadline_check_overhead_gate_on_star_probe(benchmark, tmp_path):
+    """Deadline/cancellation checks must cost <2% on the 1M-row star probe.
+
+    Installing a deadline switches serial kernels to chunked execution with
+    a monotonic-clock check per chunk; this gate keeps that machinery
+    effectively free.  A small absolute slack (10ms) absorbs timer noise on
+    sub-second runs where 2% is single-digit milliseconds.
+    """
+    cores = os.cpu_count() or 1
+
+    def run():
+        return run_deadline_overhead_microbench(
+            fact_rows=1 << 20,
+            num_dims=2,
+            repeats=3,
+        )
+
+    measurement = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_report(format_deadline_overhead_microbench(measurement))
+
+    target = (
+        BENCH_JSON_PATH
+        if os.environ.get("REPRO_BENCH_RECORD")
+        else tmp_path / "BENCH_scaling.json"
+    )
+    written = _merge_into_record(target, measurement.as_dict(), cores)
+    recorded = json.loads(written.read_text())["measurements"]
+    deadline_entries = [m for m in recorded if m.get("kind") == "deadline_overhead"]
+    assert len(deadline_entries) == 1
+    for field in (
+        "baseline_seconds",
+        "deadline_seconds",
+        "overhead_seconds",
+        "overhead_fraction",
+    ):
+        assert field in deadline_entries[0]
+
+    allowed = max(0.02 * measurement.baseline_seconds, 0.010)
+    assert measurement.overhead_seconds <= allowed, (
+        f"deadline checks cost {measurement.overhead_seconds * 1e3:.2f}ms "
+        f"({measurement.overhead_fraction * 100:.2f}%) on a "
+        f"{measurement.baseline_seconds * 1e3:.0f}ms probe; allowed "
+        f"{allowed * 1e3:.2f}ms"
+    )

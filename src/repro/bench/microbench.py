@@ -1021,6 +1021,135 @@ def format_scaling_microbench(measurement: ScalingMeasurement) -> str:
     return "\n".join(lines)
 
 
+@dataclass(frozen=True)
+class DeadlineOverheadMeasurement:
+    """Cost of deadline/cancellation checks on the 1M-row star probe.
+
+    The same RPT star query runs on the serial backend twice: once with no
+    deadline (kernels run whole-column, the zero-overhead configuration)
+    and once with a :class:`~repro.exec.faults.CancelToken` installed via a
+    generous ``timeout_seconds`` — which switches every long kernel to
+    chunked execution with a cancellation check per chunk.  The gap between
+    the two best-of-``repeats`` times is the full price of cancellability;
+    the CI gate asserts it stays under 2% (with a small absolute slack so
+    timer noise on sub-second runs cannot flake the gate).
+    """
+
+    fact_rows: int
+    dim_rows: int
+    num_dims: int
+    baseline_seconds: float
+    deadline_seconds: float
+
+    @property
+    def overhead_seconds(self) -> float:
+        """Absolute extra wall time with the cancel token installed."""
+        return self.deadline_seconds - self.baseline_seconds
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Relative overhead of deadline checks (negative means in-noise)."""
+        if self.baseline_seconds <= 0:
+            return 0.0
+        return self.overhead_seconds / self.baseline_seconds
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation (merged into ``BENCH_scaling.json``)."""
+        return {
+            "kind": "deadline_overhead",
+            "fact_rows": self.fact_rows,
+            "dim_rows": self.dim_rows,
+            "num_dims": self.num_dims,
+            "baseline_seconds": self.baseline_seconds,
+            "deadline_seconds": self.deadline_seconds,
+            "overhead_seconds": self.overhead_seconds,
+            "overhead_fraction": self.overhead_fraction,
+        }
+
+
+def run_deadline_overhead_microbench(
+    fact_rows: int = 1 << 20,
+    dim_rows: Optional[int] = None,
+    num_dims: int = 2,
+    seed: int = 31,
+    repeats: int = 3,
+    timeout_seconds: float = 3600.0,
+) -> DeadlineOverheadMeasurement:
+    """Measure what deadline/cancellation checks cost on the star probe.
+
+    Reuses the scaling microbenchmark's 1M-row star query on the serial
+    backend.  The deadline run sets ``timeout_seconds`` far in the future,
+    so the query never times out but pays the full cancellable-execution
+    machinery: chunked kernels plus a monotonic-clock check per chunk and
+    per morsel barrier.  Both configurations are asserted bit-identical.
+    """
+    from repro.engine.database import ExecutionOptions
+    from repro.engine.modes import ExecutionConfig, ExecutionMode
+    from repro.errors import BenchmarkError
+
+    dims = dim_rows if dim_rows is not None else fact_rows // 2
+    db, query = _transfer_database(fact_rows, dims, num_dims, seed)
+    plan = db.optimizer_plan(query)
+
+    def options(timeout: Optional[float]) -> ExecutionOptions:
+        return ExecutionOptions(
+            execution=ExecutionConfig(
+                backend="serial",
+                timeout_seconds=timeout,
+                hash_cache=False,
+                artifact_cache=False,
+            )
+        )
+
+    def best_run(timeout: Optional[float]):
+        best = None
+        seconds = float("inf")
+        for _ in range(max(repeats, 1)):
+            start = time.perf_counter()
+            result = db.execute(
+                query, mode=ExecutionMode.RPT, plan=plan, options=options(timeout)
+            )
+            elapsed = time.perf_counter() - start
+            if elapsed < seconds:
+                seconds = elapsed
+                best = result
+        return best, seconds
+
+    try:
+        baseline, baseline_s = best_run(None)
+        deadline, deadline_s = best_run(timeout_seconds)
+        if deadline.aggregates != baseline.aggregates:
+            raise BenchmarkError(
+                "deadline run diverged from the no-deadline baseline: "
+                f"{deadline.aggregates} != {baseline.aggregates}"
+            )
+    finally:
+        db.close()
+
+    return DeadlineOverheadMeasurement(
+        fact_rows=fact_rows,
+        dim_rows=dims,
+        num_dims=num_dims,
+        baseline_seconds=baseline_s,
+        deadline_seconds=deadline_s,
+    )
+
+
+def format_deadline_overhead_microbench(measurement: DeadlineOverheadMeasurement) -> str:
+    """Render the deadline-check overhead measurement."""
+    return "\n".join(
+        [
+            "Deadline/cancellation check overhead on the star-probe query (serial)",
+            f"fact rows {measurement.fact_rows}, dims {measurement.num_dims} x "
+            f"{measurement.dim_rows}",
+            f"{'no deadline':>16} {measurement.baseline_seconds:.4f}s",
+            f"{'with deadline':>16} {measurement.deadline_seconds:.4f}s",
+            f"{'overhead':>16} {measurement.overhead_seconds * 1e3:+.2f}ms "
+            f"({measurement.overhead_fraction * 100:+.2f}%)",
+        ]
+    )
+
+
 def _best_time(fn, repeats: int) -> float:
     best = float("inf")
     for _ in range(max(repeats, 1)):

@@ -42,7 +42,16 @@ from repro.core.transfer_schedule import (
     schedule_from_tree,
 )
 from repro.engine.modes import ExecutionConfig, ExecutionMode
-from repro.errors import PlanError
+from repro.errors import (
+    BackendUnavailable,
+    FaultInjected,
+    PlanError,
+    QueryCancelled,
+    QueryTimeout,
+    ReproError,
+)
+from repro.exec import faults
+from repro.exec.faults import CancelToken
 from repro.exec.hashcache import HashCache
 from repro.exec.join_phase import JoinPhaseOptions
 from repro.exec.pipeline import PipelineExecutor, PipelineOptions, make_backend
@@ -173,6 +182,10 @@ class ExecutionOptions:
     backend: Optional[str] = None
     #: Legacy shorthand for ``execution.chunk_size`` (morsel granularity).
     chunk_size: Optional[int] = None
+    #: Pre-created :class:`~repro.exec.faults.CancelToken` for cooperative
+    #: cancellation from another thread (``token.cancel()``); when ``None``
+    #: a token is created internally iff ``execution.timeout_seconds`` is set.
+    cancel: Optional[CancelToken] = None
 
     def resolved_execution(self) -> ExecutionConfig:
         """The effective :class:`ExecutionConfig` (legacy fields + env applied)."""
@@ -200,6 +213,7 @@ class Database:
         # win).  Segments are unlinked on table replace, close(), and GC.
         self._shm_arena = None
         self._shm_arena_init_lock = threading.Lock()
+        self._closed = False
 
     @property
     def artifact_cache(self) -> Optional[ArtifactCache]:
@@ -236,14 +250,38 @@ class Database:
             return self._shm_arena
 
     def close(self) -> None:
-        """Release engine-owned shared resources (shm segments); idempotent.
+        """Release engine-owned shared resources; idempotent.
 
-        Only needed when a database outlives its process-backend executions
-        and the shared-memory segments should be returned before interpreter
-        exit (an ``atexit`` hook unlinks anything still live either way).
+        Unlinks this database's shared-memory segments and drains the
+        module-shared worker-process pool (if one was ever started).  Only
+        needed when a database outlives its process-backend executions and
+        the resources should be returned before interpreter exit (``atexit``
+        hooks reclaim anything still live either way).  Executing queries
+        after ``close()`` raises :class:`~repro.errors.ReproError`.
         """
+        if self._closed:
+            return
+        self._closed = True
         if self._shm_arena is not None:
             self._shm_arena.close()
+        # Imported lazily, and only if the process backend was ever used —
+        # close() must not be the thing that first imports the worker module.
+        import sys
+
+        process_module = sys.modules.get("repro.exec.process")
+        if process_module is not None:
+            process_module.shutdown_workers()
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run."""
+        return self._closed
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ReproError(
+                "database is closed; create a new Database to execute queries"
+            )
 
     # ------------------------------------------------------------------
     # Table registration
@@ -328,19 +366,13 @@ class Database:
         if store is not None:
             from repro.expr import codespace
 
-        masks: Dict[str, np.ndarray] = {}
-        fused: Dict[str, int] = {}
-        zone_stats: Dict[str, tuple[int, int, int]] = {}
-        for ref in query.relations:
-            if ref.filter is None:
-                continue
-            table = self.catalog.table(ref.table)
+        def evaluate_alias(ref, table, active_store) -> None:
             if fuse:
                 kernel = fuse_conjunction(ref.filter)
                 if kernel is not None:
                     selection = None
-                    if store is not None:
-                        selection = codespace.block_selection(ref.filter, table, store)
+                    if active_store is not None:
+                        selection = codespace.block_selection(ref.filter, table, active_store)
                     if selection is not None:
                         mask, short_circuited = kernel.evaluate(
                             table, block_selection=selection
@@ -348,7 +380,7 @@ class Database:
                         zone_stats[ref.alias] = (
                             selection.blocks_skipped,
                             selection.num_blocks,
-                            codespace.encoded_bytes_touched(ref.filter, table, store),
+                            codespace.encoded_bytes_touched(ref.filter, table, active_store),
                         )
                     else:
                         mask, short_circuited = kernel.evaluate(table)
@@ -357,18 +389,39 @@ class Database:
                     if stats is not None:
                         stats.fused_exprs += 1
                         stats.fused_rows_short_circuited += short_circuited
-                    continue
-            if store is not None:
-                result = codespace.evaluate(ref.filter, table, store)
+                    return
+            if active_store is not None:
+                result = codespace.evaluate(ref.filter, table, active_store)
                 if result is not None:
                     masks[ref.alias] = np.asarray(result.mask, dtype=bool)
                     zone_stats[ref.alias] = (
                         result.blocks_skipped,
                         result.blocks_total,
-                        codespace.encoded_bytes_touched(ref.filter, table, store),
+                        codespace.encoded_bytes_touched(ref.filter, table, active_store),
                     )
-                    continue
+                    return
             masks[ref.alias] = np.asarray(ref.filter.evaluate(table), dtype=bool)
+
+        masks: Dict[str, np.ndarray] = {}
+        fused: Dict[str, int] = {}
+        zone_stats: Dict[str, tuple[int, int, int]] = {}
+        for ref in query.relations:
+            if ref.filter is None:
+                continue
+            table = self.catalog.table(ref.table)
+            if store is None:
+                evaluate_alias(ref, table, None)
+                continue
+            try:
+                evaluate_alias(ref, table, store)
+            except FaultInjected:
+                # The encoded representation failed to read (injected
+                # column.decode fault): degrade this alias to plain raw
+                # evaluation — the mask is bit-identical, only the block
+                # skipping and code-space kernels are lost.
+                evaluate_alias(ref, table, None)
+                if stats is not None:
+                    stats.degradations.append(f"column.decode:{ref.alias}->raw")
         return masks, fused, zone_stats
 
     def join_graph(
@@ -470,20 +523,55 @@ class Database:
         options:
             Tuning knobs; defaults follow the paper (2% FPR, pruning on).
         """
+        self._ensure_open()
         options = options or ExecutionOptions()
         stats = ExecutionStats(query_name=query.name, mode=mode.value)
+        # An explicit per-execution fault plan overrides the process-global
+        # injector for the duration of this call (the env-driven plan, when
+        # any, is restored afterwards by re-reading REPRO_FAULTS lazily).
+        scoped_faults = False
+        config_probe = options.resolved_execution()
+        if config_probe.faults is not None:
+            faults.configure(config_probe.faults)
+            scoped_faults = True
+        try:
+            return self._execute_configured(query, mode, plan, options, stats)
+        except (QueryTimeout, QueryCancelled) as error:
+            # The typed deadline/cancel errors carry the partial statistics
+            # of the aborted run.
+            error.stats = stats
+            raise
+        finally:
+            if scoped_faults:
+                faults.clear()
+
+    def _execute_configured(
+        self,
+        query: QuerySpec,
+        mode: ExecutionMode,
+        plan: Optional[JoinPlan],
+        options: ExecutionOptions,
+        stats: ExecutionStats,
+    ) -> QueryResult:
         prep = self._prepare(query, mode, plan, options, stats)
         plan, graph, schedule = prep.plan, prep.graph, prep.schedule
         join_tree, masks, physical, config = prep.join_tree, prep.masks, prep.physical, prep.config
         spill = SpillManager()
         governor = MemoryGovernor(config.memory_budget_bytes, spill_handler=spill)
-        backend = make_backend(
-            config.backend, config.chunk_size, config.num_threads, config.num_workers
-        )
+        backend = self._backend_ladder(config, stats)
+        token = options.cancel
+        if token is None and config.timeout_seconds is not None:
+            token = CancelToken(config.timeout_seconds)
+        if token is not None:
+            backend.cancel = token
         # Probe-shipping backends read base columns through the database's
         # shared-memory arena (segments persist across queries; table
         # replace and close() unlink them).
         arena = self._ensure_shm_arena() if getattr(backend, "ships_probes", False) else None
+        if arena is not None and hasattr(backend, "arena"):
+            # Crash recovery re-verifies published segments after a pool
+            # respawn (see ProcessBackend._run_morsels).
+            backend.arena = arena
         artifact_cache = None
         fingerprints = None
         table_versions = None
@@ -551,6 +639,40 @@ class Database:
             execution_config=config,
         )
 
+    #: Graceful-degradation order when a backend cannot start: process
+    #: (worker pool) falls back to parallel (thread pool), which falls back
+    #: to serial.  Results are bit-identical on every rung.
+    _BACKEND_LADDER = {"process": "parallel", "parallel": "serial"}
+
+    def _backend_ladder(self, config: ExecutionConfig, stats: ExecutionStats):
+        """Instantiate the configured backend, degrading down the ladder.
+
+        Each :class:`~repro.errors.BackendUnavailable` from
+        ``ensure_ready()`` (pool failed to start, injected ``process.pool``
+        / ``parallel.pool`` fault) steps one rung down and records
+        ``backend:<from>-><to>`` in ``stats.degradations``; serial has no
+        further rung and re-raises.
+        """
+        name = config.backend
+        while True:
+            backend = make_backend(
+                name,
+                config.chunk_size,
+                config.num_threads,
+                config.num_workers,
+                config.max_task_retries,
+            )
+            try:
+                backend.ensure_ready()
+                return backend
+            except BackendUnavailable:
+                fallback = self._BACKEND_LADDER.get(name)
+                if fallback is None:
+                    raise
+                stats.degradations.append(f"backend:{name}->{fallback}")
+                backend.close()
+                name = fallback
+
     # ------------------------------------------------------------------
     # EXPLAIN and the SQL front end
     # ------------------------------------------------------------------
@@ -568,6 +690,7 @@ class Database:
         and returns an :class:`ExplainResult` whose stats carry one zero-cost
         entry per compiled op, so the usual trace renderers work on it.
         """
+        self._ensure_open()
         options = options or ExecutionOptions()
         stats = ExecutionStats(query_name=query.name, mode=mode.value)
         prep = self._prepare(query, mode, plan, options, stats)
@@ -612,6 +735,7 @@ class Database:
         ``name`` overrides the query name; otherwise a ``-- name:`` comment
         directive in the text is used.
         """
+        self._ensure_open()
         compiled = compile_statement(text, self.catalog, name=name)
         if compiled.explain:
             return self.explain(compiled.query, mode=mode, plan=plan, options=options)

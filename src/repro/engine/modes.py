@@ -101,6 +101,13 @@ ENV_ADAPTIVE_MIN_YIELD = "REPRO_ADAPTIVE_MIN_YIELD"
 ENV_NDV_SIZING = "REPRO_NDV_SIZING"
 ENV_BITMAP_DOWNGRADE = "REPRO_BITMAP_DOWNGRADE"
 ENV_ENCODINGS = "REPRO_ENCODINGS"
+ENV_TIMEOUT_SECONDS = "REPRO_TIMEOUT_SECONDS"
+ENV_MAX_TASK_RETRIES = "REPRO_MAX_TASK_RETRIES"
+ENV_FAULTS = "REPRO_FAULTS"
+
+#: Pool-respawn attempts per morsel before the process backend falls back to
+#: executing the remaining morsels inline.
+DEFAULT_MAX_TASK_RETRIES = 2
 
 
 def _env_flag(name: str) -> Optional[bool]:
@@ -174,6 +181,18 @@ class ExecutionConfig:
       blocks, string predicates are rewritten into dictionary code space,
       and the process backend ships the *encoded* buffers through shared
       memory (default off; bit-identical either way).
+    * ``timeout_seconds`` — query deadline: a
+      :class:`~repro.exec.faults.CancelToken` is checked at morsel-gather
+      barriers and at chunk granularity inside long kernels; expiry raises
+      :class:`~repro.errors.QueryTimeout` carrying the partial stats
+      (``None``: no deadline).
+    * ``max_task_retries`` — pool-respawn attempts per morsel after a worker
+      crash before the process backend executes the remaining morsels inline
+      (bit-identical either way).
+    * ``faults`` — deterministic fault-injection spec
+      (``"seed:1234,rate:0.05[,sites:a|b][,latency:s]"``), see
+      ``exec/faults.py``; ``None`` leaves the ``REPRO_FAULTS`` environment
+      configuration in place.
 
     Unset knobs (``backend=None`` etc.) resolve from ``REPRO_*`` environment
     variables, then defaults — see :meth:`resolved`.
@@ -196,6 +215,9 @@ class ExecutionConfig:
     bitmap_downgrade: Optional[bool] = None
     fuse_filters: Optional[bool] = None
     encodings: Optional[bool] = None
+    timeout_seconds: Optional[float] = None
+    max_task_retries: Optional[int] = None
+    faults: Optional[str] = None
 
     def resolved(self) -> "ExecutionConfig":
         """This config with unset knobs filled from the environment / defaults."""
@@ -264,6 +286,16 @@ class ExecutionConfig:
             encodings = _env_flag(ENV_ENCODINGS)
         if encodings is None:
             encodings = False
+        timeout_seconds = self.timeout_seconds
+        if timeout_seconds is None and os.environ.get(ENV_TIMEOUT_SECONDS):
+            timeout_seconds = float(os.environ[ENV_TIMEOUT_SECONDS])
+        max_task_retries = self.max_task_retries
+        if max_task_retries is None and os.environ.get(ENV_MAX_TASK_RETRIES):
+            max_task_retries = int(os.environ[ENV_MAX_TASK_RETRIES])
+        if max_task_retries is None:
+            max_task_retries = DEFAULT_MAX_TASK_RETRIES
+        # ``faults`` stays None unless set explicitly: the injector consults
+        # REPRO_FAULTS itself, and None means "don't override it".
         return ExecutionConfig(
             backend=backend,
             num_threads=num_threads,
@@ -282,4 +314,7 @@ class ExecutionConfig:
             bitmap_downgrade=bitmap_downgrade,
             fuse_filters=fuse_filters,
             encodings=encodings,
+            timeout_seconds=timeout_seconds,
+            max_task_retries=max_task_retries,
+            faults=self.faults,
         )

@@ -28,6 +28,56 @@ class ExecutionError(ReproError):
     """A runtime failure while executing a physical plan."""
 
 
+class QueryTimeout(ReproError):
+    """A query exceeded its ``timeout_seconds`` deadline.
+
+    Carries the partial :class:`~repro.exec.statistics.ExecutionStats`
+    accumulated up to the point of expiry in ``stats`` (``None`` when the
+    deadline fired before any statistics existed).
+    """
+
+    def __init__(self, message: str, stats: "object | None" = None) -> None:
+        self.stats = stats
+        super().__init__(message)
+
+
+class QueryCancelled(ReproError):
+    """A query was cancelled through its :class:`~repro.exec.faults.CancelToken`.
+
+    Like :class:`QueryTimeout`, carries the partial execution statistics in
+    ``stats`` when available.
+    """
+
+    def __init__(self, message: str, stats: "object | None" = None) -> None:
+        self.stats = stats
+        super().__init__(message)
+
+
+class BackendUnavailable(ExecutionError):
+    """An execution backend could not be brought up (e.g. pool start failed).
+
+    ``Database.execute`` catches this and walks the degradation ladder
+    (process → parallel → serial) instead of failing the query.
+    """
+
+
+class MemoryExhausted(ExecutionError):
+    """The memory governor could not reserve working memory within budget.
+
+    The executor catches this once per reservation, synchronously spills
+    every evictable reservation, and retries before giving up.
+    """
+
+
+class FaultInjected(ExecutionError):
+    """A deterministic fault fired at an injection site (see ``exec/faults.py``).
+
+    Raised only when no recovery path exists for the site; recoverable sites
+    (worker crashes, transient shm errors, spill failures) are translated
+    into their real-world failure shapes instead.
+    """
+
+
 class OptimizerError(ReproError):
     """The optimizer could not produce a plan for the given query."""
 

@@ -28,14 +28,21 @@ replay would need.  Kernel-level callers that do hold a precomputed pass
 can still feed it straight to :func:`~repro.exec.kernels.radix_partition`
 (``hashes=``) and :class:`~repro.exec.kernels.PartitionedHashIndex`.
 
-Entries are keyed by the identity of the underlying NumPy buffers (strong
-references are held, so ids stay stable) plus the column's *encoding
-token* (``"raw"`` unless block encodings are active), which makes
-self-joins — several aliases over one table — share a single pass per
-column while keeping a pass recorded over raw buffers from aliasing one
-recorded under an encoded representation of the same column.  The cache
-is populated and read only from the executor's coordinator thread (morsel
-worker threads receive already-gathered slices), so it needs no locking.
+Entries are keyed by a *weakref-tracked token* of the underlying NumPy
+buffers plus the column's *encoding token* (``"raw"`` unless block
+encodings are active), which makes self-joins — several aliases over one
+table — share a single pass per column while keeping a pass recorded over
+raw buffers from aliasing one recorded under an encoded representation of
+the same column.  Raw ``id()`` keys would be unsound here: CPython reuses
+addresses, so a selection array allocated after a superseded one is
+collected can receive the dead array's ``id`` and silently alias its
+cached pass.  :class:`_ArrayTokens` hands out monotonically increasing
+tokens that are retired (never reissued) when their array dies, so a
+recycled address can never resurrect a stale entry — and the cache no
+longer needs to pin superseded ``row_indices`` arrays alive just to keep
+their ids stable.  The cache is populated and read only from the
+executor's coordinator thread (morsel worker threads receive
+already-gathered slices), so it needs no locking.
 
 ``hits`` counts pass reuses (a whole hashing pass skipped), ``misses``
 fresh passes computed; they feed the per-op cache counters in
@@ -44,6 +51,7 @@ fresh passes computed; they feed the per-op cache counters in
 
 from __future__ import annotations
 
+import weakref
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -56,6 +64,45 @@ from repro.storage.table import Table
 BloomPass = Tuple[np.ndarray, np.ndarray]
 
 
+class _ArrayTokens:
+    """Stable identity tokens for NumPy arrays, safe against ``id()`` reuse.
+
+    ``token(array)`` returns the same integer for the same live array and a
+    *fresh* integer for any array first seen later — even one allocated at a
+    recycled address.  A weakref callback retires the mapping when the array
+    dies, and tokens count monotonically upward, so a dead array's token is
+    never reissued.  This is what makes it sound to key cache entries by
+    array identity without holding the arrays alive.
+    """
+
+    __slots__ = ("_by_id", "_next")
+
+    def __init__(self) -> None:
+        # id(array) -> (weakref, token); the id is only a lookup accelerator,
+        # the weakref decides whether the mapping still describes this array.
+        self._by_id: Dict[int, Tuple[weakref.ref, int]] = {}
+        self._next = 0
+
+    def token(self, array: np.ndarray) -> int:
+        key = id(array)
+        entry = self._by_id.get(key)
+        if entry is not None and entry[0]() is array:
+            return entry[1]
+        token = self._next
+        self._next += 1
+
+        def _retire(ref: weakref.ref, *, _key: int = key, _self: "_ArrayTokens" = self) -> None:
+            current = _self._by_id.get(_key)
+            if current is not None and current[0] is ref:
+                del _self._by_id[_key]
+
+        self._by_id[key] = (weakref.ref(array, _retire), token)
+        return token
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+
 class HashCache:
     """Memoized per-column / per-selection hashing passes for one query."""
 
@@ -65,13 +112,15 @@ class HashCache:
     SELECTION_PASSES_PER_COLUMN = 2
 
     def __init__(self) -> None:
-        # (id(column data), encoding token) -> (data ref, hashes, patterns)
-        self._full: Dict[Tuple[int, str], Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
-        # (id(column data), encoding token) -> most-recent-first list of
-        # (data ref, row_indices ref, hashes, patterns); the refs keep both
-        # ids stable.
+        self._tokens = _ArrayTokens()
+        # (column-data token, encoding token) -> (hashes, patterns)
+        self._full: Dict[Tuple[int, str], Tuple[np.ndarray, np.ndarray]] = {}
+        # (column-data token, encoding token) -> most-recent-first list of
+        # (row_indices token, hashes, patterns).  No strong reference to the
+        # selection array: its *token* is what can never alias, so a
+        # superseded ``row_indices`` is free to be collected.
         self._selection: Dict[
-            Tuple[int, str], List[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]
+            Tuple[int, str], List[Tuple[int, np.ndarray, np.ndarray]]
         ] = {}
         self.hits = 0
         self.misses = 0
@@ -85,14 +134,14 @@ class HashCache:
         Computed on first request, replayed on every later one.
         """
         data = self._key_data(table, column)
-        entry = self._full.get((id(data), encoding))
-        if entry is not None and entry[0] is data:
+        entry = self._full.get((self._tokens.token(data), encoding))
+        if entry is not None:
             self.hits += 1
-            return entry[1], entry[2]
+            return entry
         self.misses += 1
         hashes = hash_keys(data)
         patterns = key_patterns(hashes)
-        self._full[(id(data), encoding)] = (data, hashes, patterns)
+        self._full[(self._tokens.token(data), encoding)] = (hashes, patterns)
         return hashes, patterns
 
     def peek_bloom_pass(
@@ -100,10 +149,7 @@ class HashCache:
     ) -> Optional[BloomPass]:
         """An already-computed full-column pass, or None (never computes)."""
         data = self._key_data(table, column)
-        entry = self._full.get((id(data), encoding))
-        if entry is not None and entry[0] is data:
-            return entry[1], entry[2]
-        return None
+        return self._full.get((self._tokens.token(data), encoding))
 
     def adopt_full_pass(
         self, table: Table, column: str, bloom_pass: BloomPass, encoding: str = "raw"
@@ -115,7 +161,7 @@ class HashCache:
         artifact cache's own counters record the reuse).
         """
         data = self._key_data(table, column)
-        self._full[(id(data), encoding)] = (data, bloom_pass[0], bloom_pass[1])
+        self._full[(self._tokens.token(data), encoding)] = (bloom_pass[0], bloom_pass[1])
 
     # ------------------------------------------------------------------
     # Per-selection passes
@@ -125,15 +171,17 @@ class HashCache:
     ) -> Optional[BloomPass]:
         """A cached pass over exactly this selection of the column, or None.
 
-        The selection is identified by the ``row_indices`` array *object* —
-        every in-place reduction replaces it, so a stale pass can never be
+        The selection is identified by the ``row_indices`` array's identity
+        *token* — every in-place reduction replaces the array (and a dead
+        array's token is never reissued), so a stale pass can never be
         returned for a changed selection.
         """
         data = self._key_data(table, column)
-        for entry in self._selection.get((id(data), encoding), ()):
-            if entry[0] is data and entry[1] is row_indices:
+        row_token = self._tokens.token(row_indices)
+        for entry in self._selection.get((self._tokens.token(data), encoding), ()):
+            if entry[0] == row_token:
                 self.hits += 1
-                return entry[2], entry[3]
+                return entry[1], entry[2]
         return None
 
     def store_selection_pass(
@@ -153,9 +201,10 @@ class HashCache:
         states do not pile up over a long transfer phase.
         """
         data = self._key_data(table, column)
-        entries = self._selection.setdefault((id(data), encoding), [])
-        entries[:] = [e for e in entries if e[1] is not row_indices]
-        entries.insert(0, (data, row_indices, bloom_pass[0], bloom_pass[1]))
+        row_token = self._tokens.token(row_indices)
+        entries = self._selection.setdefault((self._tokens.token(data), encoding), [])
+        entries[:] = [e for e in entries if e[0] != row_token]
+        entries.insert(0, (row_token, bloom_pass[0], bloom_pass[1]))
         del entries[self.SELECTION_PASSES_PER_COLUMN :]
 
     # ------------------------------------------------------------------
@@ -175,10 +224,10 @@ class HashCache:
     def nbytes(self) -> int:
         """Bytes held by the cached hash arrays (excluding the column data)."""
         total = 0
-        for _, hashes, patterns in self._full.values():
+        for hashes, patterns in self._full.values():
             total += int(hashes.nbytes) + int(patterns.nbytes)
         for entries in self._selection.values():
-            for _, _, hashes, patterns in entries:
+            for _, hashes, patterns in entries:
                 total += int(hashes.nbytes) + int(patterns.nbytes)
         return total
 

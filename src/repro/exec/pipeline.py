@@ -61,9 +61,11 @@ from repro.bloom.bloom_filter import (
 )
 from repro.bloom.registry import BloomFilterRegistry, FilterKey
 from repro.core.join_graph import JoinGraph
-from repro.errors import CatalogError, ExecutionError
+from repro.errors import BackendUnavailable, CatalogError, ExecutionError, MemoryExhausted
+from repro.exec import faults
 from repro.exec.adaptive import DEFAULT_MIN_YIELD, AdaptiveTransferController
 from repro.exec.chunk import DEFAULT_CHUNK_SIZE
+from repro.exec.faults import CancelToken
 from repro.exec.kernels import (
     HashIndex,
     JoinMatches,
@@ -73,7 +75,7 @@ from repro.exec.kernels import (
     hash_probe_cost,
 )
 from repro.exec.hashcache import HashCache
-from repro.exec.parallel import ParallelismModel
+from repro.exec.parallel import ParallelismModel, gather_in_order
 from repro.exec.relation import BoundRelation, IntermediateResult
 from repro.exec.statistics import ExecutionStats, JoinStepStats, OpStats, TransferStepStats
 from repro.plan.physical import (
@@ -165,6 +167,23 @@ class ExecutionBackend:
 
     def __init__(self) -> None:
         self.tasks_dispatched = 0
+        #: Cooperative cancellation token installed by the engine for the
+        #: current query (None: no deadline, no cancel).  Checked at morsel
+        #: gather barriers and at chunk granularity inside long kernels.
+        self.cancel: Optional[CancelToken] = None
+
+    def ensure_ready(self) -> None:
+        """Bring up backend resources (worker pools) before the first op.
+
+        Raises :class:`~repro.errors.BackendUnavailable` when the backend
+        cannot start — the engine's degradation ladder catches that and
+        falls back to the next backend down.  The default backend needs no
+        resources.
+        """
+
+    def _check_cancel(self) -> None:
+        if self.cancel is not None:
+            self.cancel.check()
 
     def probe_mask(self, keys: ProbeInput, probe_fn, prepare=None) -> np.ndarray:
         """Evaluate ``probe_fn`` (probe input -> boolean mask) over ``keys``.
@@ -195,16 +214,57 @@ class ExecutionBackend:
         """Release backend resources (worker pools); idempotent."""
 
 
+#: Rows per cancellation check inside the serial backend's kernels when a
+#: cancel token is installed.  Large enough that the chunking cost is noise
+#: (the probe kernels are elementwise, so results stay bit-identical), small
+#: enough that a deadline is honored promptly on big columns.
+SERIAL_CANCEL_CHUNK = 1 << 18
+
+
 class SerialBackend(ExecutionBackend):
-    """Whole-column execution: one vectorized kernel call per probe."""
+    """Whole-column execution: one vectorized kernel call per probe.
+
+    With a cancel token installed, long kernels run at
+    :data:`SERIAL_CANCEL_CHUNK` granularity with the token checked between
+    chunks — the probe kernels are elementwise and the match chunking applies
+    the chunked backend's offset correction, so results are bit-identical to
+    the single-call path.
+    """
 
     name = "serial"
 
     def probe_mask(self, keys: ProbeInput, probe_fn, prepare=None) -> np.ndarray:
-        return probe_fn(keys)
+        if self.cancel is None:
+            return probe_fn(keys)
+        keys = _as_probe_input(keys)
+        total = _probe_rows(keys)
+        self._check_cancel()
+        if total <= SERIAL_CANCEL_CHUNK:
+            return probe_fn(keys)
+        parts = []
+        for start in range(0, total, SERIAL_CANCEL_CHUNK):
+            self._check_cancel()
+            parts.append(probe_fn(_slice_probe_input(keys, start, start + SERIAL_CANCEL_CHUNK)))
+        return np.concatenate(parts)
 
     def match(self, probe_keys: np.ndarray, index: HashIndex) -> JoinMatches:
-        return index.match(probe_keys)
+        if self.cancel is None:
+            return index.match(probe_keys)
+        probe_keys = np.asarray(probe_keys)
+        self._check_cancel()
+        if probe_keys.shape[0] <= SERIAL_CANCEL_CHUNK:
+            return index.match(probe_keys)
+        probe_parts: List[np.ndarray] = []
+        build_parts: List[np.ndarray] = []
+        for start in range(0, probe_keys.shape[0], SERIAL_CANCEL_CHUNK):
+            self._check_cancel()
+            matches = index.match(probe_keys[start : start + SERIAL_CANCEL_CHUNK])
+            probe_parts.append(matches.probe_indices + start)
+            build_parts.append(matches.build_indices)
+        return JoinMatches(
+            probe_indices=np.concatenate(probe_parts),
+            build_indices=np.concatenate(build_parts),
+        )
 
 
 class ChunkedBackend(ExecutionBackend):
@@ -242,25 +302,28 @@ class ChunkedBackend(ExecutionBackend):
         keys = _as_probe_input(keys)
         total = _probe_rows(keys)
         self._account(total)
+        self._check_cancel()
         if total <= self.chunk_size:
             self.tasks_dispatched += 1
             return probe_fn(keys)
-        parts = [
-            probe_fn(_slice_probe_input(keys, start, start + self.chunk_size))
-            for start in range(0, total, self.chunk_size)
-        ]
+        parts = []
+        for start in range(0, total, self.chunk_size):
+            self._check_cancel()
+            parts.append(probe_fn(_slice_probe_input(keys, start, start + self.chunk_size)))
         self.tasks_dispatched += len(parts)
         return np.concatenate(parts)
 
     def match(self, probe_keys: np.ndarray, index: HashIndex) -> JoinMatches:
         probe_keys = np.asarray(probe_keys)
         self._account(int(probe_keys.shape[0]))
+        self._check_cancel()
         if probe_keys.shape[0] <= self.chunk_size:
             self.tasks_dispatched += 1
             return index.match(probe_keys)
         probe_parts: List[np.ndarray] = []
         build_parts: List[np.ndarray] = []
         for start in range(0, probe_keys.shape[0], self.chunk_size):
+            self._check_cancel()
             matches = index.match(probe_keys[start : start + self.chunk_size])
             probe_parts.append(matches.probe_indices + start)
             build_parts.append(matches.build_indices)
@@ -305,19 +368,30 @@ class ParallelBackend(ExecutionBackend):
 
     def _pool_instance(self) -> ThreadPoolExecutor:
         if self._pool is None:
+            faults.fire("parallel.pool", "injected thread-pool start failure")
             self._pool = ThreadPoolExecutor(
                 max_workers=self.num_threads, thread_name_prefix="repro-morsel"
             )
         return self._pool
 
+    def ensure_ready(self) -> None:
+        try:
+            self._pool_instance()
+        except Exception as error:
+            raise BackendUnavailable(f"thread pool unavailable: {error}") from error
+
     def map_tasks(self, tasks: Sequence[Callable[[], object]]) -> List[object]:
         tasks = list(tasks)
         self.tasks_dispatched += len(tasks)
         if len(tasks) <= 1 or self.num_threads == 1:
-            return [task() for task in tasks]
+            results = []
+            for task in tasks:
+                self._check_cancel()
+                results.append(task())
+            return results
         pool = self._pool_instance()
         futures = [pool.submit(task) for task in tasks]
-        return [future.result() for future in futures]
+        return gather_in_order(futures, self.cancel)
 
     def _morsels(self, total_rows: int) -> List[Tuple[int, int]]:
         return [
@@ -384,6 +458,7 @@ def make_backend(
     chunk_size: Optional[int] = None,
     num_threads: Optional[int] = None,
     num_workers: Optional[int] = None,
+    max_task_retries: Optional[int] = None,
 ) -> ExecutionBackend:
     """Instantiate a backend by name (``"serial"``, ``"chunked"``, ``"parallel"``,
     or ``"process"``).
@@ -393,7 +468,8 @@ def make_backend(
     the larger :data:`DEFAULT_MORSEL_SIZE` for the parallel one, the larger
     still :data:`~repro.exec.process.DEFAULT_PROCESS_MORSEL_SIZE` for the
     process one).  ``num_threads`` configures the thread backend,
-    ``num_workers`` the process backend.
+    ``num_workers`` and ``max_task_retries`` (crash-recovery rounds before
+    the inline fallback) the process backend.
     """
     if name == "serial":
         return SerialBackend()
@@ -409,11 +485,18 @@ def make_backend(
     if name == "process":
         # Imported lazily: repro.exec.process subclasses ExecutionBackend,
         # so a top-level import here would be circular.
-        from repro.exec.process import DEFAULT_PROCESS_MORSEL_SIZE, ProcessBackend
+        from repro.exec.process import (
+            DEFAULT_MAX_TASK_RETRIES,
+            DEFAULT_PROCESS_MORSEL_SIZE,
+            ProcessBackend,
+        )
 
         return ProcessBackend(
             num_workers=num_workers,
             morsel_size=DEFAULT_PROCESS_MORSEL_SIZE if chunk_size is None else chunk_size,
+            max_task_retries=(
+                DEFAULT_MAX_TASK_RETRIES if max_task_retries is None else max_task_retries
+            ),
         )
     raise ExecutionError(
         f"unknown pipeline backend {name!r}; "
@@ -650,6 +733,8 @@ class PipelineExecutor:
         self._op_blocks_skipped = 0
         self._op_blocks_total = 0
         self._op_encoded_bytes = 0
+        self._op_degraded = ""
+        self._stats = stats
 
         base_simulated = getattr(self.backend, "simulated_cost", 0.0)
         base_shm = getattr(self.backend, "shm_bytes_mapped", 0)
@@ -660,92 +745,137 @@ class PipelineExecutor:
             base_spill_events = governor.spill_events
             base_spilled = governor.spilled_bytes
             base_reloaded = governor.reloaded_bytes
-        for index, op in enumerate(plan):
-            phase = _PHASE_BY_KIND.get(op.kind, "join")
-            if getattr(op, "scope", None) == SCOPE_JOIN:
-                phase = "join"
-            tasks_before = self.backend.tasks_dispatched
-            spilled_before = governor.spilled_bytes if governor is not None else 0
-            hash_hits_before = self.hash_cache.hits if self.hash_cache is not None else 0
-            hash_misses_before = self.hash_cache.misses if self.hash_cache is not None else 0
-            selvec_before = self._selvec_rows
-            artifact_hits_before = self._artifact_hits
-            artifact_misses_before = self._artifact_misses
-            shm_before = self._shm_bytes + getattr(self.backend, "shm_bytes_mapped", 0)
-            self._op_index = index
-            self._op_adaptive_skip = False
-            self._op_bytes_saved = 0
-            self._op_downgraded = False
-            self._op_fused_rows = -1
-            self._op_blocks_skipped = 0
-            self._op_blocks_total = 0
-            self._op_encoded_bytes = 0
-            start = time.perf_counter()
-            rows_in, rows_out, skipped = self._dispatch(op, stats)
-            elapsed = time.perf_counter() - start
-            setattr(stats.timings, phase, getattr(stats.timings, phase) + elapsed)
-            if governor is not None and self.hash_cache is not None:
-                # The cached hash/pattern arrays are real memory; keep their
-                # reservation current — inside this op's spill-sampling
-                # window, so spills it forces are attributed to the op that
-                # grew the cache.  Non-evictable: the cache cannot be
-                # spilled, only released at the end of the run.
-                governor.reserve("hash_cache", self.hash_cache.nbytes, evictable=False)
-            stats.op_stats.append(
-                OpStats(
-                    index=index,
-                    kind=op.kind,
-                    detail=op.describe(),
-                    rows_in=rows_in,
-                    rows_out=rows_out,
-                    seconds=elapsed,
-                    skipped=skipped,
-                    morsels=self.backend.tasks_dispatched - tasks_before,
-                    spilled_bytes=(
-                        governor.spilled_bytes - spilled_before if governor is not None else 0
-                    ),
-                    hash_hits=(
-                        self.hash_cache.hits - hash_hits_before
-                        if self.hash_cache is not None
-                        else 0
-                    ),
-                    hash_misses=(
-                        self.hash_cache.misses - hash_misses_before
-                        if self.hash_cache is not None
-                        else 0
-                    ),
-                    selvec_rows=self._selvec_rows - selvec_before,
-                    artifact_hits=self._artifact_hits - artifact_hits_before,
-                    artifact_misses=self._artifact_misses - artifact_misses_before,
-                    adaptive_skipped=self._op_adaptive_skip,
-                    filter_bytes_saved=self._op_bytes_saved,
-                    downgraded_exact=self._op_downgraded,
-                    fused_expr=self._op_fused_rows >= 0,
-                    fused_rows_short_circuited=max(self._op_fused_rows, 0),
-                    blocks_skipped=self._op_blocks_skipped,
-                    blocks_total=self._op_blocks_total,
-                    encoded_bytes=self._op_encoded_bytes,
-                    shm_bytes=(
-                        self._shm_bytes
-                        + getattr(self.backend, "shm_bytes_mapped", 0)
-                        - shm_before
-                    ),
+            base_spill_failures = governor.spill_failures
+        cancel = getattr(self.backend, "cancel", None)
+        try:
+            for index, op in enumerate(plan):
+                if cancel is not None:
+                    cancel.check()
+                delay = faults.injected_latency()
+                if delay:
+                    # Injected operator latency: deterministic wall-time
+                    # inflation, the lever the timeout tests pull.
+                    time.sleep(delay)
+                phase = _PHASE_BY_KIND.get(op.kind, "join")
+                if getattr(op, "scope", None) == SCOPE_JOIN:
+                    phase = "join"
+                tasks_before = self.backend.tasks_dispatched
+                spilled_before = governor.spilled_bytes if governor is not None else 0
+                hash_hits_before = self.hash_cache.hits if self.hash_cache is not None else 0
+                hash_misses_before = self.hash_cache.misses if self.hash_cache is not None else 0
+                selvec_before = self._selvec_rows
+                artifact_hits_before = self._artifact_hits
+                artifact_misses_before = self._artifact_misses
+                shm_before = self._shm_bytes + getattr(self.backend, "shm_bytes_mapped", 0)
+                crashes_before = getattr(self.backend, "worker_crashes", 0)
+                retries_before = getattr(self.backend, "tasks_retried", 0)
+                inline_before = getattr(self.backend, "inline_morsels", 0)
+                self._op_index = index
+                self._op_adaptive_skip = False
+                self._op_bytes_saved = 0
+                self._op_downgraded = False
+                self._op_fused_rows = -1
+                self._op_blocks_skipped = 0
+                self._op_blocks_total = 0
+                self._op_encoded_bytes = 0
+                self._op_degraded = ""
+                start = time.perf_counter()
+                rows_in, rows_out, skipped = self._dispatch(op, stats)
+                elapsed = time.perf_counter() - start
+                setattr(stats.timings, phase, getattr(stats.timings, phase) + elapsed)
+                if governor is not None and self.hash_cache is not None:
+                    # The cached hash/pattern arrays are real memory; keep their
+                    # reservation current — inside this op's spill-sampling
+                    # window, so spills it forces are attributed to the op that
+                    # grew the cache.  Non-evictable: the cache cannot be
+                    # spilled, only released at the end of the run.
+                    self._governed_reserve("hash_cache", self.hash_cache.nbytes, evictable=False)
+                op_crashes = getattr(self.backend, "worker_crashes", 0) - crashes_before
+                op_retries = getattr(self.backend, "tasks_retried", 0) - retries_before
+                op_inline = getattr(self.backend, "inline_morsels", 0) - inline_before
+                if op_inline and not self._op_degraded:
+                    self._op_degraded = "process:inline-fallback"
+                    stats.degradations.append("process:inline-fallback")
+                stats.op_stats.append(
+                    OpStats(
+                        index=index,
+                        kind=op.kind,
+                        detail=op.describe(),
+                        rows_in=rows_in,
+                        rows_out=rows_out,
+                        seconds=elapsed,
+                        skipped=skipped,
+                        morsels=self.backend.tasks_dispatched - tasks_before,
+                        spilled_bytes=(
+                            governor.spilled_bytes - spilled_before if governor is not None else 0
+                        ),
+                        hash_hits=(
+                            self.hash_cache.hits - hash_hits_before
+                            if self.hash_cache is not None
+                            else 0
+                        ),
+                        hash_misses=(
+                            self.hash_cache.misses - hash_misses_before
+                            if self.hash_cache is not None
+                            else 0
+                        ),
+                        selvec_rows=self._selvec_rows - selvec_before,
+                        artifact_hits=self._artifact_hits - artifact_hits_before,
+                        artifact_misses=self._artifact_misses - artifact_misses_before,
+                        adaptive_skipped=self._op_adaptive_skip,
+                        filter_bytes_saved=self._op_bytes_saved,
+                        downgraded_exact=self._op_downgraded,
+                        fused_expr=self._op_fused_rows >= 0,
+                        fused_rows_short_circuited=max(self._op_fused_rows, 0),
+                        blocks_skipped=self._op_blocks_skipped,
+                        blocks_total=self._op_blocks_total,
+                        encoded_bytes=self._op_encoded_bytes,
+                        shm_bytes=(
+                            self._shm_bytes
+                            + getattr(self.backend, "shm_bytes_mapped", 0)
+                            - shm_before
+                        ),
+                        degraded=self._op_degraded,
+                        worker_crashes=op_crashes,
+                        tasks_retried=op_retries,
+                        inline_morsels=op_inline,
+                    )
                 )
-            )
-            if self._op_bytes_saved:
-                stats.adaptive_filter_bytes_saved += self._op_bytes_saved
-            if self._op_blocks_total:
-                stats.zone_blocks_skipped += self._op_blocks_skipped
-                stats.zone_blocks_total += self._op_blocks_total
-            if self._op_encoded_bytes:
-                stats.encoded_bytes_touched += self._op_encoded_bytes
+                if self._op_bytes_saved:
+                    stats.adaptive_filter_bytes_saved += self._op_bytes_saved
+                if self._op_blocks_total:
+                    stats.zone_blocks_skipped += self._op_blocks_skipped
+                    stats.zone_blocks_total += self._op_blocks_total
+                if self._op_encoded_bytes:
+                    stats.encoded_bytes_touched += self._op_encoded_bytes
+                if op_crashes:
+                    stats.worker_crashes += op_crashes
+                if op_retries:
+                    stats.tasks_retried += op_retries
+                if op_inline:
+                    stats.inline_fallback_morsels += op_inline
 
-        if finalize_root is not None and self._final is None:
-            with stats.time_phase("join"):
-                final = self._materialize(finalize_root)
-                final = self._apply_ready_predicates(final, force_all=True)
-            stats.output_rows = final.num_rows
-            self._final = final
+            if finalize_root is not None and self._final is None:
+                if cancel is not None:
+                    cancel.check()
+                with stats.time_phase("join"):
+                    final = self._materialize(finalize_root)
+                    final = self._apply_ready_predicates(final, force_all=True)
+                stats.output_rows = final.num_rows
+                self._final = final
+        except BaseException:
+            # Any exit path — injected fault, timeout, cancellation, genuine
+            # error — must leave zero outstanding reservations: the governor
+            # outlives this run only inside Database.execute's accounting,
+            # and the leak guard asserts it is empty afterwards.
+            if governor is not None:
+                stats.peak_memory_bytes = max(
+                    stats.peak_memory_bytes, governor.peak_reserved_bytes
+                )
+                governor.release_all()
+            self._artifact_reserved.clear()
+            self._shm_reserved.clear()
+            raise
 
         simulated = getattr(self.backend, "simulated_cost", 0.0) - base_simulated
         if simulated:
@@ -755,6 +885,7 @@ class PipelineExecutor:
             stats.spill_events += governor.spill_events - base_spill_events
             stats.spilled_bytes += governor.spilled_bytes - base_spilled
             stats.reloaded_bytes += governor.reloaded_bytes - base_reloaded
+            stats.spill_failures += governor.spill_failures - base_spill_failures
         if self.hash_cache is not None:
             stats.hash_reuse_hits += self.hash_cache.hits - base_hash_hits
             stats.hash_reuse_misses += self.hash_cache.misses - base_hash_misses
@@ -1414,13 +1545,35 @@ class PipelineExecutor:
                 return None
         return version
 
+    def _governed_reserve(self, key: str, size_bytes: int, evictable: bool = True) -> None:
+        """Reserve through the governor with the spill-then-retry rung.
+
+        A failed reservation (:class:`~repro.errors.MemoryExhausted`, genuine
+        or injected) no longer aborts the op: every evictable reservation is
+        synchronously spilled and the reservation retried once — recorded as
+        the ``governor:spill-retry`` degradation.  Only a retry failure
+        propagates.
+        """
+        if self.governor is None:
+            return
+        try:
+            self.governor.reserve(key, size_bytes, evictable=evictable)
+        except MemoryExhausted:
+            self.governor.spill_evictables()
+            self.governor.reserve(key, size_bytes, evictable=evictable, inject=False)
+            if not self._op_degraded:
+                self._op_degraded = "governor:spill-retry"
+            stats = getattr(self, "_stats", None)
+            if stats is not None:
+                stats.degradations.append("governor:spill-retry")
+
     def _charge_artifact(self, key: ArtifactKey, size_bytes: int) -> None:
         """Account a touched artifact's residency against the run's governor."""
         if self.governor is None:
             return
         reservation = f"artifact:{key.kind}:{key.table}:{key.column}:{key.fingerprint[:12]}"
         if reservation not in self._artifact_reserved:
-            self.governor.reserve(reservation, size_bytes, evictable=False)
+            self._governed_reserve(reservation, size_bytes, evictable=False)
             self._artifact_reserved.append(reservation)
 
     # -- shared-memory probe inputs -------------------------------------
@@ -1439,7 +1592,12 @@ class PipelineExecutor:
             and getattr(self.backend, "ships_probes", False)
             and relation.num_rows > getattr(self.backend, "morsel_size", 0)
         ):
-            ref = self.arena.column_ref(relation.table, column, encoded=self.encodings)
+            try:
+                ref = self.arena.column_ref(relation.table, column, encoded=self.encodings)
+            except ExecutionError:
+                # Publishing failed (e.g. an injected shm.share fault): fall
+                # back to the eager gather — same mask, no shared memory.
+                ref = None
             if ref is not None:
                 self._charge_shm(ref)
                 if hasattr(ref, "codes"):
@@ -1459,7 +1617,7 @@ class PipelineExecutor:
         self._shm_bytes += ref.nbytes
         if self.governor is not None:
             reservation = f"shm:{ref.name}"
-            self.governor.reserve(reservation, ref.nbytes, evictable=False)
+            self._governed_reserve(reservation, ref.nbytes, evictable=False)
             self._shm_reserved.append(reservation)
 
     def _indexed_keys(
@@ -1647,7 +1805,7 @@ class PipelineExecutor:
 
     def _reserve_build(self, build_id: int, stage: _BuildStage) -> None:
         if self.governor is not None:
-            self.governor.reserve(f"build:{build_id}", self._stage_bytes(stage))
+            self._governed_reserve(f"build:{build_id}", self._stage_bytes(stage))
 
     def _touch_build(self, build_id: int) -> None:
         if self.governor is not None:
@@ -1797,7 +1955,7 @@ class PipelineExecutor:
             for p in range(partitioned.num_partitions):
                 nbytes = partitioned.partition_bytes(p)
                 if nbytes:
-                    self.governor.reserve(f"partition:{op.build_id}:{p}", nbytes)
+                    self._governed_reserve(f"partition:{op.build_id}:{p}", nbytes)
         return build.num_rows, build.num_rows, False
 
     def _exec_partitioned_hash_build(

@@ -22,12 +22,26 @@ match is bit-identical to :class:`~repro.exec.pipeline.SerialBackend`
 regardless of worker scheduling.  Probe structures are frozen (``prepare``
 runs before the spec is pickled) so the shipped copy is complete.
 
+**Crash recovery.**  A worker death no longer kills the query.  The pool is
+a ``concurrent.futures.ProcessPoolExecutor`` — unlike ``multiprocessing.Pool``
+it *detects* a lost task (``BrokenProcessPool`` surfaces on every pending
+future instead of hanging) — and the morsel gather runs a bounded retry
+loop: on a crash (or a transient worker-side error such as an injected
+``shm.attach`` fault) the pool is respawned with exponential backoff, any
+arena segment the dead workers held attachments to is re-verified /
+re-published, and the unfinished morsels are resubmitted.  After
+``max_task_retries`` rounds the remaining morsels execute *inline* in the
+parent over the same spec and the same slices — bit-identical, just slower.
+The cooperative :class:`~repro.exec.faults.CancelToken` is checked before
+each morsel result; on expiry the in-flight tasks are drained and the
+transient segments unlinked before the typed error propagates.
+
 Worker pools are expensive to start, so one module-level pool is shared by
 every :class:`ProcessBackend` instance with the same (start method, worker
-count); the engine's per-query ``backend.close()`` is a no-op here and the
-pool dies with the interpreter (:func:`shutdown_workers` + ``atexit``).
-The ``fork`` start method is preferred (no interpreter re-exec per
-worker); ``spawn`` is the fallback on platforms without fork.
+count, fault plan); the engine's per-query ``backend.close()`` is a no-op
+here and the pool dies with the interpreter (:func:`shutdown_workers` +
+``atexit``).  The ``fork`` start method is preferred (no interpreter
+re-exec per worker); ``spawn`` is the fallback on platforms without fork.
 
 Caveat: Bloom-filter probe *statistics* incremented inside workers stay in
 the workers — the parent's counters only reflect morsels probed inline.
@@ -35,8 +49,8 @@ Adaptive-transfer decisions use relation cardinalities, not Bloom
 counters, so adaptivity is unaffected.
 
 All transient segments are unlinked in ``finally`` blocks: a crashing
-worker propagates its exception to the caller and still leaves the
-segment registry empty.
+worker, a timeout, or an injected fault still leaves the segment registry
+empty.
 """
 
 from __future__ import annotations
@@ -45,12 +59,15 @@ import atexit
 import multiprocessing
 import os
 import pickle
+import time
+from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.errors import ExecutionError
+from repro.errors import BackendUnavailable, ExecutionError
+from repro.exec import faults
 from repro.exec.kernels import HashIndex, JoinMatches
 from repro.exec.pipeline import (
     MAX_DEFAULT_THREADS,
@@ -67,6 +84,19 @@ from repro.storage.shm import EncodedColumnRef, ShmArrayRef
 #: pays a pipe round-trip and (once per worker) a segment attach, so it must
 #: carry more rows to amortize.
 DEFAULT_PROCESS_MORSEL_SIZE = 65_536
+
+#: Pool-respawn rounds per fan-out before the remaining morsels run inline.
+DEFAULT_MAX_TASK_RETRIES = 2
+
+#: Exponential-backoff schedule for pool respawns: ``0.05 * 2**round``
+#: seconds, capped here.
+_RESPAWN_BACKOFF_CAP = 0.5
+
+#: How long a timed-out / cancelled gather waits for still-running tasks
+#: before unlinking transient segments (running workers hold their own
+#: mapping, so an unlink under them is safe on POSIX; the wait just avoids
+#: churning workers that are about to finish anyway).
+_DRAIN_SECONDS = 1.0
 
 
 # ---------------------------------------------------------------------------
@@ -123,6 +153,10 @@ class ShmGather:
         """The equivalent eager probe-key array (used for inline fallbacks)."""
         return self.column_data[self.selection]
 
+    def materialize_slice(self, lo: int, hi: int) -> np.ndarray:
+        """One morsel of the eager gather (the inline crash-recovery path)."""
+        return self.column_data[self.selection[lo:hi]]
+
 
 def probe_input_rows(keys: object) -> int:
     """Row count of any probe input, including :class:`ShmGather`."""
@@ -140,7 +174,7 @@ _SPEC_CACHE: Dict[str, object] = {}
 _SPEC_CACHE_LIMIT = 32
 
 
-def _worker_init(start_method: str) -> None:
+def _worker_init(start_method: str, fault_spec: Optional[str] = None) -> None:
     # Forked workers inherit the parent's owned-segment registry; drop it so
     # a worker can never unlink segments it does not own, and start with a
     # clean attach cache.
@@ -153,6 +187,11 @@ def _worker_init(start_method: str) -> None:
     # at unlink).  Spawned workers have their own tracker and must
     # unregister, or that tracker unlinks live segments on worker exit.
     shm._UNREGISTER_ON_ATTACH = start_method != "fork"
+    # The fault plan is shipped through the initializer so worker-side sites
+    # (process.task crashes, shm.attach failures) fire deterministically in
+    # fresh workers too — forked workers would otherwise inherit the parent's
+    # already-advanced counters.
+    faults.configure(fault_spec)
 
 
 def _resolve_spec(spec_ref: ShmArrayRef) -> object:
@@ -179,9 +218,20 @@ def _materialize_input(task_input: _TaskInput, lo: int, hi: int) -> ProbeInput:
     return arrays[0]
 
 
+def _maybe_crash() -> None:
+    """The ``process.task`` fault site: this worker process dies, hard.
+
+    ``os._exit`` models a segfault / OOM-kill — no exception propagates, no
+    cleanup runs, the pool just loses the process mid-task.
+    """
+    if faults.should_fire("process.task"):
+        os._exit(1)
+
+
 def _probe_task(
     spec_ref: ShmArrayRef, task_input: _TaskInput, lo: int, hi: int
 ) -> np.ndarray:
+    _maybe_crash()
     probe_fn = _resolve_spec(spec_ref)
     return probe_fn(_materialize_input(task_input, lo, hi))
 
@@ -189,6 +239,7 @@ def _probe_task(
 def _match_task(
     spec_ref: ShmArrayRef, task_input: _TaskInput, lo: int, hi: int
 ) -> Tuple[np.ndarray, np.ndarray]:
+    _maybe_crash()
     index = _resolve_spec(spec_ref)
     matches = index.match(_materialize_input(task_input, lo, hi))
     return matches.probe_indices, matches.build_indices
@@ -197,34 +248,48 @@ def _match_task(
 # ---------------------------------------------------------------------------
 # Shared pool management
 # ---------------------------------------------------------------------------
-_POOL: Optional[multiprocessing.pool.Pool] = None
-_POOL_KEY: Optional[Tuple[str, int]] = None
+_POOL: Optional[ProcessPoolExecutor] = None
+_POOL_KEY: Optional[Tuple[str, int, Optional[str]]] = None
 
 
 def _start_method() -> str:
     return "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
 
 
-def _shared_pool(num_workers: int) -> multiprocessing.pool.Pool:
+def _current_fault_spec() -> Optional[str]:
+    """The parent's active fault plan, serialized for worker initializers."""
+    injector = faults.active_injector()
+    return injector.plan.spec() if injector is not None else None
+
+
+def _shared_pool(num_workers: int) -> ProcessPoolExecutor:
     global _POOL, _POOL_KEY
-    key = (_start_method(), num_workers)
+    key = (_start_method(), num_workers, _current_fault_spec())
     if _POOL is not None and _POOL_KEY == key:
         return _POOL
     shutdown_workers()
+    faults.fire("process.pool", "injected worker-pool start failure")
     context = multiprocessing.get_context(key[0])
-    _POOL = context.Pool(
-        processes=num_workers, initializer=_worker_init, initargs=(key[0],)
+    _POOL = ProcessPoolExecutor(
+        max_workers=num_workers,
+        mp_context=context,
+        initializer=_worker_init,
+        initargs=(key[0], key[2]),
     )
     _POOL_KEY = key
     return _POOL
 
 
+def _respawn_pool() -> None:
+    """Tear the (broken) shared pool down so the next acquisition is fresh."""
+    shutdown_workers()
+
+
 def shutdown_workers() -> None:
-    """Terminate the shared worker pool (tests / interpreter shutdown)."""
+    """Shut the shared worker pool down (tests / interpreter shutdown)."""
     global _POOL, _POOL_KEY
     if _POOL is not None:
-        _POOL.terminate()
-        _POOL.join()
+        _POOL.shutdown(wait=True, cancel_futures=True)
         _POOL = None
         _POOL_KEY = None
 
@@ -246,7 +311,9 @@ class ProcessBackend(ExecutionBackend):
     builds mutate shared state.
 
     ``shm_bytes_mapped`` accumulates the bytes this backend placed in (or
-    resolved from) shared segments; the executor samples it per op.
+    resolved from) shared segments; ``worker_crashes`` / ``tasks_retried``
+    / ``inline_morsels`` count the crash-recovery activity.  The executor
+    samples all of them per op.
     """
 
     name = "process"
@@ -257,17 +324,37 @@ class ProcessBackend(ExecutionBackend):
         self,
         num_workers: Optional[int] = None,
         morsel_size: int = DEFAULT_PROCESS_MORSEL_SIZE,
+        max_task_retries: int = DEFAULT_MAX_TASK_RETRIES,
     ) -> None:
         super().__init__()
         if num_workers is not None and num_workers <= 0:
             raise ExecutionError("process backend needs at least one worker")
         if morsel_size <= 0:
             raise ExecutionError("morsel size must be positive")
+        if max_task_retries < 0:
+            raise ExecutionError("max_task_retries must be non-negative")
         self.num_workers = num_workers or min(MAX_DEFAULT_THREADS, os.cpu_count() or 1)
         self.morsel_size = morsel_size
+        self.max_task_retries = max_task_retries
         self.shm_bytes_mapped = 0
+        #: Crash-recovery counters (sampled per op by the executor).
+        self.worker_crashes = 0
+        self.tasks_retried = 0
+        self.inline_morsels = 0
+        #: The engine's SharedColumnArena, when one is active: after a pool
+        #: respawn, segments the dead workers held attachments to are
+        #: re-verified (and dropped for re-publication if the OS object is
+        #: gone) before morsels are retried.
+        self.arena = None
 
     # -- internals ----------------------------------------------------------
+    def ensure_ready(self) -> None:
+        """Bring the shared worker pool up; ladder-degradable on failure."""
+        try:
+            _shared_pool(self.num_workers)
+        except Exception as error:
+            raise BackendUnavailable(f"worker pool unavailable: {error}") from error
+
     def _morsels(self, total_rows: int) -> List[Tuple[int, int]]:
         return [
             (start, min(start + self.morsel_size, total_rows))
@@ -280,7 +367,12 @@ class ProcessBackend(ExecutionBackend):
             payload = pickle.dumps(spec, protocol=pickle.HIGHEST_PROTOCOL)
         except Exception:
             return None
-        segment, ref = shm.share_array(np.frombuffer(payload, dtype=np.uint8))
+        try:
+            segment, ref = shm.share_array(np.frombuffer(payload, dtype=np.uint8))
+        except ExecutionError:
+            # Publishing failed (e.g. an injected shm.share fault): the
+            # caller probes inline instead.
+            return None
         self.shm_bytes_mapped += ref.nbytes
         return segment, ref
 
@@ -306,12 +398,112 @@ class ProcessBackend(ExecutionBackend):
             self.shm_bytes_mapped += ref.nbytes
         return segments, _ArraysInput(refs=tuple(refs), is_tuple=isinstance(keys, tuple))
 
+    def _inline_task(self, task_fn, spec, keys, lo: int, hi: int):
+        """Run one morsel in the parent, matching the worker task's output shape."""
+        if isinstance(keys, ShmGather):
+            morsel_input: ProbeInput = keys.materialize_slice(lo, hi)
+        else:
+            morsel_input = _slice_probe_input(_as_probe_input(keys), lo, hi)
+        if task_fn is _match_task:
+            matches = spec.match(morsel_input)
+            return matches.probe_indices, matches.build_indices
+        return spec(morsel_input)
+
+    def _drain(self, futures: Sequence[Future]) -> None:
+        """Cancel pending tasks and briefly wait out running ones."""
+        for future in futures:
+            future.cancel()
+        try:
+            wait(list(futures), timeout=_DRAIN_SECONDS)
+        except Exception:  # pragma: no cover - drain is best-effort
+            pass
+
+    def _run_morsels(self, task_fn, spec_ref, task_input, morsels, spec, keys) -> List[object]:
+        """Dispatch every morsel, recovering from worker deaths.
+
+        The gather is in submission order (bit-identity); the cancel token
+        is checked before each result.  Worker crashes (``BrokenExecutor``)
+        and transient worker-side failures (``ExecutionError`` subclasses,
+        e.g. an injected ``shm.attach`` fault) trigger a pool respawn with
+        backoff and a retry of the unfinished morsels; after
+        ``max_task_retries`` rounds the remainder runs inline in the parent.
+        """
+        results: List[Optional[object]] = [None] * len(morsels)
+        done = [False] * len(morsels)
+        remaining = list(range(len(morsels)))
+        rounds = 0
+        while remaining:
+            try:
+                pool = _shared_pool(self.num_workers)
+            except Exception:
+                # Pool unavailable mid-query (e.g. injected process.pool
+                # fault on respawn): finish inline rather than failing.
+                break
+            submitted = []
+            retryable = False
+            try:
+                for i in remaining:
+                    submitted.append(
+                        (i, pool.submit(task_fn, spec_ref, task_input, *morsels[i]))
+                    )
+            except BrokenExecutor:
+                # A worker died while this round was still being submitted;
+                # gather what did get in, then retry the rest.
+                retryable = True
+                self.worker_crashes += 1
+            try:
+                for i, future in submitted:
+                    self._check_cancel()
+                    try:
+                        results[i] = future.result()
+                        done[i] = True
+                    except (BrokenExecutor, ExecutionError, OSError) as error:
+                        # A dead worker (all pending futures now fail) or a
+                        # transient worker-side error: stop gathering this
+                        # round and retry what is left.
+                        retryable = True
+                        self.worker_crashes += isinstance(error, (BrokenExecutor, OSError))
+                        break
+            except BaseException:
+                # Timeout / cancellation / unexpected error: drain in-flight
+                # tasks so no worker outlives the caller's segment cleanup.
+                self._drain([future for _, future in submitted])
+                raise
+            remaining = [i for i in remaining if not done[i]]
+            if not remaining:
+                break
+            if not retryable:  # pragma: no cover - defensive; result() raised
+                break
+            rounds += 1
+            if rounds > self.max_task_retries:
+                break
+            self.tasks_retried += len(remaining)
+            time.sleep(min(0.05 * (2 ** (rounds - 1)), _RESPAWN_BACKOFF_CAP))
+            _respawn_pool()
+            if self.arena is not None:
+                # Dead workers held attachments to published base columns;
+                # verify the OS objects survived and drop any that did not
+                # so the next publication recreates them.
+                try:
+                    self.arena.republish_missing()
+                except Exception:  # pragma: no cover - verification is best-effort
+                    pass
+        if remaining:
+            # Bounded retries exhausted (or no pool): bit-identical inline
+            # fallback over the same spec and the same morsel slices.
+            for i in remaining:
+                self._check_cancel()
+                lo, hi = morsels[i]
+                results[i] = self._inline_task(task_fn, spec, keys, lo, hi)
+                self.inline_morsels += 1
+        return results  # type: ignore[return-value]
+
     def _fan_out(self, task_fn, spec, keys, total: int):
         """Ship spec + input, run one task per morsel, gather in order.
 
         Returns the ordered list of worker results, or ``None`` when the
-        spec cannot be pickled (caller runs inline instead).  Transient
-        segments are always unlinked, even when a worker raises.
+        spec (or input) cannot be shipped (caller runs inline instead).
+        Transient segments are always unlinked — crash, timeout, or fault.
         """
         shipped = self._ship_spec(spec)
         if shipped is None:
@@ -319,16 +511,16 @@ class ProcessBackend(ExecutionBackend):
         spec_segment, spec_ref = shipped
         segments = [spec_segment]
         try:
-            input_segments, task_input = self._ship_input(keys)
-            segments.extend(input_segments)
-            pool = _shared_pool(self.num_workers)
+            try:
+                input_segments, task_input = self._ship_input(keys)
+                segments.extend(input_segments)
+            except ExecutionError:
+                # Publishing the input failed (e.g. injected shm.share
+                # fault): recover by probing inline.
+                return None
             morsels = self._morsels(total)
             self.tasks_dispatched += len(morsels)
-            pending = [
-                pool.apply_async(task_fn, (spec_ref, task_input, lo, hi))
-                for lo, hi in morsels
-            ]
-            return morsels, [result.get() for result in pending]
+            return morsels, self._run_morsels(task_fn, spec_ref, task_input, morsels, spec, keys)
         finally:
             for segment in segments:
                 shm.unlink_segment(segment)
@@ -344,6 +536,7 @@ class ProcessBackend(ExecutionBackend):
         total = probe_input_rows(keys)
         if total <= self.morsel_size or self.num_workers == 1:
             self.tasks_dispatched += 1
+            self._check_cancel()
             return probe_fn(self._inline_keys(keys))
         # Freeze lazy probe structures BEFORE pickling so the shipped copy
         # is complete and workers only read.
@@ -361,6 +554,7 @@ class ProcessBackend(ExecutionBackend):
         total = int(probe_keys.shape[0])
         if total <= self.morsel_size or self.num_workers == 1:
             self.tasks_dispatched += 1
+            self._check_cancel()
             return index.match(probe_keys)
         index.prepare_match()
         fanned = self._fan_out(_match_task, index, probe_keys, total)

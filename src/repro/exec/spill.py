@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
+from repro.exec import faults
 from repro.exec.relation import BoundRelation
 from repro.exec.statistics import ExecutionStats
 from repro.storage.buffer import BufferManager, IoStatistics
@@ -45,12 +46,18 @@ class SpillManager:
     stats: IoStatistics = field(default_factory=IoStatistics)
 
     def spill(self, key: str, size_bytes: int) -> None:
-        """Evict ``key``: charge the spill write."""
+        """Evict ``key``: charge the spill write.
+
+        An injected ``spill.write`` fault raises here; the governor treats a
+        failed write as "victim stays resident" and tries the next victim.
+        """
+        faults.fire("spill.write", f"injected spill-write failure for {key!r}")
         self.stats.bytes_written_to_disk += size_bytes
         self.stats.evictions += 1
 
     def reload(self, key: str, size_bytes: int) -> None:
         """Reload a spilled ``key``: charge the read."""
+        faults.fire("spill.read", f"injected spill-read failure for {key!r}")
         self.stats.bytes_read_from_disk += size_bytes
 
     @property

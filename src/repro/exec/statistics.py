@@ -108,6 +108,16 @@ class OpStats:
     #: Encoded bytes behind this op's column accesses (dictionary / RLE /
     #: bit-packed buffers instead of flat ``int64`` arrays).
     encoded_bytes: int = 0
+    #: Non-empty when this op took a degradation rung (e.g.
+    #: ``"governor:spill-retry"`` after a failed reservation, or
+    #: ``"process:inline-fallback"`` after exhausting task retries).
+    degraded: str = ""
+    #: Worker-process deaths observed while this op's morsels ran, and the
+    #: pool respawn + retry rounds they triggered.
+    worker_crashes: int = 0
+    tasks_retried: int = 0
+    #: Morsels executed inline in the parent after ``max_task_retries``.
+    inline_morsels: int = 0
 
     @property
     def rows_eliminated(self) -> int:
@@ -204,6 +214,19 @@ class ExecutionStats:
     #: encoding layer (what the MemoryGovernor and shm arena were charged
     #: instead of the flat ``int64`` bytes).
     encoded_bytes_touched: int = 0
+    #: Degradation-ladder rungs this execution took, in order — e.g.
+    #: ``"backend:process->parallel"`` (pool unavailable),
+    #: ``"column.decode:title.production_year->raw"`` (decode fault),
+    #: ``"governor:spill-retry"`` (reservation retried after spilling),
+    #: ``"process:inline-fallback"`` (morsels finished in the parent).
+    degradations: List[str] = field(default_factory=list)
+    #: Fault-recovery counters of the process backend: worker deaths seen,
+    #: morsel retry rounds after a respawn, morsels completed inline, and
+    #: spill writes that failed and left their victim resident.
+    worker_crashes: int = 0
+    tasks_retried: int = 0
+    inline_fallback_morsels: int = 0
+    spill_failures: int = 0
 
     # ------------------------------------------------------------------
     # Derived quantities
@@ -286,6 +309,12 @@ class ExecutionStats:
                 marker += f" [zm skip {op.blocks_skipped}/{op.blocks_total}]"
             if op.encoded_bytes:
                 marker += f" [enc {op.encoded_bytes}B]"
+            if op.worker_crashes:
+                marker += f" [crashed {op.worker_crashes}w/{op.tasks_retried}r]"
+            if op.inline_morsels:
+                marker += f" [inline {op.inline_morsels}m]"
+            if op.degraded:
+                marker += f" [degraded {op.degraded}]"
             lines.append(
                 f"{op.index:>3} {op.kind:<22} {op.rows_in:>10} {op.rows_out:>10} "
                 f"{op.seconds:>10.6f} {op.morsels:>8}  {op.detail}{marker}"
@@ -346,15 +375,40 @@ class ExecutionStats:
             parts.append(f"encoded bytes {self.encoded_bytes_touched}B")
         return "runtime: " + ", ".join(parts) if parts else ""
 
+    def degradation_summary(self) -> str:
+        """One-line summary of fault recovery and degradation-ladder rungs.
+
+        Empty on a fault-free, undegraded run, so callers can append it
+        conditionally.
+        """
+        parts = []
+        if self.degradations:
+            parts.append("; ".join(self.degradations))
+        if self.worker_crashes:
+            parts.append(
+                f"{self.worker_crashes} worker crash(es), "
+                f"{self.tasks_retried} retry round(s)"
+            )
+        if self.inline_fallback_morsels:
+            parts.append(f"{self.inline_fallback_morsels} morsel(s) finished inline")
+        if self.spill_failures:
+            parts.append(f"{self.spill_failures} failed spill write(s)")
+        return "degraded: " + ", ".join(parts) if parts else ""
+
     def execution_summary(self) -> str:
-        """Combined one-line cache + adaptive + runtime summary.
+        """Combined one-line cache + adaptive + runtime + degradation summary.
 
         This is what :func:`repro.bench.reporting.format_op_traces` appends
         under each mode's per-op trace; empty when nothing was recorded.
         """
         parts = [
             part
-            for part in (self.cache_summary(), self.adaptive_summary(), self.runtime_summary())
+            for part in (
+                self.cache_summary(),
+                self.adaptive_summary(),
+                self.runtime_summary(),
+                self.degradation_summary(),
+            )
             if part
         ]
         return " | ".join(parts)

@@ -360,6 +360,13 @@ def evaluate(expr: Expression, table, store) -> Optional[CodeSpaceResult]:
     leaves = _compile_conjunction(expr, table)
     if leaves is None:
         return None
+    # The ``column.decode`` fault site: reading the encoded representation
+    # failed — callers degrade to raw ``Expression.evaluate`` (bit-identical
+    # mask, no block skipping).  Imported lazily to stay off the package
+    # initializer path.
+    from repro.exec import faults
+
+    faults.fire("column.decode", "injected encoded-filter read failure")
     num_rows = table.num_rows
     selection = _combine_selection(leaves, table, store)
     if selection is None:

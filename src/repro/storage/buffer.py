@@ -25,8 +25,11 @@ were spilled.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Protocol
+from typing import Dict, List, Optional, Protocol, Tuple
+
+from repro.errors import MemoryExhausted
 
 
 @dataclass
@@ -143,6 +146,29 @@ class BufferManager:
 # ---------------------------------------------------------------------------
 # The live memory governor
 # ---------------------------------------------------------------------------
+#: Every governor ever constructed (weakly referenced): the test-suite leak
+#: guard sweeps this to prove no reservation outlives its query, no matter
+#: which exit path — success, fault, timeout — the query took.
+_GOVERNORS: "weakref.WeakSet[MemoryGovernor]" = weakref.WeakSet()
+
+
+def outstanding_reservations() -> Tuple[Tuple[str, int], ...]:
+    """(key, size) of every live reservation across all live governors."""
+    found: List[Tuple[str, int]] = []
+    for governor in list(_GOVERNORS):
+        for reservation in governor._reservations.values():
+            found.append((reservation.key, reservation.size_bytes))
+    return tuple(found)
+
+
+def assert_no_outstanding_reservations() -> None:
+    """Raise when any live governor still holds reservations."""
+    outstanding = outstanding_reservations()
+    if outstanding:
+        keys = sorted(key for key, _ in outstanding)
+        raise MemoryExhausted(f"leaked governor reservations: {keys}")
+
+
 class SpillHandler(Protocol):
     """What the governor calls when it must evict or reload a reservation."""
 
@@ -196,8 +222,10 @@ class MemoryGovernor:
         self.spilled_bytes = 0
         self.reload_events = 0
         self.reloaded_bytes = 0
+        self.spill_failures = 0
         self._reservations: Dict[str, _Reservation] = {}
         self._clock = 0
+        _GOVERNORS.add(self)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -220,7 +248,9 @@ class MemoryGovernor:
     # ------------------------------------------------------------------
     # Reservation lifecycle
     # ------------------------------------------------------------------
-    def reserve(self, key: str, size_bytes: int, evictable: bool = True) -> None:
+    def reserve(
+        self, key: str, size_bytes: int, evictable: bool = True, inject: bool = True
+    ) -> None:
         """Reserve ``size_bytes`` for ``key`` before materializing it.
 
         Re-reserving an existing key resizes it.  If the new total exceeds
@@ -228,9 +258,23 @@ class MemoryGovernor:
         which is pinned while being admitted) are spilled until the total
         fits or nothing evictable remains — a minimum working set is always
         admitted, as in any real memory broker.
+
+        ``inject=False`` bypasses fault injection: the executor's
+        spill-then-retry rung uses it so the retry after a synchronous spill
+        models a real post-reclaim allocation, which succeeds.
         """
         if size_bytes < 0:
             raise ValueError(f"cannot reserve {size_bytes} bytes for {key!r}")
+        # Injected allocation failure: the budget is "exhausted" for this
+        # reservation.  The executor catches MemoryExhausted, synchronously
+        # spills every evictable reservation, and retries once.
+        if inject:
+            from repro.exec import faults  # deferred: exec package imports this module
+
+            if faults.should_fire("alloc.reserve"):
+                raise MemoryExhausted(
+                    f"injected allocation failure reserving {size_bytes} bytes for {key!r}"
+                )
         self._clock += 1
         self._reservations[key] = _Reservation(
             key=key, size_bytes=size_bytes, evictable=evictable, last_use=self._clock
@@ -266,23 +310,64 @@ class MemoryGovernor:
         """Drop a reservation entirely (its data is dead; no I/O charged)."""
         self._reservations.pop(key, None)
 
+    def release_all(self) -> None:
+        """Drop every reservation (query teardown on any exit path)."""
+        self._reservations.clear()
+
+    @property
+    def outstanding(self) -> int:
+        """Number of live reservations (spilled ones included)."""
+        return len(self._reservations)
+
+    def spill_evictables(self) -> int:
+        """Force-spill every evictable resident reservation; return bytes freed.
+
+        The executor's spill-then-retry rung calls this after an injected or
+        genuine :class:`~repro.errors.MemoryExhausted` to free as much budget
+        as possible before retrying the failed reservation once.
+        """
+        freed = 0
+        for reservation in sorted(self._reservations.values(), key=lambda r: r.last_use):
+            if not reservation.evictable or reservation.spilled:
+                continue
+            if self._spill_victim(reservation):
+                freed += reservation.size_bytes
+        return freed
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _spill_victim(self, victim: _Reservation) -> bool:
+        """Spill one reservation through the handler; False if the write failed.
+
+        A failed spill (e.g. an injected ``spill.write`` fault) leaves the
+        victim resident and counted in ``spill_failures`` — the governor
+        moves on to the next victim rather than failing the query.
+        """
+        victim.spilled = True
+        if self.spill_handler is not None:
+            try:
+                self.spill_handler.spill(victim.key, victim.size_bytes)
+            except Exception:
+                victim.spilled = False
+                self.spill_failures += 1
+                return False
+        self.spill_events += 1
+        self.spilled_bytes += victim.size_bytes
+        return True
+
     def _reclaim(self, pinned: str) -> None:
         if self.budget_bytes is None:
             return
+        failed: set[str] = set()
         while self.reserved_bytes > self.budget_bytes:
             victims = [
                 r
                 for r in self._reservations.values()
-                if r.evictable and not r.spilled and r.key != pinned
+                if r.evictable and not r.spilled and r.key != pinned and r.key not in failed
             ]
             if not victims:
                 return
             victim = min(victims, key=lambda r: r.last_use)
-            victim.spilled = True
-            self.spill_events += 1
-            self.spilled_bytes += victim.size_bytes
-            if self.spill_handler is not None:
-                self.spill_handler.spill(victim.key, victim.size_bytes)
+            if not self._spill_victim(victim):
+                failed.add(victim.key)

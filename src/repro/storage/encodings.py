@@ -117,6 +117,11 @@ class EncodedColumn:
     # ------------------------------------------------------------------
     def decode(self, selection: Optional[np.ndarray] = None) -> np.ndarray:
         """Physical ``int64`` values, optionally gathered by ``selection``."""
+        # Imported lazily: the exec package's initializer imports this
+        # module's package mid-init.
+        from repro.exec import faults
+
+        faults.fire("column.decode", f"injected decode failure ({self.encoding} column)")
         if self.encoding == "rle":
             if selection is None:
                 lengths = np.diff(np.concatenate([self.codes, [self.num_rows]]))

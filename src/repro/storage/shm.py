@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import atexit
 import os
+import weakref
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
 from typing import Dict, Optional, Tuple
@@ -42,10 +43,16 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro.errors import ExecutionError
+from repro.exec import faults
 
 #: Name prefix of every segment this library creates; the test suite scans
 #: ``/dev/shm`` for the prefix to prove nothing leaked past a run.
 SEGMENT_PREFIX = "repro_shm"
+
+#: Injected ``shm.unlink`` faults are transient: retried this many times,
+#: after which the unlink proceeds anyway — a fault plan can therefore delay
+#: an unlink but never leak a segment.
+_UNLINK_FAULT_RETRIES = 3
 
 #: Created (owned) segments of *this* process: name -> (SharedMemory, pid).
 #: The pid guards forked children, which inherit the dict but must never
@@ -73,6 +80,12 @@ def unlink_segment(segment: shared_memory.SharedMemory) -> None:
     if entry is not None and entry[1] != os.getpid():
         # A forked child inherited the registry; the parent owns the segment.
         return
+    # Injected unlink faults model a transiently-busy segment: retry a
+    # bounded number of times, then unlink regardless — the leak invariant
+    # must hold under every fault plan.
+    for _ in range(_UNLINK_FAULT_RETRIES):
+        if not faults.should_fire("shm.unlink"):
+            break
     try:
         segment.close()
     except (OSError, BufferError):  # pragma: no cover - platform dependent
@@ -100,6 +113,34 @@ def assert_no_leaks() -> None:
     names = live_segment_names()
     if names:
         raise ExecutionError(f"leaked shared-memory segments: {sorted(names)}")
+
+
+#: Every live :class:`SharedColumnArena` (weakly held): lets leak checks
+#: distinguish arena-published segments — owned, persistent by design until
+#: ``Database.close()`` — from transient segments that must never outlive a
+#: query, even a faulted one.
+_ARENAS: "weakref.WeakSet" = weakref.WeakSet()
+
+
+def published_segment_names() -> Tuple[str, ...]:
+    """Names of segments currently published by any live arena."""
+    names = []
+    for arena in list(_ARENAS):
+        for segments, _ in arena._segments.values():
+            names.extend(segment.name for segment in segments)
+    return tuple(names)
+
+
+def assert_no_transient_leaks() -> None:
+    """Raise when a non-arena segment is still live.
+
+    The per-test / per-query leak invariant: after any execution — faulted,
+    timed out, cancelled, crashed — the only segments this process may still
+    own are the arena-published base columns.
+    """
+    leaked = set(live_segment_names()) - set(published_segment_names())
+    if leaked:
+        raise ExecutionError(f"leaked transient shared-memory segments: {sorted(leaked)}")
 
 
 def release_all() -> None:
@@ -138,6 +179,7 @@ class ShmArrayRef:
 
 def share_array(array: np.ndarray) -> Tuple[shared_memory.SharedMemory, ShmArrayRef]:
     """Copy ``array`` into a fresh owned segment and return (segment, ref)."""
+    faults.fire("shm.share", "injected fault publishing array to shared memory")
     array = np.ascontiguousarray(array)
     segment = create_segment(array.nbytes)
     if array.nbytes:
@@ -222,6 +264,7 @@ def attach_array(ref: ShmArrayRef) -> np.ndarray:
     cached = _ATTACHED.get(ref.name)
     if cached is not None:
         return cached[1]
+    faults.fire("shm.attach", f"injected fault attaching segment {ref.name}")
     segment = shared_memory.SharedMemory(name=ref.name)
     if _UNREGISTER_ON_ATTACH and ref.name not in _LIVE:
         try:
@@ -270,6 +313,7 @@ class SharedColumnArena:
         self._segments: Dict[
             Tuple[str, int, str, bool], Tuple[Tuple[shared_memory.SharedMemory, ...], object]
         ] = {}
+        _ARENAS.add(self)
 
     def column_ref(self, table, column: str, encoded: bool = False):
         """A shared-memory ref for ``table.column(column)``, publishing on demand.
@@ -312,7 +356,13 @@ class SharedColumnArena:
             segments: Tuple[shared_memory.SharedMemory, ...] = (codes_segment,)
             values_ref = None
             if encoded_column.values is not None:
-                values_segment, values_ref = share_array(encoded_column.values)
+                try:
+                    values_segment, values_ref = share_array(encoded_column.values)
+                except Exception:
+                    # Publishing the dictionary failed after the codes went
+                    # up: unlink the half-published pair before propagating.
+                    unlink_segment(codes_segment)
+                    raise
                 segments = (codes_segment, values_segment)
             ref: object = EncodedColumnRef(
                 codes=codes_ref, values=values_ref, base=encoded_column.base
@@ -340,6 +390,37 @@ class SharedColumnArena:
     def published_keys(self) -> Tuple[Tuple[str, int, str, bool], ...]:
         """The (table, version, column, encoded) keys currently published."""
         return tuple(self._segments)
+
+    def republish_missing(self) -> int:
+        """Verify published segments still exist at the OS level.
+
+        Crash recovery calls this after a worker-pool respawn: a dying
+        worker cannot unlink segments it merely attached (ownership stays
+        with the arena), but a spawn-mode worker's resource tracker can —
+        so every published segment is probed by name, and entries whose OS
+        object vanished are dropped from the registry so the next
+        :meth:`column_ref` republishes them.  Returns the number of entries
+        dropped for republication.
+        """
+        repaired = 0
+        for key in list(self._segments):
+            segments, _ = self._segments[key]
+            missing = False
+            for segment in segments:
+                try:
+                    probe = shared_memory.SharedMemory(name=segment.name)
+                    probe.close()
+                except FileNotFoundError:
+                    missing = True
+                    break
+                except Exception:  # pragma: no cover - platform-specific probe failure
+                    continue
+            if missing:
+                self._segments.pop(key)
+                for segment in segments:
+                    unlink_segment(segment)
+                repaired += 1
+        return repaired
 
     def invalidate_table(self, name: str) -> None:
         """Unlink every published segment of ``name`` (any version)."""

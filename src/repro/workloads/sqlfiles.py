@@ -26,8 +26,8 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
 from repro.engine.database import Database, ExecutionOptions
-from repro.engine.modes import ExecutionMode
-from repro.errors import WorkloadError
+from repro.engine.modes import ExecutionConfig, ExecutionMode
+from repro.errors import ReproError, WorkloadError
 from repro.query import QuerySpec
 from repro.sql import to_sql
 from repro.workloads import job, synthetic, tpch
@@ -215,4 +215,102 @@ def run_all(
                     f"{mode.value}: {result.aggregates} != {expected.aggregates}"
                 )
         records.append(record)
+    return records
+
+
+def run_fault_sweep(
+    fault_spec: str,
+    backend: str = "serial",
+    mode: ExecutionMode = ExecutionMode.RPT,
+    scale: float = 0.1,
+    seed: int = 1,
+    timeout_seconds: Optional[float] = None,
+    database_cache: Optional[Dict[str, Database]] = None,
+    stems: Optional[List[str]] = None,
+) -> List[Dict[str, object]]:
+    """Run every checked-in ``.sql`` workload under deterministic fault injection.
+
+    This is the fault-tolerance acceptance contract (used by the CI
+    fault-injection leg and ``tests/test_faults.py``): under any
+    :class:`~repro.exec.faults.FaultPlan`, every query must either complete
+    with aggregates **bit-identical** to a fault-free serial execution or
+    raise a typed :class:`~repro.errors.ReproError` subclass — and either
+    way leave no shared-memory segment and no outstanding memory-governor
+    reservation behind.  Any other outcome raises :class:`WorkloadError`.
+
+    Returns one record per file: ``{"stem", "workload", "outcome"}`` where
+    ``outcome`` is ``"completed"`` (bit-identical) or the name of the typed
+    error class that was raised.  ``stems`` restricts the sweep to a subset
+    of files (the full set when ``None``).
+    """
+    import gc
+
+    from repro.exec import faults
+    from repro.storage import buffer, shm
+
+    selected = {
+        stem: path
+        for stem, path in available().items()
+        if stems is None or stem in stems
+    }
+    databases: Dict[str, Database] = database_cache if database_cache is not None else {}
+
+    def database_of(stem: str, workload: str) -> Database:
+        if workload == "synthetic":
+            query_name = stem[len("synthetic_") :]
+            cache_key = f"synthetic:{query_name}"
+            if cache_key not in databases:
+                databases[cache_key] = database_for("synthetic", synthetic_query=query_name)
+            return databases[cache_key]
+        if workload not in databases:
+            databases[workload] = database_for(workload, scale=scale, seed=seed)
+        return databases[workload]
+
+    # Fault-free serial baselines, computed with injection disabled.
+    faults.clear()
+    serial_options = ExecutionOptions(execution=ExecutionConfig(backend="serial"))
+    baselines: Dict[str, Dict[str, float]] = {}
+    for stem, path in selected.items():
+        db = database_of(stem, workload_of(stem))
+        baselines[stem] = dict(db.sql(path.read_text(), mode=mode, options=serial_options).aggregates)
+
+    options = ExecutionOptions(
+        execution=ExecutionConfig(
+            backend=backend, faults=fault_spec, timeout_seconds=timeout_seconds
+        )
+    )
+    records: List[Dict[str, object]] = []
+    for stem, path in selected.items():
+        workload = workload_of(stem)
+        db = database_of(stem, workload)
+        try:
+            result = db.sql(path.read_text(), mode=mode, options=options)
+        except ReproError as error:
+            outcome = type(error).__name__
+        else:
+            if dict(result.aggregates) != baselines[stem]:
+                raise WorkloadError(
+                    f"SQL file {stem!r} diverged from its fault-free serial baseline "
+                    f"under faults {fault_spec!r} on backend {backend!r}: "
+                    f"{dict(result.aggregates)} != {baselines[stem]}"
+                )
+            outcome = "completed"
+        # The no-leak invariant, checked after *every* query: the only live
+        # segments are the arena-published base columns (owned, persistent by
+        # design), and no governor holds a reservation.
+        try:
+            shm.assert_no_transient_leaks()
+        except ReproError as error:
+            raise WorkloadError(
+                f"SQL file {stem!r} leaked under faults {fault_spec!r}: {error}"
+            ) from error
+        gc.collect()
+        outstanding = buffer.outstanding_reservations()
+        if outstanding:
+            raise WorkloadError(
+                f"SQL file {stem!r} leaked governor reservations under faults "
+                f"{fault_spec!r}: {outstanding}"
+            )
+        records.append({"stem": stem, "workload": workload, "outcome": outcome})
+    faults.clear()
     return records

@@ -18,21 +18,30 @@ from repro.workloads import dsb, job, tpcds, tpch
 
 @pytest.fixture(scope="session", autouse=True)
 def shm_leak_guard():
-    """Assert the shared-memory segment registry drains by end of session.
+    """Assert engine-owned resources drain by end of session.
 
     Autouse at session scope, so it is set up before (and torn down after)
     every other session fixture: databases the fixtures publish arena
     segments from are closed first, then this guard shuts the process pool
     down and fails the session if any segment this process created is still
-    live — the no-leak acceptance criterion, covering injected worker
-    failures too.
+    live or any memory governor still holds reservations — the no-leak
+    acceptance criterion, covering injected faults, timeouts, and worker
+    crashes too.
     """
+    import gc
+
+    from repro.exec import faults
     from repro.exec.process import shutdown_workers
-    from repro.storage import shm
+    from repro.storage import buffer, shm
 
     yield
     shutdown_workers()
+    faults.clear()
     shm.assert_no_leaks()
+    # Collect first: governors whose queries completed are garbage, and only
+    # still-referenced ones with live reservations indicate a leak.
+    gc.collect()
+    buffer.assert_no_outstanding_reservations()
 
 
 @pytest.fixture(scope="session")

@@ -146,6 +146,89 @@ class TestHashCache:
         with pytest.raises(ExecutionError):
             HashCache().bloom_pass(table, "x")
 
+    def test_selection_cache_does_not_pin_superseded_selections(self):
+        """Superseded ``row_indices`` arrays must be collectable.
+
+        The old ``id()``-keyed cache held strong references to every stored
+        selection array (the only way to keep raw ids from aliasing), which
+        both pinned dead arrays in memory and was the precondition for the
+        id-reuse hazard this regression guards.
+        """
+        import gc
+        import weakref
+
+        table = self._table()
+        cache = HashCache()
+        selection = np.array([1, 5, 9], dtype=np.int64)
+        watcher = weakref.ref(selection)
+        keys = table.column("id").data[selection]
+        hashes = hash_keys(keys)
+        cache.store_selection_pass(table, "id", selection, (hashes, key_patterns(hashes)))
+        assert cache.selection_pass(table, "id", selection) is not None
+        del selection, keys
+        gc.collect()
+        assert watcher() is None
+
+    def test_id_reuse_cannot_alias_selection_passes(self):
+        """Force the ``id()``-reuse aliasing scenario deterministically.
+
+        A dead selection array's address can be recycled by a brand-new
+        array; the old ``id()``-keyed cache would then serve the dead
+        array's pass for the new one.  CPython's allocator makes the reuse
+        hard to force reliably from the outside, so this test constructs
+        the exact collision state in the token registry — a stale mapping
+        under the new array's ``id`` — and asserts the weakref validation
+        rejects it: the new array gets a fresh token and a cache miss, not
+        the stale pass.
+        """
+        import gc
+        import weakref
+
+        table = self._table()
+        cache = HashCache()
+        selection = np.array([1, 5, 9], dtype=np.int64)
+        keys = table.column("id").data[selection]
+        hashes = hash_keys(keys)
+        cache.store_selection_pass(table, "id", selection, (hashes, key_patterns(hashes)))
+        stale_token = cache._tokens.token(selection)
+
+        imposter = np.array([0, 2, 4], dtype=np.int64)  # different selection
+        # The collision: the registry holds an entry under the imposter's id
+        # that still describes the (conceptually dead) original array.
+        cache._tokens._by_id[id(imposter)] = (weakref.ref(selection), stale_token)
+        assert cache._tokens.token(imposter) != stale_token
+        assert cache.selection_pass(table, "id", imposter) is None
+        # The genuine array is unaffected.
+        assert cache.selection_pass(table, "id", selection) is not None
+
+        # And once an array truly dies, its registry entry is retired so the
+        # token can never be reissued to an address-recycled successor.
+        dead_key = id(selection)
+        del selection, keys
+        gc.collect()
+        assert dead_key not in cache._tokens._by_id
+
+    def test_full_pass_keys_survive_id_reuse_of_column_data(self):
+        """Same collision forcing for the full-column pass keys."""
+        import weakref
+
+        from repro.storage.table import Table
+
+        cache = HashCache()
+        first = Table.from_dict("t", {"id": np.arange(64, dtype=np.int64)})
+        cache.bloom_pass(first, "id")
+        assert cache.misses == 1
+        stale_token = cache._tokens.token(first.column("id").data)
+
+        replacement = Table.from_dict("t", {"id": np.arange(64, 128, dtype=np.int64)})
+        cache._tokens._by_id[id(replacement.column("id").data)] = (
+            weakref.ref(first.column("id").data),
+            stale_token,
+        )
+        hashes, _ = cache.bloom_pass(replacement, "id")
+        np.testing.assert_array_equal(hashes, hash_keys(replacement.column("id").data))
+        assert cache.misses == 2  # fresh pass, not the stale entry
+
 
 # ---------------------------------------------------------------------------
 # Precomputed-hash kernel APIs
