@@ -19,7 +19,9 @@ Quickstart::
 
 from repro.engine.database import Database, ExecutionOptions, ExplainResult, QueryResult
 from repro.engine.modes import ExecutionConfig, ExecutionMode
-from repro.errors import SqlError
+from repro.engine.server import Server, ServerConfig, ServerStats
+from repro.engine.session import Session
+from repro.errors import AdmissionRejected, SqlError
 from repro.plan.physical import PhysicalPlan
 from repro.query import (
     AggregateSpec,
@@ -34,6 +36,7 @@ from repro.query import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdmissionRejected",
     "AggregateSpec",
     "Database",
     "ExecutionConfig",
@@ -47,6 +50,10 @@ __all__ = [
     "QueryResult",
     "QuerySpec",
     "RelationRef",
+    "Server",
+    "ServerConfig",
+    "ServerStats",
+    "Session",
     "SqlError",
     "count_star",
     "__version__",

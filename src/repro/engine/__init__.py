@@ -1,6 +1,21 @@
-"""Engine façade: the Database entry point and execution modes."""
+"""Engine façade: the Database entry point, execution modes, and serving."""
 
 from repro.engine.database import Database, ExecutionOptions, ExplainResult, QueryResult
 from repro.engine.modes import ExecutionMode
+from repro.engine.plancache import PlanCache, PlanCacheKey
+from repro.engine.server import Server, ServerConfig, ServerStats
+from repro.engine.session import Session
 
-__all__ = ["Database", "ExecutionMode", "ExecutionOptions", "ExplainResult", "QueryResult"]
+__all__ = [
+    "Database",
+    "ExecutionMode",
+    "ExecutionOptions",
+    "ExplainResult",
+    "PlanCache",
+    "PlanCacheKey",
+    "QueryResult",
+    "Server",
+    "ServerConfig",
+    "ServerStats",
+    "Session",
+]

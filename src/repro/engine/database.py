@@ -71,7 +71,7 @@ from repro.plan.join_plan import JoinPlan, validate_plan_for_query
 from repro.plan.physical import PhysicalPlan, compile_execution
 from repro.query import QuerySpec
 from repro.sql import compile_statement
-from repro.storage.catalog import Catalog
+from repro.storage.catalog import Catalog, CatalogSnapshot
 from repro.storage.datatypes import DataType
 from repro.storage.table import ForeignKey, Table
 
@@ -214,6 +214,41 @@ class Database:
         self._shm_arena = None
         self._shm_arena_init_lock = threading.Lock()
         self._closed = False
+        # In-flight execution tracking: close() drains active queries
+        # before unlinking shared resources, and new admissions after
+        # close() raise immediately.
+        self._state = threading.Condition()
+        self._active = 0
+        # Release-driven invalidation: when the last snapshot pinning a
+        # replaced table version lets go, reclaim that version's cached
+        # artifacts and shared-memory segments.  (When nothing pins the old
+        # version, the catalog fires this synchronously from register —
+        # the old eager-invalidation behaviour.)
+        self.catalog.add_release_hook(self._on_version_released)
+
+    def _on_version_released(self, name: str, version: int) -> None:
+        cache = self._artifact_cache
+        if cache is not None:
+            cache.invalidate_version(name, version)
+        arena = self._shm_arena
+        if arena is not None:
+            arena.invalidate_version(name, version)
+
+    def _begin_execution(self) -> None:
+        with self._state:
+            self._ensure_open()
+            self._active += 1
+
+    def _end_execution(self) -> None:
+        with self._state:
+            self._active -= 1
+            self._state.notify_all()
+
+    @property
+    def active_queries(self) -> int:
+        """Number of queries currently executing (any thread)."""
+        with self._state:
+            return self._active
 
     @property
     def artifact_cache(self) -> Optional[ArtifactCache]:
@@ -258,10 +293,22 @@ class Database:
         the resources should be returned before interpreter exit (``atexit``
         hooks reclaim anything still live either way).  Executing queries
         after ``close()`` raises :class:`~repro.errors.ReproError`.
+
+        Safe to call while queries are in flight on other threads: close
+        first stops new admissions, then *drains* — waits for every active
+        execution to finish — before unlinking segments or shutting the
+        worker pool down, so a racing query never loses its columns
+        mid-run.  (To cut queries short instead of waiting, cancel their
+        tokens first — e.g. ``Server.close`` does.)  Every concurrent
+        ``close()`` call drains; only the first releases resources.
         """
-        if self._closed:
+        with self._state:
+            first = not self._closed
+            self._closed = True
+            while self._active:
+                self._state.wait()
+        if not first:
             return
-        self._closed = True
         if self._shm_arena is not None:
             self._shm_arena.close()
         # Imported lazily, and only if the process backend was ever used —
@@ -287,16 +334,15 @@ class Database:
     # Table registration
     # ------------------------------------------------------------------
     def register_table(self, table: Table, replace: bool = False) -> None:
-        """Register a pre-built :class:`Table`."""
+        """Register a pre-built :class:`Table`.
+
+        Replacing a table never tears an in-flight query: executions pin a
+        catalog snapshot, so a replaced version's cached artifacts and
+        shared-memory segments are reclaimed through the catalog's release
+        hooks — immediately when nothing pins the old version, otherwise
+        when its last reader releases it.
+        """
         self.catalog.register(table, replace=replace)
-        # Version-keyed lookups already make the replaced table's artifacts
-        # unreachable; dropping them eagerly returns their cache budget.
-        if self._artifact_cache is not None:
-            self._artifact_cache.invalidate_table(table.name)
-        # Likewise for shared-memory segments: the version key already
-        # misses, but the replaced table's segments hold real memory.
-        if self._shm_arena is not None:
-            self._shm_arena.invalidate_table(table.name)
 
     def register_dataframe(
         self,
@@ -340,6 +386,7 @@ class Database:
         fuse: bool,
         stats: Optional[ExecutionStats] = None,
         encodings: bool = False,
+        catalog: Optional[Any] = None,
     ) -> tuple[Dict[str, np.ndarray], Dict[str, int], Dict[str, tuple[int, int, int]]]:
         """:meth:`filter_masks`, optionally through fused conjunction kernels.
 
@@ -362,7 +409,8 @@ class Database:
         # which this engine module's package initializer already pulls in.
         from repro.expr.fusion import fuse_conjunction
 
-        store = self.catalog.encodings if encodings else None
+        catalog = catalog if catalog is not None else self.catalog
+        store = catalog.encodings if encodings else None
         if store is not None:
             from repro.expr import codespace
 
@@ -408,7 +456,7 @@ class Database:
         for ref in query.relations:
             if ref.filter is None:
                 continue
-            table = self.catalog.table(ref.table)
+            table = catalog.table(ref.table)
             if store is None:
                 evaluate_alias(ref, table, None)
                 continue
@@ -429,15 +477,18 @@ class Database:
         query: QuerySpec,
         use_filtered_sizes: bool = True,
         masks: Optional[Mapping[str, np.ndarray]] = None,
+        catalog: Optional[Any] = None,
     ) -> JoinGraph:
         """Build the join graph of a query with (filtered) relation cardinalities.
 
         ``masks`` — precomputed base-filter masks from :meth:`filter_masks` —
         avoids re-evaluating the predicates for the cardinalities.
+        ``catalog`` may be a pinned :class:`~repro.storage.catalog.CatalogSnapshot`.
         """
+        catalog = catalog if catalog is not None else self.catalog
         sizes: Dict[str, int] = {}
         for ref in query.relations:
-            table = self.catalog.table(ref.table)
+            table = catalog.table(ref.table)
             if use_filtered_sizes and ref.filter is not None:
                 if masks is not None and ref.alias in masks:
                     sizes[ref.alias] = int(masks[ref.alias].sum())
@@ -452,15 +503,17 @@ class Database:
         query: QuerySpec,
         options: Optional[ExecutionOptions] = None,
         graph: Optional[JoinGraph] = None,
+        catalog: Optional[Any] = None,
     ) -> JoinPlan:
         """The join plan chosen by the built-in cost-based optimizer."""
         options = options or ExecutionOptions()
-        graph = graph or self.join_graph(query)
+        catalog = catalog if catalog is not None else self.catalog
+        graph = graph or self.join_graph(query, catalog=catalog)
         bounds = None
         if options.resolved_execution().encodings:
-            bounds = self._zone_row_bounds(query)
+            bounds = self._zone_row_bounds(query, catalog=catalog)
         estimator = CardinalityEstimator(
-            self.catalog,
+            catalog,
             query,
             graph,
             error_model=options.estimation_error,
@@ -468,7 +521,9 @@ class Database:
         )
         return JoinOrderOptimizer(graph, estimator, options.optimizer).optimize()
 
-    def _zone_row_bounds(self, query: QuerySpec) -> Dict[str, int]:
+    def _zone_row_bounds(
+        self, query: QuerySpec, catalog: Optional[Any] = None
+    ) -> Dict[str, int]:
         """Hard per-alias row bounds on base predicates, from zone maps alone.
 
         A bound of 0 means every block's ``[min, max]`` interval provably
@@ -478,13 +533,14 @@ class Database:
         """
         from repro.expr import codespace
 
-        store = self.catalog.encodings
+        catalog = catalog if catalog is not None else self.catalog
+        store = catalog.encodings
         bounds: Dict[str, int] = {}
         for ref in query.relations:
             if ref.filter is None:
                 continue
             bound = codespace.rows_upper_bound(
-                ref.filter, self.catalog.table(ref.table), store
+                ref.filter, catalog.table(ref.table), store
             )
             if bound is not None:
                 bounds[ref.alias] = bound
@@ -507,6 +563,7 @@ class Database:
         mode: ExecutionMode = ExecutionMode.RPT,
         plan: Optional[JoinPlan] = None,
         options: Optional[ExecutionOptions] = None,
+        snapshot: Optional[CatalogSnapshot] = None,
     ) -> QueryResult:
         """Execute ``query`` under ``mode``.
 
@@ -522,28 +579,47 @@ class Database:
             configuration.
         options:
             Tuning knobs; defaults follow the paper (2% FPR, pruning on).
+        snapshot:
+            A pinned :class:`~repro.storage.catalog.CatalogSnapshot` to
+            execute against (MVCC-lite isolation: a concurrent
+            ``register_table(replace=True)`` cannot tear this run).  When
+            omitted the execution pins — and releases — its own snapshot;
+            a caller-supplied snapshot stays pinned for the caller to
+            release.
         """
-        self._ensure_open()
         options = options or ExecutionOptions()
-        stats = ExecutionStats(query_name=query.name, mode=mode.value)
-        # An explicit per-execution fault plan overrides the process-global
-        # injector for the duration of this call (the env-driven plan, when
-        # any, is restored afterwards by re-reading REPRO_FAULTS lazily).
-        scoped_faults = False
-        config_probe = options.resolved_execution()
-        if config_probe.faults is not None:
-            faults.configure(config_probe.faults)
-            scoped_faults = True
+        self._begin_execution()
+        owned: Optional[CatalogSnapshot] = None
         try:
-            return self._execute_configured(query, mode, plan, options, stats)
-        except (QueryTimeout, QueryCancelled) as error:
-            # The typed deadline/cancel errors carry the partial statistics
-            # of the aborted run.
-            error.stats = stats
-            raise
+            if snapshot is None:
+                owned = snapshot = self.catalog.snapshot(
+                    ref.table for ref in query.relations
+                )
+            stats = ExecutionStats(query_name=query.name, mode=mode.value)
+            # An explicit per-execution fault plan overrides the process-global
+            # injector for the duration of this call (the env-driven plan, when
+            # any, is restored afterwards by re-reading REPRO_FAULTS lazily).
+            scoped_faults = False
+            config_probe = options.resolved_execution()
+            if config_probe.faults is not None:
+                faults.configure(config_probe.faults)
+                scoped_faults = True
+            try:
+                return self._execute_configured(
+                    query, mode, plan, options, stats, snapshot
+                )
+            except (QueryTimeout, QueryCancelled) as error:
+                # The typed deadline/cancel errors carry the partial statistics
+                # of the aborted run.
+                error.stats = stats
+                raise
+            finally:
+                if scoped_faults:
+                    faults.clear()
         finally:
-            if scoped_faults:
-                faults.clear()
+            if owned is not None:
+                owned.release()
+            self._end_execution()
 
     def _execute_configured(
         self,
@@ -552,8 +628,9 @@ class Database:
         plan: Optional[JoinPlan],
         options: ExecutionOptions,
         stats: ExecutionStats,
+        snapshot: CatalogSnapshot,
     ) -> QueryResult:
-        prep = self._prepare(query, mode, plan, options, stats)
+        prep = self._prepare(query, mode, plan, options, stats, catalog=snapshot)
         plan, graph, schedule = prep.plan, prep.graph, prep.schedule
         join_tree, masks, physical, config = prep.join_tree, prep.masks, prep.physical, prep.config
         spill = SpillManager()
@@ -581,12 +658,12 @@ class Database:
                 ref.alias: mask_fingerprint(masks.get(ref.alias)) for ref in query.relations
             }
             table_versions = {
-                ref.alias: self.catalog.version(ref.table) for ref in query.relations
+                ref.alias: snapshot.version(ref.table) for ref in query.relations
             }
         executor = PipelineExecutor(
             query,
             graph,
-            catalog=self.catalog,
+            catalog=snapshot,
             options=PipelineOptions(
                 transfer_fpr=options.transfer.fpr,
                 join_fpr=options.join.fpr,
@@ -690,10 +767,18 @@ class Database:
         and returns an :class:`ExplainResult` whose stats carry one zero-cost
         entry per compiled op, so the usual trace renderers work on it.
         """
-        self._ensure_open()
         options = options or ExecutionOptions()
-        stats = ExecutionStats(query_name=query.name, mode=mode.value)
-        prep = self._prepare(query, mode, plan, options, stats)
+        self._begin_execution()
+        try:
+            stats = ExecutionStats(query_name=query.name, mode=mode.value)
+            with self.catalog.snapshot(
+                ref.table for ref in query.relations
+            ) as snapshot:
+                prep = self._prepare(
+                    query, mode, plan, options, stats, catalog=snapshot
+                )
+        finally:
+            self._end_execution()
         for index, op in enumerate(prep.physical.ops):
             entry = OpStats(index=index, kind=op.kind, detail=op.describe())
             # Block-encoded runs know their zone-map pruning at plan time
@@ -763,8 +848,14 @@ class Database:
         plan: Optional[JoinPlan],
         options: ExecutionOptions,
         stats: ExecutionStats,
+        catalog: Optional[Any] = None,
     ) -> _PreparedExecution:
-        """The shared planning front half of :meth:`execute` / :meth:`explain`."""
+        """The shared planning front half of :meth:`execute` / :meth:`explain`.
+
+        ``catalog`` is the pinned snapshot the run plans against (defaults
+        to the live catalog for direct callers).
+        """
+        catalog = catalog if catalog is not None else self.catalog
         if not query.is_connected() and len(query.relations) > 1:
             raise PlanError(
                 f"query {query.name!r} has a disconnected join graph; "
@@ -780,8 +871,9 @@ class Database:
                 fuse=bool(config.fuse_filters),
                 stats=stats,
                 encodings=bool(config.encodings),
+                catalog=catalog,
             )
-        graph = self.join_graph(query, masks=masks)
+        graph = self.join_graph(query, masks=masks, catalog=catalog)
 
         join_tree: Optional[JoinTree] = None
         schedule: Optional[TransferSchedule] = None
@@ -789,7 +881,7 @@ class Database:
             join_tree, schedule = self._build_schedule(mode, graph, options)
 
         if plan is None:
-            plan = self.optimizer_plan(query, options, graph)
+            plan = self.optimizer_plan(query, options, graph, catalog=catalog)
         validate_plan_for_query(plan, query.aliases)
 
         if options.verify_safe_join_order and plan.is_left_deep() and is_alpha_acyclic(graph):
@@ -807,7 +899,7 @@ class Database:
             mode,
             plan,
             graph,
-            tables={ref.alias: self.catalog.table(ref.table) for ref in query.relations},
+            tables={ref.alias: catalog.table(ref.table) for ref in query.relations},
             schedule=schedule,
             partition_threshold=config.partition_threshold,
             partition_bits=config.partition_bits or 0,

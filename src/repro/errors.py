@@ -136,6 +136,29 @@ class SqlError(ReproError):
         )
 
 
+class AdmissionRejected(ReproError):
+    """The serving layer declined to admit a query (typed backpressure).
+
+    Raised by :class:`~repro.engine.server.Server` when the bounded
+    admission queue is full, an admission wait times out, or the server's
+    memory budget cannot cover another concurrent query.  Carries a
+    ``retry_after_seconds`` hint (derived from observed service latency
+    and queue depth) so closed-loop clients can back off instead of
+    hammering an overloaded server, plus a machine-readable ``reason``
+    (``"queue_full"`` / ``"timeout"`` / ``"memory"`` / ``"closed"``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        retry_after_seconds: float = 0.1,
+        reason: str = "overload",
+    ) -> None:
+        super().__init__(message)
+        self.retry_after_seconds = float(retry_after_seconds)
+        self.reason = reason
+
+
 class WorkloadError(ReproError):
     """A workload generator or query-set definition is invalid."""
 

@@ -59,8 +59,15 @@ import atexit
 import multiprocessing
 import os
 import pickle
+import threading
 import time
-from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor, wait
+from concurrent.futures import (
+    BrokenExecutor,
+    CancelledError,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -251,6 +258,10 @@ def _match_task(
 _POOL: Optional[ProcessPoolExecutor] = None
 _POOL_KEY: Optional[Tuple[str, int, Optional[str]]] = None
 
+#: Guards the shared pool globals: concurrent server queries acquire the
+#: pool (and respawn it after crashes) from many threads at once.
+_POOL_LOCK = threading.RLock()
+
 
 def _start_method() -> str:
     return "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
@@ -264,20 +275,21 @@ def _current_fault_spec() -> Optional[str]:
 
 def _shared_pool(num_workers: int) -> ProcessPoolExecutor:
     global _POOL, _POOL_KEY
-    key = (_start_method(), num_workers, _current_fault_spec())
-    if _POOL is not None and _POOL_KEY == key:
+    with _POOL_LOCK:
+        key = (_start_method(), num_workers, _current_fault_spec())
+        if _POOL is not None and _POOL_KEY == key:
+            return _POOL
+        shutdown_workers()
+        faults.fire("process.pool", "injected worker-pool start failure")
+        context = multiprocessing.get_context(key[0])
+        _POOL = ProcessPoolExecutor(
+            max_workers=num_workers,
+            mp_context=context,
+            initializer=_worker_init,
+            initargs=(key[0], key[2]),
+        )
+        _POOL_KEY = key
         return _POOL
-    shutdown_workers()
-    faults.fire("process.pool", "injected worker-pool start failure")
-    context = multiprocessing.get_context(key[0])
-    _POOL = ProcessPoolExecutor(
-        max_workers=num_workers,
-        mp_context=context,
-        initializer=_worker_init,
-        initargs=(key[0], key[2]),
-    )
-    _POOL_KEY = key
-    return _POOL
 
 
 def _respawn_pool() -> None:
@@ -286,12 +298,20 @@ def _respawn_pool() -> None:
 
 
 def shutdown_workers() -> None:
-    """Shut the shared worker pool down (tests / interpreter shutdown)."""
+    """Shut the shared worker pool down (tests / interpreter shutdown).
+
+    Concurrent queries that raced a submit into the dying pool see
+    ``RuntimeError``/``CancelledError`` from it; ``_run_morsels`` treats
+    both as retryable, so their morsels re-run on the next pool (or fall
+    back inline) bit-identically.
+    """
     global _POOL, _POOL_KEY
-    if _POOL is not None:
-        _POOL.shutdown(wait=True, cancel_futures=True)
+    with _POOL_LOCK:
+        pool = _POOL
         _POOL = None
         _POOL_KEY = None
+    if pool is not None:
+        pool.shutdown(wait=True, cancel_futures=True)
 
 
 atexit.register(shutdown_workers)
@@ -446,9 +466,11 @@ class ProcessBackend(ExecutionBackend):
                     submitted.append(
                         (i, pool.submit(task_fn, spec_ref, task_input, *morsels[i]))
                     )
-            except BrokenExecutor:
-                # A worker died while this round was still being submitted;
-                # gather what did get in, then retry the rest.
+            except (BrokenExecutor, RuntimeError):
+                # A worker died while this round was still being submitted —
+                # or another thread shut this pool down under us
+                # (RuntimeError: "cannot schedule new futures after
+                # shutdown"); gather what did get in, then retry the rest.
                 retryable = True
                 self.worker_crashes += 1
             try:
@@ -457,6 +479,12 @@ class ProcessBackend(ExecutionBackend):
                     try:
                         results[i] = future.result()
                         done[i] = True
+                    except CancelledError:
+                        # Another thread's shutdown/respawn cancelled our
+                        # queued future before a worker picked it up; the
+                        # morsel simply re-runs next round.
+                        retryable = True
+                        break
                     except (BrokenExecutor, ExecutionError, OSError) as error:
                         # A dead worker (all pending futures now fail) or a
                         # transient worker-side error: stop gathering this

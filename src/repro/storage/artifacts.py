@@ -188,6 +188,24 @@ class ArtifactCache:
                 self._bytes -= self._entries.pop(key).size_bytes
             return len(stale)
 
+    def invalidate_version(self, table: str, version: int) -> int:
+        """Drop every artifact built over one version of ``table``.
+
+        The release-driven path: the catalog fires this (through the
+        database's release hooks) when the last snapshot pinning a replaced
+        version lets go — so artifacts stay warm for in-flight readers of
+        the old version and are reclaimed the moment nobody can reach them.
+        """
+        with self._lock:
+            stale = [
+                key
+                for key in self._entries
+                if key.table == table and key.table_version == version
+            ]
+            for key in stale:
+                self._bytes -= self._entries.pop(key).size_bytes
+            return len(stale)
+
     def clear(self) -> None:
         """Drop every cached artifact."""
         with self._lock:

@@ -34,6 +34,7 @@ built lazily on first use and invalidated when a table is replaced.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, Iterator, Optional, Tuple
 
@@ -257,10 +258,19 @@ class EncodingStore:
     version in the key can never serve stale buffers.  Encoded forms are
     built lazily on first use — registration only pays for the statistics
     the catalog already computes.
+
+    Thread safety: the store's own lock guards only its dicts.  Keys are
+    computed (which calls back into the catalog, taking the catalog lock)
+    *before* the store lock is taken — never the other way round — so the
+    catalog can safely invalidate this store from ``register()``.  Two
+    threads may race to build the same entry; the loser's build is
+    discarded (``setdefault``), which is benign — both built from the same
+    pinned column data.
     """
 
     def __init__(self, catalog) -> None:
         self.catalog = catalog
+        self._lock = threading.Lock()
         self._encoded: Dict[Tuple[str, int, str], Optional[EncodedColumn]] = {}
         self._zone_maps: Dict[Tuple[str, int, str], Optional[ZoneMap]] = {}
 
@@ -278,15 +288,18 @@ class EncodingStore:
         key = self._key(table, column)
         if key is None:
             return None
-        if key not in self._encoded:
-            col = table.column(column)
+        with self._lock:
+            if key in self._encoded:
+                return self._encoded[key]
+        col = table.column(column)
+        distinct = None
+        try:
+            distinct = self.catalog.statistics(table.name).distinct(column)
+        except Exception:
             distinct = None
-            try:
-                distinct = self.catalog.statistics(table.name).distinct(column)
-            except Exception:
-                distinct = None
-            self._encoded[key] = choose_encoding(col, distinct_count=distinct)
-        return self._encoded[key]
+        built = choose_encoding(col, distinct_count=distinct)
+        with self._lock:
+            return self._encoded.setdefault(key, built)
 
     def zone_map(self, table, column: str) -> Optional[ZoneMap]:
         """The zone map over ``table.column(column)``'s physical values.
@@ -297,17 +310,23 @@ class EncodingStore:
         key = self._key(table, column)
         if key is None:
             return None
-        if key not in self._zone_maps:
-            encoded = self.encoded(table, column)
-            if encoded is not None:
-                self._zone_maps[key] = encoded.zone_map
+        with self._lock:
+            if key in self._zone_maps:
+                return self._zone_maps[key]
+        encoded = self.encoded(table, column)
+        if encoded is not None:
+            built: Optional[ZoneMap] = encoded.zone_map
+        else:
+            col = table.column(column)
+            if not col.dtype.is_integer_backed or col.num_rows == 0:
+                built = None
             else:
-                col = table.column(column)
-                if not col.dtype.is_integer_backed or col.num_rows == 0:
-                    self._zone_maps[key] = None
-                else:
-                    self._zone_maps[key] = ZoneMap.build(col.data)
-        return self._zone_maps[key]
+                built = ZoneMap.build(col.data)
+        with self._lock:
+            if key in self._zone_maps:
+                return self._zone_maps[key]
+            self._zone_maps[key] = built
+            return built
 
     def token(self, table, column: str) -> str:
         """Encoding identity of a column (``"raw"`` when unencoded)."""
@@ -323,11 +342,13 @@ class EncodingStore:
 
     def invalidate_table(self, name: str) -> None:
         """Drop every cached entry of ``name`` (any version)."""
-        for cache in (self._encoded, self._zone_maps):
-            for key in [k for k in cache if k[0] == name]:
-                del cache[key]
+        with self._lock:
+            for cache in (self._encoded, self._zone_maps):
+                for key in [k for k in cache if k[0] == name]:
+                    del cache[key]
 
     def clear(self) -> None:
         """Drop every cached entry."""
-        self._encoded.clear()
-        self._zone_maps.clear()
+        with self._lock:
+            self._encoded.clear()
+            self._zone_maps.clear()

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import atexit
 import os
+import threading
 import weakref
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
@@ -60,23 +61,32 @@ _UNLINK_FAULT_RETRIES = 3
 _LIVE: Dict[str, Tuple[shared_memory.SharedMemory, int]] = {}
 _COUNTER = 0
 
+#: Guards ``_LIVE`` and ``_COUNTER``: concurrent server queries create and
+#: unlink transient segments from many threads, and an unguarded counter
+#: increment could mint duplicate segment names.
+_REGISTRY_LOCK = threading.Lock()
+
 
 def _next_name() -> str:
     global _COUNTER
-    _COUNTER += 1
-    return f"{SEGMENT_PREFIX}_{os.getpid()}_{_COUNTER}"
+    with _REGISTRY_LOCK:
+        _COUNTER += 1
+        counter = _COUNTER
+    return f"{SEGMENT_PREFIX}_{os.getpid()}_{counter}"
 
 
 def create_segment(nbytes: int) -> shared_memory.SharedMemory:
     """Create (and register) a shared-memory segment owned by this process."""
     segment = shared_memory.SharedMemory(create=True, size=max(int(nbytes), 1), name=_next_name())
-    _LIVE[segment.name] = (segment, os.getpid())
+    with _REGISTRY_LOCK:
+        _LIVE[segment.name] = (segment, os.getpid())
     return segment
 
 
 def unlink_segment(segment: shared_memory.SharedMemory) -> None:
     """Close and unlink an owned segment; idempotent, fork-safe."""
-    entry = _LIVE.pop(segment.name, None)
+    with _REGISTRY_LOCK:
+        entry = _LIVE.pop(segment.name, None)
     if entry is not None and entry[1] != os.getpid():
         # A forked child inherited the registry; the parent owns the segment.
         return
@@ -99,13 +109,15 @@ def unlink_segment(segment: shared_memory.SharedMemory) -> None:
 def live_segment_count() -> int:
     """Segments created by this process and not yet unlinked."""
     pid = os.getpid()
-    return sum(1 for _, owner in _LIVE.values() if owner == pid)
+    with _REGISTRY_LOCK:
+        return sum(1 for _, owner in _LIVE.values() if owner == pid)
 
 
 def live_segment_names() -> Tuple[str, ...]:
     """Names of this process's live segments (for leak diagnostics)."""
     pid = os.getpid()
-    return tuple(name for name, (_, owner) in _LIVE.items() if owner == pid)
+    with _REGISTRY_LOCK:
+        return tuple(name for name, (_, owner) in _LIVE.items() if owner == pid)
 
 
 def assert_no_leaks() -> None:
@@ -126,8 +138,7 @@ def published_segment_names() -> Tuple[str, ...]:
     """Names of segments currently published by any live arena."""
     names = []
     for arena in list(_ARENAS):
-        for segments, _ in arena._segments.values():
-            names.extend(segment.name for segment in segments)
+        names.extend(arena.segment_names())
     return tuple(names)
 
 
@@ -146,12 +157,14 @@ def assert_no_transient_leaks() -> None:
 def release_all() -> None:
     """Unlink every segment this process still owns (shutdown / test teardown)."""
     pid = os.getpid()
-    for name in list(_LIVE):
-        segment, owner = _LIVE[name]
+    with _REGISTRY_LOCK:
+        entries = list(_LIVE.items())
+    for name, (segment, owner) in entries:
         if owner == pid:
             unlink_segment(segment)
         else:
-            _LIVE.pop(name, None)
+            with _REGISTRY_LOCK:
+                _LIVE.pop(name, None)
 
 
 atexit.register(release_all)
@@ -245,6 +258,11 @@ def gather_encoded(ref: EncodedColumnRef, selection: np.ndarray) -> np.ndarray:
 _ATTACHED: Dict[str, Tuple[shared_memory.SharedMemory, np.ndarray]] = {}
 _ATTACH_CACHE_LIMIT = 64
 
+#: Guards ``_ATTACHED``: worker processes are single-threaded, but the
+#: owner process also attaches (inline crash-recovery fallback and encoded
+#: gathers) and may do so from many server threads at once.
+_ATTACH_LOCK = threading.Lock()
+
 #: Whether :func:`attach_array` must undo the resource-tracker registration
 #: Python < 3.13 performs on attach.  True for processes with their *own*
 #: tracker (spawn workers: their tracker would otherwise unlink segments the
@@ -261,9 +279,10 @@ def attach_array(ref: ShmArrayRef) -> np.ndarray:
     The attached segment is cached by name — segment names are never reused
     within a process, so a cached mapping can never alias different data.
     """
-    cached = _ATTACHED.get(ref.name)
-    if cached is not None:
-        return cached[1]
+    with _ATTACH_LOCK:
+        cached = _ATTACHED.get(ref.name)
+        if cached is not None:
+            return cached[1]
     faults.fire("shm.attach", f"injected fault attaching segment {ref.name}")
     segment = shared_memory.SharedMemory(name=ref.name)
     if _UNREGISTER_ON_ATTACH and ref.name not in _LIVE:
@@ -272,25 +291,37 @@ def attach_array(ref: ShmArrayRef) -> np.ndarray:
         except Exception:  # pragma: no cover - tracker internals vary
             pass
     array = np.ndarray(ref.shape, dtype=np.dtype(ref.dtype), buffer=segment.buf)
-    if len(_ATTACHED) >= _ATTACH_CACHE_LIMIT:
-        evict_name, (evict_segment, _) = next(iter(_ATTACHED.items()))
-        _ATTACHED.pop(evict_name, None)
-        try:
-            evict_segment.close()
-        except (OSError, BufferError):  # pragma: no cover
-            pass
-    _ATTACHED[ref.name] = (segment, array)
+    with _ATTACH_LOCK:
+        existing = _ATTACHED.get(ref.name)
+        if existing is not None:
+            # Lost a race to attach the same segment: keep the first
+            # mapping (arrays over it may already be in use) and drop ours.
+            try:
+                segment.close()
+            except (OSError, BufferError):  # pragma: no cover
+                pass
+            return existing[1]
+        if len(_ATTACHED) >= _ATTACH_CACHE_LIMIT:
+            evict_name, (evict_segment, _) = next(iter(_ATTACHED.items()))
+            _ATTACHED.pop(evict_name, None)
+            try:
+                evict_segment.close()
+            except (OSError, BufferError):  # pragma: no cover
+                pass
+        _ATTACHED[ref.name] = (segment, array)
     return array
 
 
 def detach_all() -> None:
     """Close every cached worker-side attachment (worker shutdown)."""
-    for segment, _ in list(_ATTACHED.values()):
+    with _ATTACH_LOCK:
+        segments = [segment for segment, _ in _ATTACHED.values()]
+        _ATTACHED.clear()
+    for segment in segments:
         try:
             segment.close()
         except (OSError, BufferError):  # pragma: no cover
             pass
-    _ATTACHED.clear()
 
 
 # ---------------------------------------------------------------------------
@@ -304,12 +335,15 @@ class SharedColumnArena:
     probes to worker processes.  Segments are keyed by
     ``(table name, catalog version, column)`` — the same version the
     artifact cache keys on — so a table replace both *misses* the old key
-    (new version) and eagerly unlinks the old segments through
-    :meth:`invalidate_table`.
+    (new version) and unlinks the old segments once the catalog's release
+    hooks fire :meth:`invalidate_version` (release-driven: a replace while
+    a snapshot still reads the old version defers the unlink until the
+    last reader lets go, so in-flight workers never lose their columns).
     """
 
     def __init__(self, catalog) -> None:
         self.catalog = catalog
+        self._lock = threading.Lock()
         self._segments: Dict[
             Tuple[str, int, str, bool], Tuple[Tuple[shared_memory.SharedMemory, ...], object]
         ] = {}
@@ -348,9 +382,10 @@ class SharedColumnArena:
             if candidate is not None and candidate.encoding in ("pack", "dict"):
                 encoded_column = candidate
         key = (table.name, version, column, encoded_column is not None)
-        entry = self._segments.get(key)
-        if entry is not None:
-            return entry[1]
+        with self._lock:
+            entry = self._segments.get(key)
+            if entry is not None:
+                return entry[1]
         if encoded_column is not None:
             codes_segment, codes_ref = share_array(encoded_column.codes)
             segments: Tuple[shared_memory.SharedMemory, ...] = (codes_segment,)
@@ -370,8 +405,16 @@ class SharedColumnArena:
         else:
             segment, ref = share_array(col.data)
             segments = (segment,)
-        self._segments[key] = (segments, ref)
-        return ref
+        with self._lock:
+            existing = self._segments.get(key)
+            if existing is None:
+                self._segments[key] = (segments, ref)
+                return ref
+        # Lost a publish race: keep the winner (its ref may already be in
+        # worker task messages) and unlink our duplicate segments.
+        for segment in segments:
+            unlink_segment(segment)
+        return existing[1]
 
     def segment_bytes(self, ref) -> int:
         """Published bytes behind a ref (for MemoryGovernor accounting)."""
@@ -380,16 +423,28 @@ class SharedColumnArena:
     @property
     def total_bytes(self) -> int:
         """Total bytes currently published by this arena."""
-        return sum(ref.nbytes for _, ref in self._segments.values())
+        with self._lock:
+            return sum(ref.nbytes for _, ref in self._segments.values())
 
     @property
     def num_segments(self) -> int:
         """Number of live published segments."""
-        return sum(len(segments) for segments, _ in self._segments.values())
+        with self._lock:
+            return sum(len(segments) for segments, _ in self._segments.values())
 
     def published_keys(self) -> Tuple[Tuple[str, int, str, bool], ...]:
         """The (table, version, column, encoded) keys currently published."""
-        return tuple(self._segments)
+        with self._lock:
+            return tuple(self._segments)
+
+    def segment_names(self) -> Tuple[str, ...]:
+        """Names of every OS segment this arena currently publishes."""
+        with self._lock:
+            return tuple(
+                segment.name
+                for segments, _ in self._segments.values()
+                for segment in segments
+            )
 
     def republish_missing(self) -> int:
         """Verify published segments still exist at the OS level.
@@ -403,8 +458,9 @@ class SharedColumnArena:
         dropped for republication.
         """
         repaired = 0
-        for key in list(self._segments):
-            segments, _ = self._segments[key]
+        with self._lock:
+            entries = list(self._segments.items())
+        for key, (segments, _) in entries:
             missing = False
             for segment in segments:
                 try:
@@ -416,7 +472,8 @@ class SharedColumnArena:
                 except Exception:  # pragma: no cover - platform-specific probe failure
                     continue
             if missing:
-                self._segments.pop(key)
+                with self._lock:
+                    self._segments.pop(key, None)
                 for segment in segments:
                     unlink_segment(segment)
                 repaired += 1
@@ -424,15 +481,39 @@ class SharedColumnArena:
 
     def invalidate_table(self, name: str) -> None:
         """Unlink every published segment of ``name`` (any version)."""
-        for key in [k for k in self._segments if k[0] == name]:
-            segments, _ = self._segments.pop(key)
+        with self._lock:
+            stale = [
+                self._segments.pop(key)
+                for key in [k for k in self._segments if k[0] == name]
+            ]
+        for segments, _ in stale:
+            for segment in segments:
+                unlink_segment(segment)
+
+    def invalidate_version(self, name: str, version: int) -> None:
+        """Unlink the published segments of one ``(table, version)``.
+
+        Fired by the catalog's release hooks when the last snapshot pinning
+        a replaced version releases it — never while a reader can still
+        ship the segments to workers.
+        """
+        with self._lock:
+            stale = [
+                self._segments.pop(key)
+                for key in [
+                    k for k in self._segments if k[0] == name and k[1] == version
+                ]
+            ]
+        for segments, _ in stale:
             for segment in segments:
                 unlink_segment(segment)
 
     def close(self) -> None:
         """Unlink every published segment; idempotent."""
-        for key in list(self._segments):
-            segments, _ = self._segments.pop(key)
+        with self._lock:
+            entries = list(self._segments.values())
+            self._segments.clear()
+        for segments, _ in entries:
             for segment in segments:
                 unlink_segment(segment)
 

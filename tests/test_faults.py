@@ -420,6 +420,65 @@ class TestDatabaseClose:
         db.close()
         assert shm.live_segment_count() == before
 
+    def test_close_drains_in_flight_queries(self):
+        """``close()`` waits for running queries instead of unlinking under them."""
+        import threading
+
+        from repro.workloads import tpch
+
+        db = Database()
+        tpch.load(db, scale=0.02, seed=1)
+        query = tpch.query(3)
+        baseline = db.execute(query, options=_options(backend="serial"))
+
+        results, errors = [], []
+
+        def client():
+            try:
+                results.append(db.execute(query, options=_options(backend="serial")))
+            except ReproError as exc:  # admission refused post-close is also legal
+                errors.append(exc)
+
+        threads = [threading.Thread(target=client) for _ in range(4)]
+        for t in threads:
+            t.start()
+        db.close()  # must drain, not race, the in-flight executions
+        for t in threads:
+            t.join()
+        assert db.closed and db.active_queries == 0
+        # Whatever was admitted before close finished bit-identical.
+        for result in results:
+            _assert_identical(result, baseline)
+        for exc in errors:
+            assert "closed" in str(exc)
+
+    def test_concurrent_close_is_safe(self):
+        """Many threads calling close() concurrently: one unlink, no errors."""
+        import threading
+
+        from repro.workloads import tpch
+
+        db = Database()
+        tpch.load(db, scale=0.01, seed=1)
+        db.execute(tpch.query(3), options=_options(backend="serial"))
+        failures = []
+
+        def closer():
+            try:
+                db.close()
+            except Exception as exc:  # noqa: BLE001 - any error is a failure here
+                failures.append(exc)
+
+        threads = [threading.Thread(target=closer) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not failures
+        assert db.closed
+        with pytest.raises(ReproError, match="closed"):
+            db.execute(tpch.query(3))
+
 
 # ---------------------------------------------------------------------------
 # The sweep harness (subset; CI runs the full 56-file sweep)
