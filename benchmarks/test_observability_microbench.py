@@ -1,0 +1,79 @@
+"""Tracing-overhead gate: observability must cost <2% on the star probe.
+
+The tentpole contract of the tracing subsystem is that it is pay-as-you-go:
+with ``tracing=False`` the run loop never touches the tracer, and with
+``tracing=True`` the per-op span bookkeeping stays under 2% of the untraced
+wall time on the 1M-row star-probe query (with a small absolute slack so
+timer noise on sub-second runs cannot flake the gate).  The measurement is
+recorded as ``BENCH_observability.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench import (
+    format_observability_microbench,
+    print_report,
+    run_observability_microbench,
+    write_bench_json,
+)
+
+#: Where the perf-trajectory record lands (repo root, next to ROADMAP.md).
+BENCH_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_observability.json"
+
+
+@pytest.mark.benchmark(group="observability")
+def test_tracing_overhead_gate_on_star_probe(benchmark, tmp_path):
+    """Span tracing must cost <2% (plus 10ms slack) on the 1M-row probe."""
+    cores = os.cpu_count() or 1
+
+    def run():
+        return run_observability_microbench(
+            fact_rows=1 << 20,
+            num_dims=2,
+            repeats=3,
+        )
+
+    measurement = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_report(format_observability_microbench(measurement))
+
+    # Refresh the committed perf-trajectory record only when explicitly
+    # recording (REPRO_BENCH_RECORD=1); a plain test run writes to tmp so
+    # running the suite never dirties the working tree.
+    target = (
+        BENCH_JSON_PATH
+        if os.environ.get("REPRO_BENCH_RECORD")
+        else tmp_path / "BENCH_observability.json"
+    )
+    written = write_bench_json(
+        target,
+        name="observability_microbench",
+        measurements=[measurement.as_dict()],
+        metadata={"cores": cores},
+    )
+    recorded = json.loads(written.read_text())["measurements"]
+    assert len(recorded) == 1
+    entry = recorded[0]
+    assert entry["kind"] == "observability_overhead"
+    for field in (
+        "baseline_seconds",
+        "traced_seconds",
+        "overhead_seconds",
+        "overhead_fraction",
+        "span_count",
+    ):
+        assert field in entry
+
+    assert measurement.span_count > 0, "traced run must produce spans"
+    allowed = max(0.02 * measurement.baseline_seconds, 0.010)
+    assert measurement.overhead_seconds <= allowed, (
+        f"tracing cost {measurement.overhead_seconds * 1e3:.2f}ms "
+        f"({measurement.overhead_fraction * 100:.2f}%) on a "
+        f"{measurement.baseline_seconds * 1e3:.0f}ms probe; allowed "
+        f"{allowed * 1e3:.2f}ms"
+    )

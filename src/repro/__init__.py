@@ -17,7 +17,13 @@ Quickstart::
     print(result.aggregates, result.stats.summary())
 """
 
-from repro.engine.database import Database, ExecutionOptions, ExplainResult, QueryResult
+from repro.engine.database import (
+    Database,
+    ExecutionOptions,
+    ExplainAnalyzeResult,
+    ExplainResult,
+    QueryResult,
+)
 from repro.engine.modes import ExecutionConfig, ExecutionMode
 from repro.engine.server import Server, ServerConfig, ServerStats
 from repro.engine.session import Session
@@ -42,6 +48,7 @@ __all__ = [
     "ExecutionConfig",
     "ExecutionMode",
     "ExecutionOptions",
+    "ExplainAnalyzeResult",
     "ExplainResult",
     "JoinCondition",
     "PhysicalPlan",

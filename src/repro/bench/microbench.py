@@ -1150,6 +1150,145 @@ def format_deadline_overhead_microbench(measurement: DeadlineOverheadMeasurement
     )
 
 
+@dataclass(frozen=True)
+class ObservabilityMeasurement:
+    """Cost of span tracing on the 1M-row star probe.
+
+    The same RPT star query runs on the serial backend twice: untraced
+    (``tracing=False``, the zero-overhead configuration — the run loop
+    never touches the tracer) and traced (``tracing=True``: one ``op``
+    span per dispatched op under ``phase`` spans, plus decision events).
+    The gap between the two best-of-``repeats`` times is the full price of
+    observability; the CI gate asserts it stays under 2% (with a small
+    absolute slack so timer noise on sub-second runs cannot flake the
+    gate).  Aggregates are asserted bit-identical, and the traced run must
+    actually produce a span tree.
+    """
+
+    fact_rows: int
+    dim_rows: int
+    num_dims: int
+    baseline_seconds: float
+    traced_seconds: float
+    span_count: int
+
+    @property
+    def overhead_seconds(self) -> float:
+        """Absolute extra wall time with tracing enabled."""
+        return self.traced_seconds - self.baseline_seconds
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Relative overhead of tracing (negative means in-noise)."""
+        if self.baseline_seconds <= 0:
+            return 0.0
+        return self.overhead_seconds / self.baseline_seconds
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation (written to ``BENCH_observability.json``)."""
+        return {
+            "kind": "observability_overhead",
+            "fact_rows": self.fact_rows,
+            "dim_rows": self.dim_rows,
+            "num_dims": self.num_dims,
+            "baseline_seconds": self.baseline_seconds,
+            "traced_seconds": self.traced_seconds,
+            "overhead_seconds": self.overhead_seconds,
+            "overhead_fraction": self.overhead_fraction,
+            "span_count": self.span_count,
+        }
+
+
+def run_observability_microbench(
+    fact_rows: int = 1 << 20,
+    dim_rows: Optional[int] = None,
+    num_dims: int = 2,
+    seed: int = 31,
+    repeats: int = 3,
+) -> ObservabilityMeasurement:
+    """Measure what span tracing costs on the star probe.
+
+    Reuses the scaling microbenchmark's 1M-row star query on the serial
+    backend with caches pinned off, untraced vs traced.  Both
+    configurations are asserted bit-identical, and the traced best run
+    must carry a non-trivial span tree (query -> phase -> op).
+    """
+    from repro.engine.database import ExecutionOptions
+    from repro.engine.modes import ExecutionConfig, ExecutionMode
+    from repro.errors import BenchmarkError
+
+    dims = dim_rows if dim_rows is not None else fact_rows // 2
+    db, query = _transfer_database(fact_rows, dims, num_dims, seed)
+    plan = db.optimizer_plan(query)
+
+    def options(tracing: bool) -> ExecutionOptions:
+        return ExecutionOptions(
+            execution=ExecutionConfig(
+                backend="serial",
+                tracing=tracing,
+                hash_cache=False,
+                artifact_cache=False,
+            )
+        )
+
+    def best_run(tracing: bool):
+        best = None
+        seconds = float("inf")
+        for _ in range(max(repeats, 1)):
+            start = time.perf_counter()
+            result = db.execute(
+                query, mode=ExecutionMode.RPT, plan=plan, options=options(tracing)
+            )
+            elapsed = time.perf_counter() - start
+            if elapsed < seconds:
+                seconds = elapsed
+                best = result
+        return best, seconds
+
+    try:
+        baseline, baseline_s = best_run(False)
+        traced, traced_s = best_run(True)
+        if traced.aggregates != baseline.aggregates:
+            raise BenchmarkError(
+                "traced run diverged from the untraced baseline: "
+                f"{traced.aggregates} != {baseline.aggregates}"
+            )
+        if baseline.trace is not None:
+            raise BenchmarkError("untraced run unexpectedly produced a span tree")
+        if traced.trace is None:
+            raise BenchmarkError("traced run produced no span tree")
+        span_count = sum(1 for _ in traced.trace.walk())
+        if not traced.trace.find("op"):
+            raise BenchmarkError("traced run recorded no op spans")
+    finally:
+        db.close()
+
+    return ObservabilityMeasurement(
+        fact_rows=fact_rows,
+        dim_rows=dims,
+        num_dims=num_dims,
+        baseline_seconds=baseline_s,
+        traced_seconds=traced_s,
+        span_count=span_count,
+    )
+
+
+def format_observability_microbench(measurement: ObservabilityMeasurement) -> str:
+    """Render the tracing-overhead measurement."""
+    return "\n".join(
+        [
+            "Span-tracing overhead on the star-probe query (serial)",
+            f"fact rows {measurement.fact_rows}, dims {measurement.num_dims} x "
+            f"{measurement.dim_rows}",
+            f"{'untraced':>16} {measurement.baseline_seconds:.4f}s",
+            f"{'traced':>16} {measurement.traced_seconds:.4f}s "
+            f"({measurement.span_count} spans)",
+            f"{'overhead':>16} {measurement.overhead_seconds * 1e3:+.2f}ms "
+            f"({measurement.overhead_fraction * 100:+.2f}%)",
+        ]
+    )
+
+
 def _best_time(fn, repeats: int) -> float:
     best = float("inf")
     for _ in range(max(repeats, 1)):

@@ -169,6 +169,13 @@ class ServingReport:
     qps: float
     verified: bool
     degradations: Dict[str, int] = field(default_factory=dict)
+    #: Fleet-wide change in every metrics series over the run (summed across
+    #: servers, zero-delta series dropped) — what this regime *did* to the
+    #: counters, independent of whatever ran before it.
+    metrics_delta: Dict[str, float] = field(default_factory=dict)
+    #: Top-3 slowest query-log records across the fleet, summarized
+    #: (name, session, outcome, duration, admission wait, top op timings).
+    slowest_queries: List[Dict[str, object]] = field(default_factory=list)
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -193,6 +200,8 @@ class ServingReport:
             "qps": self.qps,
             "verified": self.verified,
             "degradations": dict(self.degradations),
+            "metrics_delta": dict(self.metrics_delta),
+            "slowest_queries": list(self.slowest_queries),
         }
 
 
@@ -320,6 +329,13 @@ def run_serving_benchmark(
             for session in sessions.values():
                 session.close()
 
+    # Metrics baseline: servers may be reused across regimes, so the report
+    # carries this run's *delta*, not the servers' lifetime totals.
+    metrics_before: Dict[str, float] = {}
+    for server in fleet.servers.values():
+        for series, value in server.metrics_snapshot().items():
+            metrics_before[series] = metrics_before.get(series, 0.0) + value
+
     if fault_spec is not None:
         faults.configure(fault_spec)
     try:
@@ -360,11 +376,42 @@ def run_serving_benchmark(
     queued = 0
     plan_hits = 0
     plan_misses = 0
+    metrics_after: Dict[str, float] = {}
+    log_records = []
     for server in fleet.servers.values():
         stats = server.stats()
         queued += stats.queued
         plan_hits += stats.plan_cache_hits
         plan_misses += stats.plan_cache_misses
+        for series, value in stats.metrics.items():
+            metrics_after[series] = metrics_after.get(series, 0.0) + value
+        if server.query_log is not None:
+            log_records.extend(server.query_log.slowest(3))
+    metrics_delta = {
+        series: round(value - metrics_before.get(series, 0.0), 9)
+        for series, value in sorted(metrics_after.items())
+        if value != metrics_before.get(series, 0.0)
+    }
+    slowest_queries: List[Dict[str, object]] = [
+        {
+            "query_name": record.query_name,
+            "session": record.session,
+            "outcome": record.outcome,
+            "backend": record.backend,
+            "duration_ms": round(record.duration_seconds * 1e3, 3),
+            "admission_wait_ms": round(record.admission_wait_seconds * 1e3, 3),
+            "op_seconds": {
+                op: round(seconds, 6)
+                for op, seconds in sorted(
+                    record.op_seconds.items(), key=lambda kv: kv[1], reverse=True
+                )[:3]
+            },
+            "degradations": dict(record.degradations),
+        }
+        for record in sorted(
+            log_records, key=lambda r: r.duration_seconds, reverse=True
+        )[:3]
+    ]
 
     ordered = sorted(seconds * 1e3 for seconds in latencies)
 
@@ -395,6 +442,8 @@ def run_serving_benchmark(
         qps=(counters["completed"] / wall_seconds) if wall_seconds > 0 else 0.0,
         verified=verify and not mismatches,
         degradations=degradations,
+        metrics_delta=metrics_delta,
+        slowest_queries=slowest_queries,
     )
 
 
@@ -415,4 +464,10 @@ def format_serving_report(report: ServingReport) -> str:
         lines.append(f"  typed errors: {dict(sorted(report.typed_errors.items()))}")
     if report.degradations:
         lines.append(f"  degradations: {dict(sorted(report.degradations.items()))}")
+    for entry in report.slowest_queries:
+        lines.append(
+            f"  slowest: {entry['query_name']} ({entry['session']}) "
+            f"{entry['duration_ms']:.1f}ms waited {entry['admission_wait_ms']:.1f}ms "
+            f"outcome={entry['outcome']}"
+        )
     return "\n".join(lines)

@@ -1,6 +1,12 @@
 """Engine façade: the Database entry point, execution modes, and serving."""
 
-from repro.engine.database import Database, ExecutionOptions, ExplainResult, QueryResult
+from repro.engine.database import (
+    Database,
+    ExecutionOptions,
+    ExplainAnalyzeResult,
+    ExplainResult,
+    QueryResult,
+)
 from repro.engine.modes import ExecutionMode
 from repro.engine.plancache import PlanCache, PlanCacheKey
 from repro.engine.server import Server, ServerConfig, ServerStats
@@ -10,6 +16,7 @@ __all__ = [
     "Database",
     "ExecutionMode",
     "ExecutionOptions",
+    "ExplainAnalyzeResult",
     "ExplainResult",
     "PlanCache",
     "PlanCacheKey",

@@ -59,6 +59,7 @@ from repro.exec.relation import BoundRelation
 from repro.exec.spill import SpillManager
 from repro.exec.statistics import ExecutionStats, OpStats
 from repro.exec.transfer import TransferOptions
+from repro.obs.trace import Span, Tracer
 from repro.storage.artifacts import (
     DEFAULT_ARTIFACT_BUDGET_BYTES,
     ArtifactCache,
@@ -92,6 +93,10 @@ class QueryResult:
     physical_plan: Optional[PhysicalPlan] = None
     #: The resolved runtime configuration the execution ran under.
     execution_config: Optional[ExecutionConfig] = None
+    #: Root of the hierarchical span tree (query -> phase -> op -> batch)
+    #: when tracing was enabled (``ExecutionConfig.tracing`` / REPRO_TRACE);
+    #: ``None`` otherwise.  Render with :func:`repro.obs.export.render_timeline`.
+    trace: Optional[Span] = None
 
     @property
     def output_rows(self) -> int:
@@ -143,6 +148,61 @@ class ExplainResult:
 
 
 @dataclass
+class ExplainAnalyzeResult:
+    """The outcome of ``EXPLAIN ANALYZE SELECT ...`` through :meth:`Database.sql`.
+
+    Unlike plain ``EXPLAIN``, the query *is* executed: ``result`` is the full
+    :class:`QueryResult`, and :meth:`render` prints the compiled plan
+    annotated with the execution's actual per-op rows, seconds, morsel
+    counts and skip/degradation markers, followed by the hierarchical span
+    timeline (``EXPLAIN ANALYZE`` always runs traced).
+    """
+
+    result: QueryResult
+
+    @property
+    def query(self) -> QuerySpec:
+        return self.result.query
+
+    @property
+    def mode(self) -> ExecutionMode:
+        return self.result.mode
+
+    @property
+    def plan(self) -> JoinPlan:
+        return self.result.plan
+
+    @property
+    def aggregates(self) -> Dict[str, float]:
+        return self.result.aggregates
+
+    @property
+    def stats(self) -> ExecutionStats:
+        return self.result.stats
+
+    @property
+    def op_stats(self):
+        """Executed per-op statistics (actual rows, seconds, markers)."""
+        return self.result.stats.op_stats
+
+    @property
+    def trace(self):
+        """Root span of the execution's trace tree."""
+        return self.result.trace
+
+    def render(self) -> str:
+        """The annotated plan (what ``EXPLAIN ANALYZE`` prints)."""
+        from repro.bench.reporting import format_op_traces
+        from repro.obs.export import render_timeline
+
+        parts = [format_op_traces({self.result.mode: self.result})]
+        if self.result.trace is not None:
+            parts.append("")
+            parts.append(render_timeline(self.result.trace))
+        return "\n".join(parts)
+
+
+@dataclass
 class _PreparedExecution:
     """Everything :meth:`Database.execute` and :meth:`Database.explain` share:
     the planned, compiled — but not yet executed — query."""
@@ -186,6 +246,10 @@ class ExecutionOptions:
     #: cancellation from another thread (``token.cancel()``); when ``None``
     #: a token is created internally iff ``execution.timeout_seconds`` is set.
     cancel: Optional[CancelToken] = None
+    #: Caller-supplied :class:`~repro.obs.trace.Tracer` — lets a server or
+    #: benchmark collect spans from several executions under one root.  When
+    #: ``None`` a tracer is created internally iff ``execution.tracing``.
+    tracer: Optional[Tracer] = None
 
     def resolved_execution(self) -> ExecutionConfig:
         """The effective :class:`ExecutionConfig` (legacy fields + env applied)."""
@@ -469,7 +533,7 @@ class Database:
                 # skipping and code-space kernels are lost.
                 evaluate_alias(ref, table, None)
                 if stats is not None:
-                    stats.degradations.append(f"column.decode:{ref.alias}->raw")
+                    stats.record_degradation(f"column.decode:{ref.alias}->raw")
         return masks, fused, zone_stats
 
     def join_graph(
@@ -604,9 +668,20 @@ class Database:
             if config_probe.faults is not None:
                 faults.configure(config_probe.faults)
                 scoped_faults = True
+            tracer = options.tracer
+            if tracer is None and config_probe.tracing:
+                tracer = Tracer()
+            query_span = None
+            if tracer is not None:
+                query_span = tracer.start(
+                    query.name or "query",
+                    "query",
+                    mode=mode.value,
+                    backend=config_probe.backend,
+                )
             try:
                 return self._execute_configured(
-                    query, mode, plan, options, stats, snapshot
+                    query, mode, plan, options, stats, snapshot, tracer=tracer
                 )
             except (QueryTimeout, QueryCancelled) as error:
                 # The typed deadline/cancel errors carry the partial statistics
@@ -614,6 +689,10 @@ class Database:
                 error.stats = stats
                 raise
             finally:
+                if query_span is not None:
+                    # Exception-safe: finishing the root unwinds any spans an
+                    # aborted run left open, stamping their ends.
+                    tracer.finish(query_span)
                 if scoped_faults:
                     faults.clear()
         finally:
@@ -629,8 +708,12 @@ class Database:
         options: ExecutionOptions,
         stats: ExecutionStats,
         snapshot: CatalogSnapshot,
+        tracer: Optional[Tracer] = None,
     ) -> QueryResult:
+        plan_span = tracer.start("plan", "phase") if tracer is not None else None
         prep = self._prepare(query, mode, plan, options, stats, catalog=snapshot)
+        if plan_span is not None:
+            tracer.finish(plan_span, ops=len(prep.physical.ops))
         plan, graph, schedule = prep.plan, prep.graph, prep.schedule
         join_tree, masks, physical, config = prep.join_tree, prep.masks, prep.physical, prep.config
         spill = SpillManager()
@@ -685,6 +768,7 @@ class Database:
             bitmap_downgrade=bool(config.bitmap_downgrade),
             arena=arena,
             encodings=bool(config.encodings),
+            tracer=tracer,
         )
         try:
             run = executor.run(
@@ -714,6 +798,7 @@ class Database:
             relations=run.relations,
             physical_plan=physical,
             execution_config=config,
+            trace=tracer.root if tracer is not None else None,
         )
 
     #: Graceful-degradation order when a backend cannot start: process
@@ -746,7 +831,7 @@ class Database:
                 fallback = self._BACKEND_LADDER.get(name)
                 if fallback is None:
                     raise
-                stats.degradations.append(f"backend:{name}->{fallback}")
+                stats.record_degradation(f"backend:{name}->{fallback}")
                 backend.close()
                 name = fallback
 
@@ -815,13 +900,26 @@ class Database:
         raise :class:`~repro.errors.SqlError` with caret diagnostics), then
         executed exactly like :meth:`execute` — returning a
         :class:`QueryResult`.  An ``EXPLAIN SELECT ...`` statement is
-        planned but not executed, returning an :class:`ExplainResult`.
+        planned but not executed, returning an :class:`ExplainResult`; an
+        ``EXPLAIN ANALYZE SELECT ...`` statement is executed with tracing
+        forced on and returns an :class:`ExplainAnalyzeResult` whose
+        ``render()`` annotates the plan with actual rows and timings.
 
         ``name`` overrides the query name; otherwise a ``-- name:`` comment
         directive in the text is used.
         """
         self._ensure_open()
         compiled = compile_statement(text, self.catalog, name=name)
+        if compiled.analyze:
+            analyze_options = options or ExecutionOptions()
+            analyze_options = replace(
+                analyze_options,
+                execution=replace(analyze_options.execution, tracing=True),
+            )
+            result = self.execute(
+                compiled.query, mode=mode, plan=plan, options=analyze_options
+            )
+            return ExplainAnalyzeResult(result=result)
         if compiled.explain:
             return self.explain(compiled.query, mode=mode, plan=plan, options=options)
         return self.execute(compiled.query, mode=mode, plan=plan, options=options)

@@ -104,6 +104,7 @@ ENV_ENCODINGS = "REPRO_ENCODINGS"
 ENV_TIMEOUT_SECONDS = "REPRO_TIMEOUT_SECONDS"
 ENV_MAX_TASK_RETRIES = "REPRO_MAX_TASK_RETRIES"
 ENV_FAULTS = "REPRO_FAULTS"
+ENV_TRACE = "REPRO_TRACE"
 
 #: Pool-respawn attempts per morsel before the process backend falls back to
 #: executing the remaining morsels inline.
@@ -193,6 +194,11 @@ class ExecutionConfig:
       (``"seed:1234,rate:0.05[,sites:a|b][,latency:s]"``), see
       ``exec/faults.py``; ``None`` leaves the ``REPRO_FAULTS`` environment
       configuration in place.
+    * ``tracing`` — record a hierarchical :class:`~repro.obs.trace.Span`
+      tree (query → phase → physical op → morsel batch) on the
+      :class:`~repro.engine.database.QueryResult` (default off; results
+      are bit-identical either way, overhead is gated under 2% by the
+      observability microbench).
 
     Unset knobs (``backend=None`` etc.) resolve from ``REPRO_*`` environment
     variables, then defaults — see :meth:`resolved`.
@@ -218,6 +224,7 @@ class ExecutionConfig:
     timeout_seconds: Optional[float] = None
     max_task_retries: Optional[int] = None
     faults: Optional[str] = None
+    tracing: Optional[bool] = None
 
     def resolved(self) -> "ExecutionConfig":
         """This config with unset knobs filled from the environment / defaults."""
@@ -294,6 +301,11 @@ class ExecutionConfig:
             max_task_retries = int(os.environ[ENV_MAX_TASK_RETRIES])
         if max_task_retries is None:
             max_task_retries = DEFAULT_MAX_TASK_RETRIES
+        tracing = self.tracing
+        if tracing is None:
+            tracing = _env_flag(ENV_TRACE)
+        if tracing is None:
+            tracing = False
         # ``faults`` stays None unless set explicitly: the injector consults
         # REPRO_FAULTS itself, and None means "don't override it".
         return ExecutionConfig(
@@ -317,4 +329,5 @@ class ExecutionConfig:
             timeout_seconds=timeout_seconds,
             max_task_retries=max_task_retries,
             faults=self.faults,
+            tracing=tracing,
         )

@@ -41,7 +41,7 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, replace as dc_replace
+from dataclasses import dataclass, field, replace as dc_replace
 from typing import Dict, List, Optional, Union
 
 from repro.engine.database import (
@@ -57,8 +57,23 @@ from repro.engine.plancache import (
     PlanCacheKey,
 )
 from repro.engine.session import Session
-from repro.errors import AdmissionRejected, PlanError, ReproError
+from repro.errors import (
+    AdmissionRejected,
+    PlanError,
+    QueryCancelled,
+    QueryTimeout,
+    ReproError,
+)
+from repro.exec import faults
 from repro.exec.faults import CancelToken
+from repro.obs.export import render_exposition
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.querylog import (
+    DEFAULT_QUERY_LOG_ENTRIES,
+    QueryLog,
+    QueryLogRecord,
+    sql_hash,
+)
 from repro.query import QuerySpec
 from repro.sql import compile_statement
 from repro.sql.format import to_sql
@@ -89,6 +104,8 @@ class ServerConfig:
     #: Whether to cache join plans for repeated normalized SQL texts.
     plan_cache: bool = True
     plan_cache_entries: int = DEFAULT_PLAN_CACHE_ENTRIES
+    #: Ring-buffer capacity of the structured query log (0 disables it).
+    query_log_entries: int = DEFAULT_QUERY_LOG_ENTRIES
 
     def __post_init__(self) -> None:
         if self.max_concurrent <= 0:
@@ -99,6 +116,8 @@ class ServerConfig:
             raise ValueError("admission_timeout_seconds must be non-negative")
         if self.session_memory_bytes < 0:
             raise ValueError("session_memory_bytes must be non-negative")
+        if self.query_log_entries < 0:
+            raise ValueError("query_log_entries must be non-negative")
 
 
 @dataclass
@@ -115,6 +134,12 @@ class ServerStats:
     rejected_closed: int = 0
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
+    #: Flat metrics snapshot (series name -> value), filled by
+    #: :meth:`Server.stats` from the server's :class:`MetricsRegistry`.
+    metrics: Dict[str, float] = field(default_factory=dict)
+    #: Retained query-log records (oldest first), filled by
+    #: :meth:`Server.stats` from the server's :class:`QueryLog`.
+    query_log: List[QueryLogRecord] = field(default_factory=list)
 
     @property
     def rejected(self) -> int:
@@ -165,6 +190,116 @@ class Server:
             if self.config.plan_cache
             else None
         )
+        self.query_log: Optional[QueryLog] = (
+            QueryLog(self.config.query_log_entries)
+            if self.config.query_log_entries
+            else None
+        )
+        self.metrics = MetricsRegistry()
+        self._register_instruments()
+
+    def _register_instruments(self) -> None:
+        """Declare every serving instrument once, up front.
+
+        Event-driven counters/histograms update as queries flow; the
+        ``(sampled)`` gauges are refreshed from component state by
+        :meth:`sample_metrics` whenever a snapshot or exposition is taken.
+        """
+        m = self.metrics
+        self._m_queries = m.counter(
+            "repro_server_queries_total", "Queries finished, by outcome.",
+            labels=("outcome",),
+        )
+        self._m_rejections = m.counter(
+            "repro_server_rejections_total",
+            "Admission rejections, by typed reason.", labels=("reason",),
+        )
+        self._m_admission_wait = m.histogram(
+            "repro_server_admission_wait_seconds",
+            "Seconds queries spent queued for admission.",
+        )
+        self._m_latency = m.histogram(
+            "repro_server_query_seconds", "End-to-end latency of served queries.",
+        )
+        self._m_active = m.gauge(
+            "repro_server_active_queries", "Queries executing right now (sampled).",
+        )
+        self._m_queued = m.gauge(
+            "repro_server_queued_queries",
+            "Queries waiting in the admission queue (sampled).",
+        )
+        self._m_reserved = m.gauge(
+            "repro_server_reserved_memory_bytes",
+            "Bytes reserved by memory admission (sampled).",
+        )
+        self._m_retry_after = m.gauge(
+            "repro_server_retry_after_seconds",
+            "Current retry-after hint: latency EWMA scaled by queue depth (sampled).",
+        )
+        self._m_degradations = m.counter(
+            "repro_degradations_total",
+            "Degradation-ladder rungs taken across served queries, by rung family.",
+            labels=("rung",),
+        )
+        self._m_output_rows = m.counter(
+            "repro_server_output_rows_total", "Joined result rows produced.",
+        )
+        self._m_spill_events = m.counter(
+            "repro_governor_spill_events_total",
+            "Memory-governor spills across served queries.",
+        )
+        self._m_spilled_bytes = m.counter(
+            "repro_governor_spilled_bytes_total",
+            "Bytes the memory governor spilled across served queries.",
+        )
+        self._m_hash_hits = m.counter(
+            "repro_hash_cache_hits_total", "Hash-cache column passes reused.",
+        )
+        self._m_hash_misses = m.counter(
+            "repro_hash_cache_misses_total", "Hash-cache column passes computed.",
+        )
+        self._m_artifact_hits = m.counter(
+            "repro_artifact_cache_hits_total",
+            "Artifact-cache hits across served queries.",
+        )
+        self._m_artifact_misses = m.counter(
+            "repro_artifact_cache_misses_total",
+            "Artifact-cache misses across served queries.",
+        )
+        self._m_worker_crashes = m.counter(
+            "repro_worker_crashes_total", "Process-pool worker crashes recovered.",
+        )
+        self._m_plan_cache_hits = m.gauge(
+            "repro_plan_cache_hits", "Plan-cache hits (sampled).",
+        )
+        self._m_plan_cache_misses = m.gauge(
+            "repro_plan_cache_misses", "Plan-cache misses (sampled).",
+        )
+        self._m_plan_cache_entries = m.gauge(
+            "repro_plan_cache_entries", "Plans resident in the cache (sampled).",
+        )
+        self._m_artifact_entries = m.gauge(
+            "repro_artifact_cache_entries", "Artifacts resident (sampled).",
+        )
+        self._m_artifact_bytes = m.gauge(
+            "repro_artifact_cache_bytes",
+            "Bytes charged to resident artifacts (sampled).",
+        )
+        self._m_artifact_evictions = m.gauge(
+            "repro_artifact_cache_evictions", "Artifact-cache evictions (sampled).",
+        )
+        self._m_shm_segments = m.gauge(
+            "repro_shm_segments", "Shared-memory segments published (sampled).",
+        )
+        self._m_shm_bytes = m.gauge(
+            "repro_shm_bytes",
+            "Bytes in published shared-memory segments (sampled).",
+        )
+        self._m_fault_injections = m.gauge(
+            "repro_fault_injections",
+            "Faults the active injector has fired, by site (sampled).",
+            labels=("site",),
+        )
 
     # ------------------------------------------------------------------
     # Sessions
@@ -201,13 +336,53 @@ class Server:
     # Introspection
     # ------------------------------------------------------------------
     def stats(self) -> ServerStats:
-        """A consistent copy of the serving counters."""
+        """A consistent copy of the serving counters, metrics, and query log."""
         with self._cond:
             stats = dc_replace(self._stats)
             if self._plan_cache is not None:
                 stats.plan_cache_hits = self._plan_cache.hits
                 stats.plan_cache_misses = self._plan_cache.misses
-            return stats
+        stats.metrics = self.metrics_snapshot()
+        stats.query_log = (
+            self.query_log.records() if self.query_log is not None else []
+        )
+        return stats
+
+    def sample_metrics(self) -> None:
+        """Refresh the ``(sampled)`` gauges from live component state."""
+        with self._cond:
+            self._m_active.set(self._running)
+            self._m_queued.set(self._waiting)
+            self._m_reserved.set(self._reserved_bytes)
+            self._m_retry_after.set(self._retry_after_locked())
+        cache = self._plan_cache
+        if cache is not None:
+            self._m_plan_cache_hits.set(cache.hits)
+            self._m_plan_cache_misses.set(cache.misses)
+            self._m_plan_cache_entries.set(len(cache))
+        # Component state lives on the shared database (same package;
+        # sampling must not force either cache into existence).
+        artifacts = self.database._artifact_cache
+        if artifacts is not None:
+            self._m_artifact_entries.set(len(artifacts))
+            self._m_artifact_bytes.set(artifacts.current_bytes)
+            self._m_artifact_evictions.set(artifacts.evictions)
+        arena = self.database._shm_arena
+        if arena is not None:
+            self._m_shm_segments.set(arena.num_segments)
+            self._m_shm_bytes.set(arena.total_bytes)
+        for site, count in faults.injection_counts().items():
+            self._m_fault_injections.set(count, site=site)
+
+    def metrics_snapshot(self) -> Dict[str, float]:
+        """Flat ``series name -> value`` snapshot (gauges freshly sampled)."""
+        self.sample_metrics()
+        return self.metrics.snapshot()
+
+    def render_metrics(self) -> str:
+        """Prometheus-style text exposition of every serving metric."""
+        self.sample_metrics()
+        return render_exposition(self.metrics)
 
     @property
     def plan_cache(self) -> Optional[PlanCache]:
@@ -374,6 +549,128 @@ class Server:
                 self._latency_ewma = 0.8 * self._latency_ewma + 0.2 * seconds
 
     # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _outcome_of(error: BaseException) -> str:
+        if isinstance(error, AdmissionRejected):
+            return "rejected"
+        if isinstance(error, QueryTimeout):
+            return "timeout"
+        if isinstance(error, QueryCancelled):
+            return "cancelled"
+        return "failed"
+
+    def _observe_query(
+        self,
+        session: Session,
+        spec: Optional[QuerySpec],
+        mode: ExecutionMode,
+        outcome: str,
+        queued_seconds: float,
+        duration_seconds: float,
+        result: Optional[QueryResult] = None,
+        stats=None,
+        error: Optional[BaseException] = None,
+    ) -> None:
+        """Fold one finished/failed/rejected query into metrics + query log."""
+        self._m_queries.inc(outcome=outcome)
+        if isinstance(error, AdmissionRejected):
+            self._m_rejections.inc(reason=getattr(error, "reason", "unknown"))
+        else:
+            self._m_admission_wait.observe(queued_seconds)
+            self._m_latency.observe(duration_seconds)
+
+        backend = ""
+        plan_fingerprint = ""
+        if result is not None:
+            stats = result.stats
+            if result.execution_config is not None:
+                backend = result.execution_config.backend
+            if result.physical_plan is not None:
+                plan_fingerprint = sql_hash(
+                    " ".join(op.kind for op in result.physical_plan.ops)
+                )
+
+        output_rows = 0
+        op_seconds: Dict[str, float] = {}
+        cache: Dict[str, int] = {}
+        adaptive: Dict[str, int] = {}
+        degradations: Dict[str, int] = {}
+        if stats is not None:
+            output_rows = stats.output_rows
+            for op in stats.op_stats:
+                op_seconds[op.kind] = op_seconds.get(op.kind, 0.0) + op.seconds
+            for key, value in (
+                ("hash_hits", stats.hash_reuse_hits),
+                ("hash_misses", stats.hash_reuse_misses),
+                ("artifact_hits", stats.artifact_cache_hits),
+                ("artifact_misses", stats.artifact_cache_misses),
+            ):
+                if value:
+                    cache[key] = value
+            for key, value in (
+                ("steps_skipped", stats.adaptive_steps_skipped),
+                ("exact_downgrades", stats.adaptive_exact_downgrades),
+                ("filter_bytes_saved", stats.adaptive_filter_bytes_saved),
+            ):
+                if value:
+                    adaptive[key] = value
+            degradations = dict(stats.degradation_counts)
+            for rung, count in degradations.items():
+                # Label by rung family (first two segments), keeping the
+                # label space bounded against per-query suffixes like
+                # "admission:queued:12ms".
+                family = ":".join(rung.split(":")[:2])
+                self._m_degradations.inc(count, rung=family)
+            if outcome == "ok":
+                self._m_output_rows.inc(output_rows)
+            if stats.spill_events:
+                self._m_spill_events.inc(stats.spill_events)
+            if stats.spilled_bytes:
+                self._m_spilled_bytes.inc(stats.spilled_bytes)
+            if stats.hash_reuse_hits:
+                self._m_hash_hits.inc(stats.hash_reuse_hits)
+            if stats.hash_reuse_misses:
+                self._m_hash_misses.inc(stats.hash_reuse_misses)
+            if stats.artifact_cache_hits:
+                self._m_artifact_hits.inc(stats.artifact_cache_hits)
+            if stats.artifact_cache_misses:
+                self._m_artifact_misses.inc(stats.artifact_cache_misses)
+            if stats.worker_crashes:
+                self._m_worker_crashes.inc(stats.worker_crashes)
+
+        if self.query_log is None:
+            return
+        text = ""
+        if spec is not None:
+            try:
+                # Same normal form the plan cache keys on, so one statement
+                # shape shares a hash across syntactic variants.
+                text = to_sql(spec, include_name=False)
+            except PlanError:
+                text = spec.name
+        self.query_log.append(
+            QueryLogRecord(
+                query_name=spec.name if spec is not None else "",
+                sql_hash=sql_hash(text),
+                mode=mode.value,
+                backend=backend,
+                plan_fingerprint=plan_fingerprint,
+                session=session.name,
+                admission_wait_seconds=queued_seconds,
+                duration_seconds=duration_seconds,
+                output_rows=output_rows,
+                op_seconds=op_seconds,
+                cache=cache,
+                adaptive=adaptive,
+                degradations=degradations,
+                outcome=outcome,
+                error=str(error) if error is not None else "",
+            )
+        )
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def _plan_key(
@@ -412,11 +709,25 @@ class Server:
         name: Optional[str],
     ) -> Union[QueryResult, ExplainResult]:
         options = options or ExecutionOptions()
-        queued_seconds = self._admit()
+        spec: Optional[QuerySpec] = None
+        queued_seconds = 0.0
+        started = time.monotonic()
+        try:
+            queued_seconds = self._admit()
+        except AdmissionRejected as error:
+            self._observe_query(
+                session,
+                source if isinstance(source, QuerySpec) else None,
+                mode,
+                "rejected",
+                queued_seconds=time.monotonic() - started,
+                duration_seconds=0.0,
+                error=error,
+            )
+            raise
         memory_key: Optional[str] = None
         token_id: Optional[int] = None
         snapshot = None
-        started = time.monotonic()
         try:
             memory_key = self._reserve_memory()
             explain = False
@@ -429,7 +740,17 @@ class Server:
             else:
                 spec = source
             if explain:
-                return self.database.explain(spec, mode=mode, options=options)
+                explained = self.database.explain(spec, mode=mode, options=options)
+                self._observe_query(
+                    session,
+                    spec,
+                    mode,
+                    "ok",
+                    queued_seconds=queued_seconds,
+                    duration_seconds=time.monotonic() - started,
+                    stats=explained.stats,
+                )
+                return explained
 
             snapshot = self.database.catalog.snapshot(
                 ref.table for ref in spec.relations
@@ -478,22 +799,53 @@ class Server:
             if key is not None and cached_plan is None:
                 self._plan_cache.put(key, result.plan)
             if queued_seconds > 0:
-                result.stats.degradations.append(
+                result.stats.record_degradation(
                     f"admission:queued:{queued_seconds * 1e3:.0f}ms"
                 )
             if shed:
-                result.stats.degradations.append(
+                result.stats.record_degradation(
                     f"admission:shed-timeout:{timeout:.3f}s"
                 )
-            self._record_latency(time.monotonic() - started)
+            elapsed = time.monotonic() - started
+            self._record_latency(elapsed)
             with self._cond:
                 self._stats.completed += 1
+            self._observe_query(
+                session,
+                spec,
+                mode,
+                "ok",
+                queued_seconds=queued_seconds,
+                duration_seconds=elapsed,
+                result=result,
+            )
             return result
-        except AdmissionRejected:
+        except AdmissionRejected as error:
+            self._observe_query(
+                session,
+                spec,
+                mode,
+                "rejected",
+                queued_seconds=queued_seconds,
+                duration_seconds=time.monotonic() - started,
+                error=error,
+            )
             raise
-        except BaseException:
+        except BaseException as error:
             with self._cond:
                 self._stats.failed += 1
+            self._observe_query(
+                session,
+                spec,
+                mode,
+                self._outcome_of(error),
+                queued_seconds=queued_seconds,
+                duration_seconds=time.monotonic() - started,
+                # Typed deadline/cancel errors carry the aborted run's
+                # partial statistics.
+                stats=getattr(error, "stats", None),
+                error=error,
+            )
             raise
         finally:
             if snapshot is not None:

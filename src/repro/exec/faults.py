@@ -168,6 +168,9 @@ class FaultInjector:
 
     plan: FaultPlan
     counters: Dict[str, int] = field(default_factory=dict)
+    #: Per-site counts of occurrences that actually fired (observability:
+    #: surfaced through :func:`injection_counts` into serving metrics).
+    fired: Dict[str, int] = field(default_factory=dict)
 
     def should_fire(self, site: str) -> bool:
         """Consume one occurrence of ``site``; True if the fault fires."""
@@ -176,7 +179,10 @@ class FaultInjector:
         count = self.counters.get(site, 0)
         self.counters[site] = count + 1
         mixed = _mix64((self.plan.seed & 0xFFFFFFFFFFFFFFFF) ^ _site_key(site) ^ count)
-        return (mixed / 2.0**64) < self.plan.rate
+        hit = (mixed / 2.0**64) < self.plan.rate
+        if hit:
+            self.fired[site] = self.fired.get(site, 0) + 1
+        return hit
 
     def fire(self, site: str, message: Optional[str] = None) -> None:
         """Raise :class:`FaultInjected` if ``site`` fires on this occurrence."""
@@ -249,6 +255,17 @@ def injected_latency() -> float:
     """Artificial operator latency for this occurrence (0.0 without a plan)."""
     injector = active_injector()
     return injector.latency() if injector is not None else 0.0
+
+
+def injection_counts() -> Dict[str, int]:
+    """Per-site counts of faults the active injector has fired.
+
+    Empty without an active injector.  Reads the module state directly
+    (no lazy env configure) so metrics sampling never changes injection
+    behaviour.
+    """
+    injector = _INJECTOR
+    return dict(injector.fired) if injector is not None else {}
 
 
 # ---------------------------------------------------------------------------

@@ -77,6 +77,7 @@ from repro.exec.kernels import (
 from repro.exec.hashcache import HashCache
 from repro.exec.parallel import ParallelismModel, gather_in_order
 from repro.exec.relation import BoundRelation, IntermediateResult
+from repro.obs.trace import Span
 from repro.exec.statistics import ExecutionStats, JoinStepStats, OpStats, TransferStepStats
 from repro.plan.physical import (
     SCOPE_JOIN,
@@ -615,6 +616,7 @@ class PipelineExecutor:
         bitmap_downgrade: bool = False,
         arena=None,
         encodings: bool = False,
+        tracer=None,
     ) -> None:
         self.query = query
         self.graph = graph
@@ -653,6 +655,15 @@ class PipelineExecutor:
         #: artifact cache) carries the column's encoding token so encoded
         #: and raw artifacts never alias at the same catalog version.
         self.encodings = encodings
+        #: Optional :class:`~repro.obs.trace.Tracer`: when set, the run
+        #: loop records one ``op`` span per dispatched op (grouped under
+        #: ``phase`` spans) with a ``batch`` child summarizing morsel
+        #: fan-out.  Purely observational — results are bit-identical.
+        self.tracer = tracer
+        if tracer is not None and hasattr(self.backend, "trace_morsels"):
+            # Process workers time their morsels locally and ship the
+            # seconds back piggybacked on the morsel payload.
+            self.backend.trace_morsels = True
         self._refs = {ref.alias: ref for ref in query.relations}
 
     # ------------------------------------------------------------------
@@ -747,6 +758,9 @@ class PipelineExecutor:
             base_reloaded = governor.reloaded_bytes
             base_spill_failures = governor.spill_failures
         cancel = getattr(self.backend, "cancel", None)
+        tracer = self.tracer
+        trace_phase_span = None
+        trace_phase_name = None
         try:
             for index, op in enumerate(plan):
                 if cancel is not None:
@@ -779,6 +793,15 @@ class PipelineExecutor:
                 self._op_blocks_total = 0
                 self._op_encoded_bytes = 0
                 self._op_degraded = ""
+                if tracer is not None:
+                    if phase != trace_phase_name:
+                        if trace_phase_span is not None:
+                            tracer.finish(trace_phase_span)
+                        trace_phase_span = tracer.start(phase, "phase")
+                        trace_phase_name = phase
+                    op_span = tracer.start(op.kind, "op", index=index)
+                    batch_sec_before = getattr(self.backend, "traced_worker_seconds", 0.0)
+                    batches_before = getattr(self.backend, "traced_batches", 0)
                 start = time.perf_counter()
                 rows_in, rows_out, skipped = self._dispatch(op, stats)
                 elapsed = time.perf_counter() - start
@@ -795,7 +818,8 @@ class PipelineExecutor:
                 op_inline = getattr(self.backend, "inline_morsels", 0) - inline_before
                 if op_inline and not self._op_degraded:
                     self._op_degraded = "process:inline-fallback"
-                    stats.degradations.append("process:inline-fallback")
+                if op_inline:
+                    stats.record_degradation("process:inline-fallback")
                 stats.op_stats.append(
                     OpStats(
                         index=index,
@@ -854,13 +878,69 @@ class PipelineExecutor:
                     stats.tasks_retried += op_retries
                 if op_inline:
                     stats.inline_fallback_morsels += op_inline
+                if tracer is not None:
+                    entry = stats.op_stats[-1]
+                    if entry.morsels:
+                        # One summary child per fanned-out op: morsel count
+                        # plus (process backend only) the worker-side
+                        # seconds shipped back with the morsel payloads.
+                        batch_seconds = (
+                            getattr(self.backend, "traced_worker_seconds", 0.0)
+                            - batch_sec_before
+                        )
+                        batch_count = (
+                            getattr(self.backend, "traced_batches", 0) - batches_before
+                        )
+                        batch = Span(
+                            name="morsels",
+                            kind="batch",
+                            start=op_span.start,
+                            end=op_span.start
+                            + (batch_seconds if batch_count else elapsed),
+                            attrs={
+                                "count": entry.morsels,
+                                "worker_batches": batch_count,
+                            },
+                        )
+                        op_span.children.append(batch)
+                    if entry.adaptive_skipped:
+                        tracer.event("adaptive:skip")
+                    if entry.downgraded_exact:
+                        tracer.event("adaptive:exact-bitmap")
+                    if entry.spilled_bytes:
+                        tracer.event("governor:spill", bytes=entry.spilled_bytes)
+                    if op_crashes:
+                        tracer.event(
+                            "process:crash-recovery",
+                            crashes=op_crashes,
+                            retries=op_retries,
+                        )
+                    if op_inline:
+                        tracer.event("process:inline-fallback", morsels=op_inline)
+                    if entry.degraded:
+                        tracer.event("degraded", rung=entry.degraded)
+                    tracer.finish(
+                        op_span,
+                        rows_in=rows_in,
+                        rows_out=rows_out,
+                        skipped=skipped,
+                        detail=entry.detail,
+                    )
 
+            if tracer is not None and trace_phase_span is not None:
+                tracer.finish(trace_phase_span)
+                trace_phase_span = None
             if finalize_root is not None and self._final is None:
                 if cancel is not None:
                     cancel.check()
+                finalize_span = (
+                    tracer.start("finalize", "phase") if tracer is not None else None
+                )
                 with stats.time_phase("join"):
                     final = self._materialize(finalize_root)
                     final = self._apply_ready_predicates(final, force_all=True)
+                if finalize_span is not None:
+                    tracer.finish(finalize_span, rows=final.num_rows)
                 stats.output_rows = final.num_rows
                 self._final = final
         except BaseException:
@@ -1565,7 +1645,9 @@ class PipelineExecutor:
                 self._op_degraded = "governor:spill-retry"
             stats = getattr(self, "_stats", None)
             if stats is not None:
-                stats.degradations.append("governor:spill-retry")
+                stats.record_degradation("governor:spill-retry")
+            if self.tracer is not None:
+                self.tracer.event("governor:spill-retry", key=key)
 
     def _charge_artifact(self, key: ArtifactKey, size_bytes: int) -> None:
         """Account a touched artifact's residency against the run's governor."""

@@ -236,20 +236,31 @@ def _maybe_crash() -> None:
 
 
 def _probe_task(
-    spec_ref: ShmArrayRef, task_input: _TaskInput, lo: int, hi: int
-) -> np.ndarray:
+    spec_ref: ShmArrayRef, task_input: _TaskInput, lo: int, hi: int, timed: bool = False
+) -> object:
+    # With ``timed`` (tracing on) the worker measures its own morsel and
+    # ships ``(payload, seconds)`` back with the result — span summaries
+    # aggregate in the parent with zero extra cross-process messages.
     _maybe_crash()
+    start = time.perf_counter() if timed else 0.0
     probe_fn = _resolve_spec(spec_ref)
-    return probe_fn(_materialize_input(task_input, lo, hi))
+    payload = probe_fn(_materialize_input(task_input, lo, hi))
+    if timed:
+        return payload, time.perf_counter() - start
+    return payload
 
 
 def _match_task(
-    spec_ref: ShmArrayRef, task_input: _TaskInput, lo: int, hi: int
-) -> Tuple[np.ndarray, np.ndarray]:
+    spec_ref: ShmArrayRef, task_input: _TaskInput, lo: int, hi: int, timed: bool = False
+) -> object:
     _maybe_crash()
+    start = time.perf_counter() if timed else 0.0
     index = _resolve_spec(spec_ref)
     matches = index.match(_materialize_input(task_input, lo, hi))
-    return matches.probe_indices, matches.build_indices
+    payload = (matches.probe_indices, matches.build_indices)
+    if timed:
+        return payload, time.perf_counter() - start
+    return payload
 
 
 # ---------------------------------------------------------------------------
@@ -361,6 +372,12 @@ class ProcessBackend(ExecutionBackend):
         self.worker_crashes = 0
         self.tasks_retried = 0
         self.inline_morsels = 0
+        #: Tracing: when the executor flips ``trace_morsels`` on, workers
+        #: time each morsel locally and the parent accumulates the counts
+        #: and seconds here (sampled per op for the ``batch`` span).
+        self.trace_morsels = False
+        self.traced_batches = 0
+        self.traced_worker_seconds = 0.0
         #: The engine's SharedColumnArena, when one is active: after a pool
         #: respawn, segments the dead workers held attachments to are
         #: re-verified (and dropped for re-publication if the OS object is
@@ -461,10 +478,11 @@ class ProcessBackend(ExecutionBackend):
                 break
             submitted = []
             retryable = False
+            timed = self.trace_morsels
             try:
                 for i in remaining:
                     submitted.append(
-                        (i, pool.submit(task_fn, spec_ref, task_input, *morsels[i]))
+                        (i, pool.submit(task_fn, spec_ref, task_input, *morsels[i], timed))
                     )
             except (BrokenExecutor, RuntimeError):
                 # A worker died while this round was still being submitted —
@@ -477,7 +495,12 @@ class ProcessBackend(ExecutionBackend):
                 for i, future in submitted:
                     self._check_cancel()
                     try:
-                        results[i] = future.result()
+                        payload = future.result()
+                        if timed:
+                            payload, seconds = payload
+                            self.traced_batches += 1
+                            self.traced_worker_seconds += seconds
+                        results[i] = payload
                         done[i] = True
                     except CancelledError:
                         # Another thread's shutdown/respawn cancelled our
@@ -522,7 +545,13 @@ class ProcessBackend(ExecutionBackend):
             for i in remaining:
                 self._check_cancel()
                 lo, hi = morsels[i]
-                results[i] = self._inline_task(task_fn, spec, keys, lo, hi)
+                if self.trace_morsels:
+                    start = time.perf_counter()
+                    results[i] = self._inline_task(task_fn, spec, keys, lo, hi)
+                    self.traced_batches += 1
+                    self.traced_worker_seconds += time.perf_counter() - start
+                else:
+                    results[i] = self._inline_task(task_fn, spec, keys, lo, hi)
                 self.inline_morsels += 1
         return results  # type: ignore[return-value]
 

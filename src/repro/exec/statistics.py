@@ -214,12 +214,17 @@ class ExecutionStats:
     #: encoding layer (what the MemoryGovernor and shm arena were charged
     #: instead of the flat ``int64`` bytes).
     encoded_bytes_touched: int = 0
-    #: Degradation-ladder rungs this execution took, in order — e.g.
-    #: ``"backend:process->parallel"`` (pool unavailable),
+    #: Degradation-ladder rungs this execution took, in first-occurrence
+    #: order — e.g. ``"backend:process->parallel"`` (pool unavailable),
     #: ``"column.decode:title.production_year->raw"`` (decode fault),
     #: ``"governor:spill-retry"`` (reservation retried after spilling),
     #: ``"process:inline-fallback"`` (morsels finished in the parent).
+    #: Each distinct rung appears once; per-op repeats bump
+    #: ``degradation_counts`` instead (see :meth:`record_degradation`).
     degradations: List[str] = field(default_factory=list)
+    #: Occurrences per degradation rung (a rung that fired on five ops
+    #: counts 5 here but appears once in ``degradations``).
+    degradation_counts: Dict[str, int] = field(default_factory=dict)
     #: Fault-recovery counters of the process backend: worker deaths seen,
     #: morsel retry rounds after a respawn, morsels completed inline, and
     #: spill writes that failed and left their victim resident.
@@ -375,6 +380,20 @@ class ExecutionStats:
             parts.append(f"encoded bytes {self.encoded_bytes_touched}B")
         return "runtime: " + ", ".join(parts) if parts else ""
 
+    def record_degradation(self, rung: str) -> None:
+        """Record a degradation rung exactly once in the merged list.
+
+        Degradation events fire per op (inline-fallback morsels) or per
+        reservation (``governor:spill-retry``): naive appending repeated
+        the same rung once per event, double-counting it in merged
+        summaries.  Every event bumps ``degradation_counts``; the
+        ``degradations`` list keeps one entry per distinct rung in
+        first-occurrence order.
+        """
+        self.degradation_counts[rung] = self.degradation_counts.get(rung, 0) + 1
+        if rung not in self.degradations:
+            self.degradations.append(rung)
+
     def degradation_summary(self) -> str:
         """One-line summary of fault recovery and degradation-ladder rungs.
 
@@ -383,7 +402,11 @@ class ExecutionStats:
         """
         parts = []
         if self.degradations:
-            parts.append("; ".join(self.degradations))
+            rendered = []
+            for rung in self.degradations:
+                count = self.degradation_counts.get(rung, 1)
+                rendered.append(f"{rung} x{count}" if count > 1 else rung)
+            parts.append("; ".join(rendered))
         if self.worker_crashes:
             parts.append(
                 f"{self.worker_crashes} worker crash(es), "

@@ -1,0 +1,42 @@
+"""Observability: tracing, metrics, query log, and exposition.
+
+The engine's per-query :class:`~repro.exec.statistics.ExecutionStats` die
+with their :class:`~repro.engine.database.QueryResult`; this package is the
+cross-query layer on top of them:
+
+* :mod:`repro.obs.trace` — hierarchical spans (query → phase → physical op
+  → morsel batch) with an injectable monotonic clock, produced when
+  ``ExecutionConfig.tracing`` / ``REPRO_TRACE`` is on.
+* :mod:`repro.obs.metrics` — a thread-safe registry of counters, gauges,
+  and fixed-bucket histograms the serving layer feeds.
+* :mod:`repro.obs.querylog` — a bounded ring buffer of structured per-query
+  records, exportable as JSON lines.
+* :mod:`repro.obs.export` — Prometheus-style text exposition plus a human
+  timeline rendering of one trace.
+"""
+
+from repro.obs.trace import Span, Tracer
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.querylog import (
+    DEFAULT_QUERY_LOG_ENTRIES,
+    QueryLog,
+    QueryLogRecord,
+    sql_hash,
+)
+from repro.obs.export import parse_exposition, render_exposition, render_timeline
+
+__all__ = [
+    "Counter",
+    "DEFAULT_QUERY_LOG_ENTRIES",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "QueryLog",
+    "QueryLogRecord",
+    "Span",
+    "Tracer",
+    "parse_exposition",
+    "render_exposition",
+    "render_timeline",
+    "sql_hash",
+]

@@ -1,0 +1,134 @@
+"""Text exposition of metrics and traces.
+
+:func:`render_exposition` emits the Prometheus text format (``# HELP`` /
+``# TYPE`` headers, one ``name{labels} value`` line per series);
+:func:`parse_exposition` is the matching validating parser — the CI lint
+round-trips every emitted line through it.  :func:`render_timeline` renders
+one trace tree as an indented human-readable timeline.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Tuple
+
+from repro.errors import ReproError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Span
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+_LABEL_RE = re.compile(r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>[^"]*)"$')
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def render_exposition(registry: MetricsRegistry) -> str:
+    """Render every registered instrument in the Prometheus text format."""
+    lines: List[str] = []
+    for instrument in registry.instruments():
+        lines.append(f"# HELP {instrument.name} {instrument.help}")
+        lines.append(f"# TYPE {instrument.name} {instrument.type_name}")
+        for suffix, labels, value in instrument.samples():
+            name = instrument.name + suffix
+            if labels:
+                inner = ",".join(
+                    f'{key}="{_escape_label(str(val))}"'
+                    for key, val in sorted(labels.items())
+                )
+                lines.append(f"{name}{{{inner}}} {_format_value(value)}")
+            else:
+                lines.append(f"{name} {_format_value(value)}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def parse_exposition(text: str) -> Dict[str, float]:
+    """Parse Prometheus text exposition; raises :class:`ReproError` on any
+    malformed line.  Returns ``series -> value`` (labels in sorted order).
+    """
+    series: Dict[str, float] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            parts = line.split(" ", 3)
+            if len(parts) < 3 or not _NAME_RE.match(parts[2]):
+                raise ReproError(f"exposition line {lineno}: malformed comment {raw!r}")
+            continue
+        if line.startswith("#"):
+            raise ReproError(f"exposition line {lineno}: unknown comment {raw!r}")
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ReproError(f"exposition line {lineno}: malformed sample {raw!r}")
+        labels: List[Tuple[str, str]] = []
+        body = match.group("labels")
+        if body:
+            for part in body.split(","):
+                label = _LABEL_RE.match(part)
+                if label is None:
+                    raise ReproError(
+                        f"exposition line {lineno}: malformed label {part!r}"
+                    )
+                labels.append((label.group("key"), label.group("value")))
+        value_text = match.group("value")
+        try:
+            value = float(value_text.replace("+Inf", "inf").replace("-Inf", "-inf"))
+        except ValueError as error:
+            raise ReproError(
+                f"exposition line {lineno}: malformed value {value_text!r}"
+            ) from error
+        key = match.group("name")
+        if labels:
+            inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels))
+            key = f"{key}{{{inner}}}"
+        series[key] = value
+    return series
+
+
+def render_timeline(span: Span, indent: str = "  ") -> str:
+    """Human-readable indented timeline of one trace tree.
+
+    Offsets are relative to the root's start (the tracer's clock origin is
+    arbitrary), durations absolute; attributes render compactly after the
+    name.  Events show as ``@offset`` point entries.
+    """
+    origin = span.start
+    lines: List[str] = []
+
+    def emit(node: Span, depth: int) -> None:
+        pad = indent * depth
+        attrs = ""
+        if node.attrs:
+            inner = " ".join(f"{k}={v}" for k, v in sorted(node.attrs.items()))
+            attrs = f"  [{inner}]"
+        offset = node.start - origin
+        if node.kind == "event":
+            lines.append(f"{pad}@{offset * 1e3:9.3f}ms  {node.name}{attrs}")
+        else:
+            lines.append(
+                f"{pad}{node.kind:<5} {node.name:<24} "
+                f"+{offset * 1e3:9.3f}ms {node.seconds * 1e3:9.3f}ms{attrs}"
+            )
+        for child in node.children:
+            emit(child, depth + 1)
+
+    emit(span, 0)
+    return "\n".join(lines)

@@ -51,6 +51,9 @@ class CompiledStatement:
     explain: bool
     #: The parsed (pre-binding) AST, for tooling and tests.
     statement: SelectStatement
+    #: True when the statement was ``EXPLAIN ANALYZE SELECT ...`` (execute
+    #: and annotate the plan with actual rows/timings).
+    analyze: bool = False
 
 
 def compile_statement(
@@ -67,7 +70,12 @@ def compile_statement(
     statement = parse_statement(source)
     bound = bind_select(statement, catalog, source, name=name)
     query = lower_select(bound, source)
-    return CompiledStatement(query=query, explain=bound.explain, statement=statement)
+    return CompiledStatement(
+        query=query,
+        explain=bound.explain,
+        statement=statement,
+        analyze=bound.analyze,
+    )
 
 
 __all__ = [

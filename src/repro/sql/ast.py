@@ -164,11 +164,14 @@ class TableRef(SqlNode):
 
 @dataclass(frozen=True)
 class SelectStatement(SqlNode):
-    """A parsed ``[EXPLAIN] SELECT`` statement."""
+    """A parsed ``[EXPLAIN [ANALYZE]] SELECT`` statement."""
 
     items: Tuple[SelectItem, ...]
     tables: Tuple[TableRef, ...]
     where: Optional[SqlExpr] = None
     explain: bool = False
+    #: True for ``EXPLAIN ANALYZE SELECT ...`` (execute, then annotate the
+    #: plan with actual row counts and timings).
+    analyze: bool = False
     #: Query name from a leading ``-- name: <name>`` comment directive, if any.
     name: Optional[str] = None

@@ -51,6 +51,7 @@ class BoundSelect:
     aggregates: Tuple[AggregateSpec, ...]
     where: Optional[SqlExpr]
     explain: bool = False
+    analyze: bool = False
 
 
 def bind_select(
@@ -95,6 +96,7 @@ class _Binder:
             aggregates=aggregates,
             where=where,
             explain=statement.explain,
+            analyze=statement.analyze,
         )
 
     # ------------------------------------------------------------------

@@ -25,7 +25,8 @@ from repro.errors import SqlError
 KEYWORDS = frozenset(
     {
         "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "AS", "BETWEEN", "IN",
-        "LIKE", "IS", "NULL", "EXPLAIN", "COUNT", "SUM", "MIN", "MAX", "AVG",
+        "LIKE", "IS", "NULL", "EXPLAIN", "ANALYZE", "COUNT", "SUM", "MIN",
+        "MAX", "AVG",
     }
 )
 

@@ -2,7 +2,7 @@
 
 Grammar (the declarative subset a :class:`~repro.query.QuerySpec` expresses)::
 
-    statement   := EXPLAIN? select ';'? EOF
+    statement   := (EXPLAIN ANALYZE?)? select ';'? EOF
     select      := SELECT select_item (',' select_item)*
                    FROM table_ref (',' table_ref)*
                    (WHERE expr)?
@@ -68,7 +68,7 @@ _COMPARISON_SYMBOLS = ("=", "<>", "!=", "<=", ">=", "<", ">")
 
 
 def parse_statement(source: str) -> SelectStatement:
-    """Parse one ``[EXPLAIN] SELECT`` statement from ``source``."""
+    """Parse one ``[EXPLAIN [ANALYZE]] SELECT`` statement from ``source``."""
     return _Parser(source).parse_statement()
 
 
@@ -127,6 +127,7 @@ class _Parser:
     # ------------------------------------------------------------------
     def parse_statement(self) -> SelectStatement:
         explain = self.accept_keyword("EXPLAIN") is not None
+        analyze = explain and self.accept_keyword("ANALYZE") is not None
         self.expect_keyword("SELECT")
         items = self._parse_select_list()
         self.expect_keyword("FROM")
@@ -142,6 +143,7 @@ class _Parser:
             tables=tables,
             where=where,
             explain=explain,
+            analyze=analyze,
             name=default_name(self.source),
         )
 
